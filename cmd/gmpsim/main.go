@@ -1,0 +1,371 @@
+// Command gmpsim regenerates the paper's evaluation figures (Wu & Candan,
+// "GMP: Distributed Geographic Multicast Routing in Wireless Sensor
+// Networks", ICDCS 2006) on the library's discrete-event simulator.
+//
+// Usage:
+//
+//	gmpsim -experiment totalhops            # Figure 11
+//	gmpsim -experiment perdest              # Figure 12
+//	gmpsim -experiment energy               # Figure 14
+//	gmpsim -experiment failures             # Figure 15
+//	gmpsim -experiment lambda               # PBM λ ablation (A-3)
+//	gmpsim -experiment setup                # Table 1 parameters
+//	gmpsim -experiment all                  # everything
+//
+// The -quick flag runs a scaled-down campaign (seconds instead of minutes);
+// -csv switches output to CSV for plotting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"gmp/internal/experiment"
+	"gmp/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gmpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
+	var (
+		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|all")
+		quick    = fs.Bool("quick", false, "scaled-down campaign for smoke runs")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = fs.Bool("json", false, "emit JSON instead of aligned tables")
+		seed     = fs.Int64("seed", 0, "override campaign seed (0 = config default)")
+		nodes    = fs.Int("nodes", 0, "override node count (0 = config default)")
+		networks = fs.Int("networks", 0, "override number of deployments")
+		tasks    = fs.Int("tasks", 0, "override tasks per deployment")
+		ks       = fs.String("ks", "", "override destination-count sweep, e.g. 3,5,10")
+		protos   = fs.String("protocols", "", "comma-separated protocol subset (default: the paper's set)")
+		confPath = fs.String("config", "", "JSON campaign config file (see -dumpconfig for the schema)")
+		dumpConf = fs.Bool("dumpconfig", false, "print the effective campaign config as JSON and exit")
+		pair     = fs.String("pair", "GMP,LGS", "for -experiment compare: the two protocols, A,B")
+		kFlag    = fs.Int("k", 12, "for -experiment compare: destination count")
+		outDir   = fs.String("outdir", "", "also write each table as <outdir>/<slug>.json and .csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiment.Default()
+	if *quick {
+		cfg = experiment.Quick()
+	}
+	if *confPath != "" {
+		data, err := os.ReadFile(*confPath)
+		if err != nil {
+			return fmt.Errorf("-config: %w", err)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return fmt.Errorf("-config %s: %w", *confPath, err)
+		}
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *nodes != 0 {
+		cfg.Nodes = *nodes
+	}
+	if *networks != 0 {
+		cfg.Networks = *networks
+	}
+	if *tasks != 0 {
+		cfg.TasksPerNet = *tasks
+	}
+	if *ks != "" {
+		parsed, err := parseInts(*ks)
+		if err != nil {
+			return fmt.Errorf("-ks: %w", err)
+		}
+		cfg.Ks = parsed
+	}
+	protoList := experiment.AllProtocols()
+	if *protos != "" {
+		protoList = strings.Split(*protos, ",")
+	}
+	if *dumpConf {
+		data, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("-outdir: %w", err)
+		}
+	}
+	var emitErr error
+	emit := func(t *stats.Table) {
+		switch {
+		case *jsonOut:
+			data, err := json.Marshal(t)
+			if err != nil {
+				emitErr = err
+				return
+			}
+			fmt.Fprintln(out, string(data))
+		case *csv:
+			fmt.Fprint(out, t.CSV())
+		default:
+			fmt.Fprintln(out, t.Render())
+		}
+		if *outDir != "" {
+			if err := writeArtifacts(*outDir, t); err != nil && emitErr == nil {
+				emitErr = err
+			}
+		}
+	}
+	defer func() {
+		if emitErr != nil {
+			fmt.Fprintln(os.Stderr, "gmpsim: emit:", emitErr)
+		}
+	}()
+
+	switch *exp {
+	case "setup":
+		printSetup(out, cfg)
+	case "totalhops", "perdest", "energy":
+		res, err := experiment.RunMain(cfg, protoList)
+		if err != nil {
+			return err
+		}
+		switch *exp {
+		case "totalhops":
+			emit(res.TotalHops)
+		case "perdest":
+			emit(res.PerDestHops)
+		case "energy":
+			emit(res.Energy)
+		}
+	case "failures":
+		fc := experiment.DefaultFailureConfig()
+		if *quick {
+			fc = experiment.QuickFailureConfig()
+		}
+		fc.Base.Seed = cfg.Seed
+		tbl, err := experiment.RunFailures(fc, []string{
+			experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGMP,
+		})
+		if err != nil {
+			return err
+		}
+		emit(tbl)
+	case "robustness":
+		rc := experiment.DefaultRobustnessConfig()
+		if *quick {
+			rc = experiment.QuickRobustnessConfig()
+		}
+		rc.Base.Seed = cfg.Seed
+		tbl, err := experiment.RunRobustness(rc, []string{
+			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
+		})
+		if err != nil {
+			return err
+		}
+		emit(tbl)
+	case "localization":
+		lc := experiment.DefaultLocalizationConfig()
+		if *quick {
+			lc = experiment.QuickLocalizationConfig()
+		}
+		lc.Base.Seed = cfg.Seed
+		res, err := experiment.RunLocalization(lc, []string{
+			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
+		})
+		if err != nil {
+			return err
+		}
+		emit(res.Delivery)
+		emit(res.TotalHops)
+	case "staleness":
+		sc := experiment.DefaultStalenessConfig()
+		if *quick {
+			sc = experiment.QuickStalenessConfig()
+		}
+		sc.Base.Seed = cfg.Seed
+		tbl, err := experiment.RunStaleness(sc, []string{
+			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
+		})
+		if err != nil {
+			return err
+		}
+		emit(tbl)
+	case "lifetime":
+		lt := experiment.DefaultLifetimeConfig()
+		if *quick {
+			lt = experiment.QuickLifetimeConfig()
+		}
+		lt.Base.Seed = cfg.Seed
+		res, err := experiment.RunLifetime(lt, []string{
+			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
+		})
+		if err != nil {
+			return err
+		}
+		emit(res.FirstDeath)
+		emit(res.FirstFailure)
+	case "load":
+		ld := experiment.DefaultLoadConfig()
+		if *quick {
+			ld = experiment.QuickLoadConfig()
+		}
+		ld.Base.Seed = cfg.Seed
+		tbl, err := experiment.RunLoad(ld, []string{
+			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoGRD,
+		})
+		if err != nil {
+			return err
+		}
+		emit(tbl)
+	case "beaconing":
+		bcfg := experiment.DefaultBeaconConfig()
+		if *quick {
+			bcfg = experiment.QuickBeaconConfig()
+		}
+		bcfg.Base.Seed = cfg.Seed
+		res, err := experiment.RunBeaconing(bcfg)
+		if err != nil {
+			return err
+		}
+		emit(res.PosError)
+		emit(res.MissingFrac)
+		emit(res.EnergyPerHour)
+	case "clustering":
+		cc := experiment.DefaultClusteringConfig()
+		if *quick {
+			cc = experiment.QuickClusteringConfig()
+		}
+		cc.Base.Seed = cfg.Seed
+		tbl, err := experiment.RunClustering(cc, []string{
+			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
+		})
+		if err != nil {
+			return err
+		}
+		emit(tbl)
+	case "compare":
+		parts := strings.Split(*pair, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-pair wants A,B; got %q", *pair)
+		}
+		res, err := experiment.CompareProtocols(cfg, strings.TrimSpace(parts[0]),
+			strings.TrimSpace(parts[1]), *kFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, res.String())
+	case "lambda":
+		k := 12
+		if len(cfg.Ks) > 0 {
+			k = cfg.Ks[len(cfg.Ks)/2]
+		}
+		tbl, err := experiment.LambdaSweep(cfg, k)
+		if err != nil {
+			return err
+		}
+		emit(tbl)
+	case "all":
+		printSetup(out, cfg)
+		res, err := experiment.RunMain(cfg, protoList)
+		if err != nil {
+			return err
+		}
+		emit(res.TotalHops)
+		emit(res.PerDestHops)
+		emit(res.Energy)
+		emit(res.FailureRate)
+		fc := experiment.DefaultFailureConfig()
+		if *quick {
+			fc = experiment.QuickFailureConfig()
+		}
+		fc.Base.Seed = cfg.Seed
+		ftbl, err := experiment.RunFailures(fc, []string{
+			experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGMP,
+		})
+		if err != nil {
+			return err
+		}
+		emit(ftbl)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func printSetup(out io.Writer, cfg experiment.Config) {
+	fmt.Fprintln(out, "Table 1: simulation setup")
+	fmt.Fprintf(out, "  Network size        %.0fm x %.0fm\n", cfg.Width, cfg.Height)
+	fmt.Fprintf(out, "  Number of nodes     %d\n", cfg.Nodes)
+	fmt.Fprintf(out, "  Channel data rate   %.0f Mbps\n", cfg.Radio.DataRateBps/1e6)
+	fmt.Fprintf(out, "  Transmission power  %.1f W\n", cfg.Radio.TxPowerW)
+	fmt.Fprintf(out, "  Receiving power     %.1f W\n", cfg.Radio.RxPowerW)
+	fmt.Fprintf(out, "  Message size        %d B\n", cfg.Radio.MessageBytes)
+	fmt.Fprintf(out, "  Radio range         %.0f m\n", cfg.RadioRange)
+	fmt.Fprintf(out, "  Networks x tasks    %d x %d\n", cfg.Networks, cfg.TasksPerNet)
+	fmt.Fprintf(out, "  Destination sweep   %v\n", cfg.Ks)
+	fmt.Fprintf(out, "  Hop budget          %d\n", cfg.MaxHops)
+	fmt.Fprintf(out, "  Seed                %d\n", cfg.Seed)
+	fmt.Fprintln(out)
+}
+
+// writeArtifacts saves a table as both JSON and CSV under dir, named by a
+// slug of its title.
+func writeArtifacts(dir string, t *stats.Table) error {
+	slug := slugify(t.Title)
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, slug+".json"), data, 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, slug+".csv"), []byte(t.CSV()), 0o644)
+}
+
+// slugify reduces a table title to a safe file stem.
+func slugify(title string) string {
+	var b strings.Builder
+	lastDash := false
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash && b.Len() > 0 {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestSetupExperiment(t *testing.T) {
+	out := runCapture(t, "-experiment", "setup")
+	for _, want := range []string{
+		"Table 1", "1000m x 1000m", "1.3 W", "0.9 W", "128 B", "150 m", "10 x 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("setup output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTotalHopsQuick(t *testing.T) {
+	out := runCapture(t, "-experiment", "totalhops", "-quick",
+		"-networks", "1", "-tasks", "3", "-ks", "4",
+		"-protocols", "GMP,GRD")
+	for _, want := range []string{"Figure 11", "GMP", "GRD"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out := runCapture(t, "-experiment", "perdest", "-quick",
+		"-networks", "1", "-tasks", "3", "-ks", "4",
+		"-protocols", "GMP", "-csv")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "k,GMP" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := runCapture(t, "-experiment", "perdest", "-quick",
+		"-networks", "1", "-tasks", "3", "-ks", "4",
+		"-protocols", "GMP", "-json")
+	if !strings.HasPrefix(strings.TrimSpace(out), "{") ||
+		!strings.Contains(out, `"series"`) || !strings.Contains(out, `"GMP"`) {
+		t.Fatalf("not JSON: %s", out)
+	}
+}
+
+func TestLambdaQuick(t *testing.T) {
+	out := runCapture(t, "-experiment", "lambda", "-quick",
+		"-networks", "1", "-tasks", "2", "-ks", "4")
+	if !strings.Contains(out, "λ") && !strings.Contains(out, "lambda") {
+		t.Fatalf("lambda table missing:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "wat"}, &b); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestBadProtocol(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-experiment", "totalhops", "-quick", "-protocols", "NOPE"}, &b)
+	if err == nil {
+		t.Fatal("bad protocol should error")
+	}
+}
+
+func TestBadKs(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "totalhops", "-ks", "3,x"}, &b); err == nil {
+		t.Fatal("bad -ks should error")
+	}
+}
+
+func TestDumpAndLoadConfig(t *testing.T) {
+	dumped := runCapture(t, "-dumpconfig", "-quick")
+	if !strings.Contains(dumped, `"Nodes"`) || !strings.Contains(dumped, `"Ks"`) {
+		t.Fatalf("dump missing fields:\n%s", dumped)
+	}
+	// Round-trip: feed the dump back as a config file and run a tiny sweep.
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(path, []byte(dumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCapture(t, "-config", path, "-experiment", "totalhops",
+		"-networks", "1", "-tasks", "2", "-ks", "3", "-protocols", "GMP")
+	if !strings.Contains(out, "Figure 11") {
+		t.Fatalf("config-driven run broken:\n%s", out)
+	}
+	// Bad files error cleanly.
+	var b strings.Builder
+	if err := run([]string{"-config", "/nonexistent.json"}, &b); err == nil {
+		t.Fatal("missing config should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", bad}, &b); err == nil {
+		t.Fatal("malformed config should error")
+	}
+}
+
+func TestOutDirArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "artifacts")
+	runCapture(t, "-experiment", "totalhops", "-quick",
+		"-networks", "1", "-tasks", "2", "-ks", "4",
+		"-protocols", "GMP", "-outdir", dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var json, csv bool
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			json = true
+		}
+		if strings.HasSuffix(e.Name(), ".csv") {
+			csv = true
+		}
+	}
+	if !json || !csv {
+		t.Fatalf("artifacts missing: %v", entries)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Figure 11: total number of hops": "figure-11-total-number-of-hops",
+		"  weird---title!!":               "weird-title",
+		"λλλ":                             "",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareExperimentCLI(t *testing.T) {
+	out := runCapture(t, "-experiment", "compare", "-quick",
+		"-networks", "1", "-tasks", "4", "-pair", "GMP,GRD", "-k", "4")
+	if !strings.Contains(out, "GMP vs GRD") || !strings.Contains(out, "total hops:") {
+		t.Fatalf("compare output:\n%s", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"-experiment", "compare", "-pair", "JUSTONE"}, &b); err == nil {
+		t.Fatal("malformed -pair should error")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 3, 5 ,25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[2] != 25 {
+		t.Fatalf("parseInts = %v", got)
+	}
+}

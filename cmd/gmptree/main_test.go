@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeOutput(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-source", "0,0", "-dests", "900,480;900,520;400,700"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"rrSTR tree", "virtual", "terminal", "total length",
+		"LGS-style MST", "saves",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBasicFlagDisablesRadioAwareness(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-basic", "-source", "0,0", "-dests", "100,10;100,-10"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "radio-aware=false") {
+		t.Fatalf("basic mode not reported:\n%s", b.String())
+	}
+}
+
+func TestMissingDests(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-source", "0,0"}, &b); err == nil {
+		t.Fatal("missing -dests should error")
+	}
+}
+
+func TestBadCoordinates(t *testing.T) {
+	var b strings.Builder
+	cases := [][]string{
+		{"-source", "zzz", "-dests", "1,2"},
+		{"-source", "1", "-dests", "1,2"},
+		{"-source", "1,2", "-dests", "nope"},
+		{"-source", "1,2", "-dests", "3,4;bad,5x"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Fatalf("args %v should error", args)
+		}
+	}
+}
+
+func TestParsePoint(t *testing.T) {
+	p, err := parsePoint(" 12.5 , -3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X != 12.5 || p.Y != -3 {
+		t.Fatalf("parsePoint = %v", p)
+	}
+}

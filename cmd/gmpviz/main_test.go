@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVizSimToStdout(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-nodes", "300", "-k", "3", "-seed", "5"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatalf("not an SVG document:\n%.120s", out)
+	}
+}
+
+func TestVizTreeModeToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.svg")
+	var b strings.Builder
+	err := run([]string{"-tree", "-source", "0,0", "-dests", "400,180;400,220", "-o", path}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("file is not SVG")
+	}
+	if b.Len() != 0 {
+		t.Fatal("stdout should be empty when -o is used")
+	}
+}
+
+func TestVizTreeModeNeedsDests(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-tree"}, &b); err == nil {
+		t.Fatal("tree mode without -dests should error")
+	}
+}
+
+func TestVizUnknownProtocol(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-protocol", "BOGUS"}, &b); err == nil {
+		t.Fatal("unknown protocol should error")
+	}
+}
+
+func TestVizBadTreeCoordinates(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-tree", "-source", "junk", "-dests", "1,2"}, &b); err == nil {
+		t.Fatal("bad source should error")
+	}
+	if err := run([]string{"-tree", "-source", "0,0", "-dests", "junk"}, &b); err == nil {
+		t.Fatal("bad dests should error")
+	}
+}

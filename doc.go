@@ -1,0 +1,44 @@
+// Package gmp is a Go implementation of GMP — the distributed, stateless
+// Geographic Multicast routing Protocol for wireless sensor networks of
+// Wu & Candan (ICDCS 2006) — together with everything needed to evaluate it:
+// the rrSTR reduction-ratio Euclidean Steiner tree heuristic, a sensor
+// network model, Gabriel/RNG planarization with perimeter routing, a
+// discrete-event simulator with the paper's radio/energy model, the baseline
+// protocols (LGS, LGK, PBM, GRD, SMT), and an experiment harness that
+// regenerates every figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	r := rand.New(rand.NewSource(1))
+//	nodes := gmp.DeployUniform(1000, 1000, 1000, r)
+//	nw, err := gmp.NewNetwork(nodes, 1000, 1000, 150)
+//	if err != nil { ... }
+//	sys := gmp.NewSystem(nw)
+//	res := sys.Multicast(sys.GMP(), 0, []int{17, 42, 99})
+//	fmt.Println(res.TotalHops(), res.EnergyJ)
+//
+// # Architecture
+//
+// The facade re-exports the library's subsystems; see the package
+// documentation of the internal packages for detail:
+//
+//   - internal/geom     — plane geometry, Fermat points, regions, hulls
+//   - internal/steiner  — reduction ratio, rrSTR, MST variants, KMB
+//   - internal/network  — deployment, unit-disk connectivity, spatial index,
+//     failure and position-noise views
+//   - internal/planar   — Gabriel/RNG planarization, face routing
+//   - internal/sim      — discrete-event kernel, radio/energy model,
+//     concurrent sessions with latency accounting
+//   - internal/routing  — GMP, GMPnr, LGS, LGK, PBM, GRD, SMT, geocast
+//   - internal/workload — uniform and clustered task generation
+//   - internal/mobility — random-waypoint movement
+//   - internal/beacon   — HELLO neighbor discovery costs and accuracy
+//   - internal/groups   — GHT-style membership with soft-state leases
+//   - internal/wire     — on-air frame format under the 128 B budget
+//   - internal/trace    — forwarding-tree reconstruction and stretch
+//   - internal/viz      — SVG rendering of networks, trees, traces, charts
+//   - internal/report   — self-contained HTML reports
+//   - internal/stats    — tables, JSON, paired confidence intervals
+//   - internal/experiment — figure-by-figure reproduction harness and the
+//     E-X1…E-X7 extension experiments
+package gmp

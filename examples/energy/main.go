@@ -1,0 +1,52 @@
+// Energy: estimate how multicast protocol choice changes the energy budget
+// of a periodic-reporting sensor application — the paper's intro motivation
+// that "multicasting preserves network resources by reducing redundant
+// messaging", quantified with the Table 1 energy model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gmp"
+	"gmp/internal/workload"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(99))
+	nodes := gmp.DeployUniform(1000, 1000, 1000, r)
+	nw, err := gmp.NewNetwork(nodes, 1000, 1000, 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := gmp.NewSystem(nw)
+
+	// Scenario: a monitoring application multicasts one 128 B reading per
+	// minute from a random reporter to k subscribed sink nodes. How much
+	// energy does each protocol burn per day, across group sizes?
+	const tasksPerK = 20
+	const reportsPerDay = 24 * 60
+
+	fmt.Printf("%-6s %14s %14s %14s %12s\n", "k", "GMP (J/day)", "PBM (J/day)", "GRD (J/day)", "GMP saving")
+	for _, k := range []int{3, 6, 12, 24} {
+		tasks, err := workload.GenerateBatch(r, nw.Len(), k, tasksPerK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var eGMP, ePBM, eGRD float64
+		for _, task := range tasks {
+			eGMP += sys.Multicast(sys.GMP(), task.Source, task.Dests).EnergyJ
+			ePBM += sys.Multicast(sys.PBM(0.3), task.Source, task.Dests).EnergyJ
+			eGRD += sys.Multicast(sys.GRD(), task.Source, task.Dests).EnergyJ
+		}
+		perDay := func(total float64) float64 {
+			return total / tasksPerK * reportsPerDay
+		}
+		saving := (1 - eGMP/ePBM) * 100
+		fmt.Printf("%-6d %14.1f %14.1f %14.1f %11.1f%%\n",
+			k, perDay(eGMP), perDay(ePBM), perDay(eGRD), saving)
+	}
+	fmt.Println("\nGMP's savings grow with group size: shared subpaths amortize")
+	fmt.Println("transmissions that per-destination unicast (GRD) pays repeatedly.")
+}

@@ -1,0 +1,83 @@
+// Groupcast: dynamic multicast groups on top of GMP. Sensor nodes join and
+// leave a named group through the GHT-style rendezvous service; publishers
+// resolve the member list and multicast with GMP. The example also fires a
+// geocast to a geographic zone — the other group-communication primitive
+// the paper's introduction discusses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gmp"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(2026))
+	nodes := gmp.DeployUniform(900, 1000, 1000, r)
+	nw, err := gmp.NewNetwork(nodes, 1000, 1000, 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := gmp.NewSystem(nw)
+	svc := sys.Groups()
+
+	const group = "alerts/perimeter-breach"
+	fmt.Printf("group %q homes at node %d (hash point %v)\n",
+		group, svc.Home(group), svc.HashPoint(group))
+
+	// Subscribers scattered across the field join the group.
+	subscribers := []int{42, 137, 420, 611, 808}
+	for _, m := range subscribers {
+		if err := svc.Join(m, group); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%d joins cost %d control messages\n",
+		len(subscribers), svc.Metrics().Messages)
+
+	// A detector node publishes to the group: resolve members, multicast.
+	const detector = 700
+	res, err := sys.MulticastGroup(svc, sys.GMP(), detector, group)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("publish: %d transmissions, %.4f J, all %d members reached: %v\n",
+		res.TotalHops(), res.EnergyJ, res.DestCount, !res.Failed())
+
+	// One subscriber churns out; version bumps; next publish reaches four.
+	if err := svc.Leave(137, group); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("membership version now %d\n", svc.Version(group))
+	res, err = sys.MulticastGroup(svc, sys.GMP(), detector, group)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-publish reaches %d members with %d transmissions\n",
+		res.DestCount, res.TotalHops())
+
+	// Geocast to the south-west zone: every node within 120 m of the point.
+	zone := gmp.Pt(200, 200)
+	zoneDests := sys.GeocastDests(zone, 120)
+	gres := sys.Multicast(sys.Geocast(zone, 120), detector, zoneDests)
+	fmt.Printf("geocast to %d zone nodes: %d transmissions, delivered %v\n",
+		len(zoneDests), gres.TotalHops(), !gres.Failed())
+
+	// Or geocast to the area the group's members occupy: convex hull of
+	// their positions grown by one radio range.
+	members, err := svc.Members(detector, group)
+	if err != nil {
+		log.Fatal(err)
+	}
+	memberPts := make([]gmp.Point, len(members))
+	for i, m := range members {
+		memberPts[i] = nw.Pos(m)
+	}
+	area := gmp.HullRegion(memberPts, nw.Range())
+	areaDests := sys.GeocastRegionDests(area)
+	ares := sys.Multicast(sys.GeocastRegion(area), detector, areaDests)
+	fmt.Printf("geocast to the group's hull area (%d nodes): %d transmissions, delivered %v\n",
+		len(areaDests), ares.TotalHops(), !ares.Failed())
+}

@@ -1,0 +1,218 @@
+package gmp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newTestSystem(t *testing.T, seed int64, n int) *System {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	nodes := DeployUniform(n, 1000, 1000, r)
+	nw, err := NewNetwork(nodes, 1000, 1000, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSystem(nw)
+}
+
+func TestFacadeMulticast(t *testing.T) {
+	sys := newTestSystem(t, 1, 800)
+	res := sys.Multicast(sys.GMP(), 0, []int{100, 200, 300})
+	if res.InvalidSends != 0 {
+		t.Fatalf("invalid sends: %d", res.InvalidSends)
+	}
+	if res.Failed() && res.Drops == 0 {
+		t.Fatalf("failure without drops: %+v", res)
+	}
+}
+
+func TestFacadeAllProtocolConstructors(t *testing.T) {
+	sys := newTestSystem(t, 2, 600)
+	protos := []Protocol{
+		sys.GMP(), sys.GMPnr(), sys.LGS(), sys.LGK(2), sys.PBM(0.3), sys.GRD(), sys.SMT(),
+	}
+	for _, p := range protos {
+		if p.Name() == "" {
+			t.Fatal("protocol without a name")
+		}
+		res := sys.Multicast(p, 5, []int{50, 150})
+		if res.InvalidSends != 0 {
+			t.Fatalf("%s: invalid sends", p.Name())
+		}
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	sys := newTestSystem(t, 3, 600)
+	res, events := sys.Trace(sys.GMP(), 10, []int{400})
+	if !res.Failed() && len(events) == 0 {
+		t.Fatal("delivered with no transmissions?")
+	}
+	if len(events) != res.Transmissions {
+		t.Fatalf("%d events for %d transmissions", len(events), res.Transmissions)
+	}
+	// Tracer must be cleared afterwards.
+	res2 := sys.Multicast(sys.GMP(), 10, []int{400})
+	if res2.Transmissions != res.Transmissions {
+		t.Fatalf("trace changed behavior: %d vs %d", res2.Transmissions, res.Transmissions)
+	}
+}
+
+func TestFacadeSteinerHelpers(t *testing.T) {
+	src := Pt(0, 0)
+	dests := []Point{Pt(500, 80), Pt(500, -80)}
+	tree := BuildSteinerTree(src, dests, SteinerOptions{})
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.TerminalIDs()); got != 2 {
+		t.Fatalf("terminals = %d", got)
+	}
+	rr := ReductionRatio(src, dests[0], dests[1])
+	if rr <= 0 || rr >= 0.5 {
+		t.Fatalf("ReductionRatio = %v", rr)
+	}
+	sp := SteinerPoint(Pt(0, 0), Pt(2, 0), Pt(1, 2))
+	if sp.X < 0 || sp.X > 2 || sp.Y < 0 || sp.Y > 2 {
+		t.Fatalf("SteinerPoint = %v", sp)
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	nodes := DeployUniform(400, 1000, 1000, r)
+	nw, err := NewNetwork(nodes, 1000, 1000, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio := DefaultRadioParams()
+	radio.MessageBytes = 256
+	sys := NewSystem(nw,
+		WithRadio(radio),
+		WithMaxHops(50),
+		WithPlanarizer(RelativeNeighborhood),
+	)
+	res := sys.Multicast(sys.GRD(), 0, []int{100})
+	if res.InvalidSends != 0 {
+		t.Fatal("invalid sends")
+	}
+	if sys.Network() != nw {
+		t.Fatal("Network accessor")
+	}
+}
+
+func TestFacadeAnalyzeAndRender(t *testing.T) {
+	sys := newTestSystem(t, 5, 700)
+	a, res, err := sys.Analyze(sys.GMP(), 3, []int{222, 444})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transmissions() != res.Transmissions {
+		t.Fatalf("analysis transmissions %d vs %d", a.Transmissions(), res.Transmissions)
+	}
+	_, events := sys.Trace(sys.GMP(), 3, []int{222})
+	svg := sys.RenderSVG(events, 3, []int{222})
+	if len(svg) == 0 || svg[1] != 's' {
+		t.Fatal("empty or malformed SVG")
+	}
+}
+
+func TestFacadeGeocast(t *testing.T) {
+	sys := newTestSystem(t, 6, 700)
+	center := Pt(700, 700)
+	dests := sys.GeocastDests(center, 100)
+	if len(dests) == 0 {
+		t.Skip("empty region")
+	}
+	res := sys.Multicast(sys.Geocast(center, 100), 0, dests)
+	if res.InvalidSends != 0 {
+		t.Fatal("invalid sends")
+	}
+	if res.Failed() {
+		t.Fatalf("geocast failed: %d/%d", len(res.Delivered), res.DestCount)
+	}
+}
+
+func TestFacadeGeocastRegions(t *testing.T) {
+	sys := newTestSystem(t, 8, 700)
+	rect := NewRect(Pt(300, 300), Pt(500, 500))
+	dests := sys.GeocastRegionDests(rect)
+	if len(dests) == 0 {
+		t.Skip("empty region")
+	}
+	res := sys.Multicast(sys.GeocastRegion(rect), 0, dests)
+	if res.Failed() {
+		t.Fatalf("rect geocast failed: %d/%d", len(res.Delivered), res.DestCount)
+	}
+	tri := Polygon{Vertices: []Point{Pt(600, 600), Pt(900, 600), Pt(750, 900)}}
+	if got := sys.GeocastRegionDests(tri); len(got) > 0 {
+		res = sys.Multicast(sys.GeocastRegion(tri), 0, got)
+		if res.InvalidSends != 0 {
+			t.Fatal("invalid sends")
+		}
+	}
+}
+
+func TestFacadeGroups(t *testing.T) {
+	sys := newTestSystem(t, 7, 700)
+	svc := sys.Groups()
+	for _, m := range []int{11, 22, 33} {
+		if err := svc.Join(m, "zone/a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sys.MulticastGroup(svc, sys.GMP(), 0, "zone/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DestCount != 3 {
+		t.Fatalf("dest count = %d", res.DestCount)
+	}
+	if res.Failed() {
+		t.Fatalf("group multicast failed: %+v", res)
+	}
+	if _, err := sys.MulticastGroup(svc, sys.GMP(), 0, "nope"); err == nil {
+		t.Fatal("unknown group must error")
+	}
+}
+
+func TestFacadeRunScript(t *testing.T) {
+	sys := newTestSystem(t, 9, 700)
+	res := sys.RunScript([]ScriptSession{
+		{Start: 0, Handler: sys.GMP(), Src: 0, Dests: []int{100, 200}},
+		{Start: 0.001, Handler: sys.GMP(), Src: 5, Dests: []int{300}},
+	})
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for i, m := range res {
+		if m.Failed() {
+			t.Fatalf("session %d failed", i)
+		}
+		if m.MeanLatency() <= 0 {
+			t.Fatalf("session %d latency %v", i, m.MeanLatency())
+		}
+	}
+}
+
+func TestFacadeDynamicFrames(t *testing.T) {
+	sys := newTestSystem(t, 10, 600)
+	fixed := sys.Multicast(sys.GMP(), 0, []int{100, 200, 300})
+	sys.SetDynamicFrames(true)
+	dyn := sys.Multicast(sys.GMP(), 0, []int{100, 200, 300})
+	sys.SetDynamicFrames(false)
+	if dyn.Transmissions != fixed.Transmissions {
+		t.Fatal("frame sizing changed routing")
+	}
+	if dyn.EnergyJ <= fixed.EnergyJ {
+		t.Fatalf("dynamic energy %v not above fixed %v", dyn.EnergyJ, fixed.EnergyJ)
+	}
+}
+
+func TestFacadeNodesFromPoints(t *testing.T) {
+	nodes := NodesFromPoints([]Point{Pt(1, 1), Pt(2, 2)})
+	if len(nodes) != 2 || nodes[1].ID != 1 {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+}

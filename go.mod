@@ -1,0 +1,3 @@
+module gmp
+
+go 1.22

@@ -1,0 +1,228 @@
+// Package beacon models the HELLO protocol geographic routing silently
+// assumes: every node periodically broadcasts its position; receivers keep
+// neighbor tables whose entries expire after a few missed beacons. The
+// paper's §2 grants each node knowledge of "the locations of its immediate
+// neighbors" for free — this package prices that assumption: how accurate
+// the tables are under mobility at a given beacon period, and how much
+// energy the beaconing itself burns.
+package beacon
+
+import (
+	"errors"
+	"math/rand"
+
+	"gmp/internal/geom"
+	"gmp/internal/mobility"
+	"gmp/internal/sim"
+)
+
+// Config parameterizes the HELLO protocol.
+type Config struct {
+	// PeriodSec is the beacon interval per node.
+	PeriodSec float64
+	// JitterFrac desynchronizes nodes: each node's phase offset is drawn
+	// uniformly from [0, JitterFrac·Period).
+	JitterFrac float64
+	// TTLPeriods is how many periods an entry survives without a fresh
+	// beacon (classical HELLO protocols use 2–4).
+	TTLPeriods int
+	// BeaconBytes is the on-air beacon size (ID + position + header).
+	BeaconBytes int
+}
+
+// DefaultConfig matches common GPSR deployments: 1 s beacons, expiry after
+// 3 missed, 32 B frames.
+func DefaultConfig() Config {
+	return Config{PeriodSec: 1, JitterFrac: 0.5, TTLPeriods: 3, BeaconBytes: 32}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PeriodSec <= 0 {
+		return errors.New("beacon: period must be positive")
+	}
+	if c.JitterFrac < 0 || c.JitterFrac >= 1 {
+		return errors.New("beacon: jitter fraction must be in [0, 1)")
+	}
+	if c.TTLPeriods < 1 {
+		return errors.New("beacon: TTL must be at least one period")
+	}
+	if c.BeaconBytes <= 0 {
+		return errors.New("beacon: beacon size must be positive")
+	}
+	return nil
+}
+
+// Entry is one row of a node's neighbor table.
+type Entry struct {
+	// ID is the neighbor's identifier.
+	ID int
+	// Pos is the position the neighbor advertised in its last heard beacon
+	// (stale under mobility).
+	Pos geom.Point
+	// HeardAt is the virtual time of that beacon.
+	HeardAt float64
+}
+
+// PositionsAt returns every node's true position at virtual time t.
+// Adapters wrap a static deployment or a mobility model.
+type PositionsAt func(t float64) []geom.Point
+
+// Static wraps a fixed deployment as a PositionsAt.
+func Static(pts []geom.Point) PositionsAt {
+	return func(float64) []geom.Point { return pts }
+}
+
+// Sampled pre-steps a mobility model in dt increments up to horizon and
+// serves the nearest recorded snapshot for any queried time. The model is
+// consumed (advanced to horizon).
+func Sampled(m *mobility.Model, dt, horizon float64) PositionsAt {
+	if dt <= 0 {
+		dt = 0.1
+	}
+	var frames [][]geom.Point
+	frames = append(frames, m.Positions())
+	steps := int(horizon/dt) + 1
+	for i := 0; i < steps; i++ {
+		m.Step(dt)
+		frames = append(frames, m.Positions())
+	}
+	return func(t float64) []geom.Point {
+		idx := int(t/dt + 0.5)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(frames) {
+			idx = len(frames) - 1
+		}
+		return frames[idx]
+	}
+}
+
+// Tables materializes every node's neighbor table as of time `at`, given
+// the true position history and radio range. A beacon emitted by node i at
+// time t reaches node r iff their true positions at t are within range;
+// the receiver records the advertised position. Entries older than
+// TTL = TTLPeriods × Period have expired.
+//
+// The generator drives only the per-node phase offsets, so the same seed
+// reproduces the same beacon schedule.
+func Tables(cfg Config, n int, pos PositionsAt, radioRange, at float64, r *rand.Rand) ([][]Entry, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	phases := make([]float64, n)
+	for i := range phases {
+		phases[i] = r.Float64() * cfg.JitterFrac * cfg.PeriodSec
+	}
+	ttl := float64(cfg.TTLPeriods) * cfg.PeriodSec
+
+	tables := make([][]Entry, n)
+	r2 := radioRange * radioRange
+
+	// For each emitter, walk its beacons inside the TTL window (newest
+	// first) and deliver to every receiver in true range at emission time.
+	type heard struct {
+		pos geom.Point
+		t   float64
+	}
+	latest := make([]map[int]heard, n) // receiver -> emitter -> newest beacon
+	for i := range latest {
+		latest[i] = make(map[int]heard)
+	}
+	for emitter := 0; emitter < n; emitter++ {
+		// Beacon times: phases[e] + k·Period ≤ at.
+		k := int((at - phases[emitter]) / cfg.PeriodSec)
+		for ; k >= 0; k-- {
+			t := phases[emitter] + float64(k)*cfg.PeriodSec
+			if t > at {
+				continue
+			}
+			if at-t > ttl {
+				break // older beacons are expired anyway
+			}
+			snapshot := pos(t)
+			ep := snapshot[emitter]
+			for rcv := 0; rcv < n; rcv++ {
+				if rcv == emitter {
+					continue
+				}
+				if _, ok := latest[rcv][emitter]; ok {
+					continue // already have a newer beacon
+				}
+				if snapshot[rcv].Dist2(ep) <= r2 {
+					latest[rcv][emitter] = heard{pos: ep, t: t}
+				}
+			}
+		}
+	}
+	for rcv := 0; rcv < n; rcv++ {
+		for emitter, h := range latest[rcv] {
+			tables[rcv] = append(tables[rcv], Entry{ID: emitter, Pos: h.pos, HeardAt: h.t})
+		}
+	}
+	return tables, nil
+}
+
+// Accuracy quantifies one node's table against the ground truth at time
+// `at`.
+type Accuracy struct {
+	// Missing is the number of true neighbors absent from the table.
+	Missing int
+	// Ghosts is the number of table entries that are no longer in range.
+	Ghosts int
+	// TrueNeighbors is the ground-truth neighbor count.
+	TrueNeighbors int
+	// MeanPosErrM is the mean distance between advertised and true
+	// positions over correct entries (0 when none).
+	MeanPosErrM float64
+}
+
+// Evaluate compares every node's table against true geometry at time `at`
+// and returns the aggregate over all nodes.
+func Evaluate(tables [][]Entry, pos PositionsAt, radioRange, at float64) Accuracy {
+	snapshot := pos(at)
+	r2 := radioRange * radioRange
+	var agg Accuracy
+	var errSum float64
+	var errCount int
+	for rcv := range tables {
+		inTable := make(map[int]Entry, len(tables[rcv]))
+		for _, e := range tables[rcv] {
+			inTable[e.ID] = e
+		}
+		for other := range snapshot {
+			if other == rcv {
+				continue
+			}
+			inRange := snapshot[rcv].Dist2(snapshot[other]) <= r2
+			e, present := inTable[other]
+			switch {
+			case inRange && !present:
+				agg.Missing++
+			case !inRange && present:
+				agg.Ghosts++
+			case inRange && present:
+				errSum += e.Pos.Dist(snapshot[other])
+				errCount++
+			}
+			if inRange {
+				agg.TrueNeighbors++
+			}
+		}
+	}
+	if errCount > 0 {
+		agg.MeanPosErrM = errSum / float64(errCount)
+	}
+	return agg
+}
+
+// EnergyPerNodePerHour estimates the beaconing energy burden: each node
+// transmits one beacon per period and listens to every neighbor's beacons,
+// under the given radio parameters and mean degree.
+func EnergyPerNodePerHour(cfg Config, radio sim.RadioParams, meanDegree float64) float64 {
+	beaconsPerHour := 3600 / cfg.PeriodSec
+	tx := radio.TxPowerW * radio.TxTimeBytes(cfg.BeaconBytes)
+	rx := radio.RxPowerW * radio.TxTimeBytes(cfg.BeaconBytes) * meanDegree
+	return beaconsPerHour * (tx + rx)
+}

@@ -1,0 +1,155 @@
+package beacon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gmp/internal/geom"
+	"gmp/internal/mobility"
+	"gmp/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if good.Validate() != nil {
+		t.Fatal("default config should validate")
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.PeriodSec = 0 },
+		func(c *Config) { c.JitterFrac = -0.1 },
+		func(c *Config) { c.JitterFrac = 1 },
+		func(c *Config) { c.TTLPeriods = 0 },
+		func(c *Config) { c.BeaconBytes = 0 },
+	}
+	for i, mut := range cases {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+	if _, err := Tables(Config{}, 1, Static(nil), 100, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("Tables must validate")
+	}
+}
+
+func TestTablesStaticNetworkPerfect(t *testing.T) {
+	// On a static deployment, after one full TTL window, every true
+	// neighbor is present with exact positions and there are no ghosts.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(200, 0), geom.Pt(900, 900),
+	}
+	cfg := DefaultConfig()
+	tables, err := Tables(cfg, len(pts), Static(pts), 150, 10, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Evaluate(tables, Static(pts), 150, 10)
+	if acc.Missing != 0 || acc.Ghosts != 0 {
+		t.Fatalf("static accuracy: %+v", acc)
+	}
+	if acc.MeanPosErrM != 0 {
+		t.Fatalf("static position error = %v", acc.MeanPosErrM)
+	}
+	// Node 1 hears 0 and 2; node 3 hears nobody.
+	if len(tables[1]) != 2 {
+		t.Fatalf("node 1 table = %v", tables[1])
+	}
+	if len(tables[3]) != 0 {
+		t.Fatalf("isolated node table = %v", tables[3])
+	}
+}
+
+func TestTablesBeforeFirstBeacon(t *testing.T) {
+	// Querying at t=0 (before any beacon with a positive phase) gives
+	// near-empty tables — cold start.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(50, 0)}
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0.9
+	tables, err := Tables(cfg, 2, Static(pts), 150, 0.0, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(tables[0]) + len(tables[1])
+	if total > 2 {
+		t.Fatalf("cold start produced %d entries", total)
+	}
+}
+
+func TestTablesMobileStaleness(t *testing.T) {
+	// Under mobility, longer beacon periods must not improve accuracy:
+	// position error grows with the beacon period.
+	r := rand.New(rand.NewSource(5))
+	initial := make([]geom.Point, 120)
+	for i := range initial {
+		initial[i] = geom.Pt(r.Float64()*1000, r.Float64()*1000)
+	}
+	mcfg := mobility.Config{Width: 1000, Height: 1000, SpeedMin: 5, SpeedMax: 15, Pause: 0}
+
+	errAt := func(period float64) float64 {
+		mr := rand.New(rand.NewSource(7))
+		model, err := mobility.NewRandomWaypoint(initial, mcfg, mr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := Sampled(model, 0.25, 40)
+		cfg := DefaultConfig()
+		cfg.PeriodSec = period
+		tables, err := Tables(cfg, len(initial), pos, 150, 35, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Evaluate(tables, pos, 150, 35).MeanPosErrM
+	}
+	fast := errAt(0.5)
+	slow := errAt(8)
+	if fast <= 0 || slow <= 0 {
+		t.Fatalf("position errors: fast=%v slow=%v", fast, slow)
+	}
+	if slow <= fast {
+		t.Fatalf("slower beaconing should be staler: %v vs %v", slow, fast)
+	}
+}
+
+func TestEnergyPerNodePerHour(t *testing.T) {
+	cfg := DefaultConfig()
+	radio := sim.DefaultRadioParams()
+	// 1 Hz beacons, 32 B at 1 Mbps = 256 µs airtime. TX: 1.3 W; RX: 0.9 W
+	// per neighbor heard. Mean degree 60 → per hour:
+	// 3600 · 256e-6 · (1.3 + 0.9·60) = 50.97 J.
+	got := EnergyPerNodePerHour(cfg, radio, 60)
+	want := 3600 * 256e-6 * (1.3 + 0.9*60)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+	// Faster beaconing costs proportionally more.
+	cfg.PeriodSec = 0.5
+	if got2 := EnergyPerNodePerHour(cfg, radio, 60); math.Abs(got2-2*got) > 1e-9 {
+		t.Fatalf("half period should double energy: %v vs %v", got2, got)
+	}
+}
+
+func TestSampledClamping(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	initial := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)}
+	model, err := mobility.NewRandomWaypoint(initial,
+		mobility.Config{Width: 100, Height: 100, SpeedMin: 1, SpeedMax: 2, Pause: 0}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := Sampled(model, 0.5, 10)
+	if got := pos(-5); len(got) != 2 {
+		t.Fatal("negative time should clamp")
+	}
+	if got := pos(1e9); len(got) != 2 {
+		t.Fatal("far future should clamp")
+	}
+	// Zero dt falls back to a sane default.
+	model2, _ := mobility.NewRandomWaypoint(initial,
+		mobility.Config{Width: 100, Height: 100, SpeedMin: 1, SpeedMax: 2, Pause: 0},
+		rand.New(rand.NewSource(12)))
+	if got := Sampled(model2, 0, 1)(0.5); len(got) != 2 {
+		t.Fatal("zero dt fallback")
+	}
+}

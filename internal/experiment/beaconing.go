@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"math/rand"
+	"sync"
+
+	"gmp/internal/beacon"
+	"gmp/internal/geom"
+	"gmp/internal/mobility"
+	"gmp/internal/network"
+	"gmp/internal/stats"
+)
+
+// BeaconConfig parameterizes the neighbor-discovery extension experiment
+// (E-X6): the HELLO protocol's beacon period is swept under mobility and
+// the resulting neighbor-table quality and control-plane energy are
+// measured — the price of §2's "each node knows the locations of its
+// immediate neighbors".
+type BeaconConfig struct {
+	// Base supplies geometry, density and seeds.
+	Base Config
+	// PeriodsSec is the sweep of beacon intervals.
+	PeriodsSec []float64
+	// Mobility describes node movement (zero speeds are invalid; use a
+	// slow walk for "almost static").
+	Mobility mobility.Config
+	// Beacon carries the non-period HELLO parameters.
+	Beacon beacon.Config
+	// EvalAtSec is the table snapshot time (after warm-up).
+	EvalAtSec float64
+}
+
+// DefaultBeaconConfig sweeps 0.5–8 s beacons under pedestrian mobility at
+// Table 1 density.
+func DefaultBeaconConfig() BeaconConfig {
+	return BeaconConfig{
+		Base:       Default(),
+		PeriodsSec: []float64{0.5, 1, 2, 4, 8},
+		Mobility: mobility.Config{
+			Width: 1000, Height: 1000,
+			SpeedMin: 1, SpeedMax: 5, Pause: 5,
+		},
+		Beacon:    beacon.DefaultConfig(),
+		EvalAtSec: 60,
+	}
+}
+
+// QuickBeaconConfig is a scaled-down variant for tests.
+func QuickBeaconConfig() BeaconConfig {
+	bc := DefaultBeaconConfig()
+	bc.Base = Quick()
+	bc.PeriodsSec = []float64{0.5, 4}
+	bc.EvalAtSec = 30
+	return bc
+}
+
+// BeaconResult bundles the experiment's three tables.
+type BeaconResult struct {
+	// PosError is the mean advertised-position error in meters vs period.
+	PosError *stats.Table
+	// MissingFrac is the fraction of true neighbors absent from tables.
+	MissingFrac *stats.Table
+	// EnergyPerHour is the per-node beaconing cost in joules per hour.
+	EnergyPerHour *stats.Table
+}
+
+// RunBeaconing sweeps the beacon period and reports table quality and cost.
+func RunBeaconing(bc BeaconConfig) (*BeaconResult, error) {
+	if err := bc.Mobility.Validate(); err != nil {
+		return nil, err
+	}
+	if bc.Base.Networks < 1 {
+		return nil, ErrNoNetworks
+	}
+
+	xs := append([]float64(nil), bc.PeriodsSec...)
+	type cell struct {
+		posErrSum  float64
+		missSum    float64
+		samples    int
+		meanDegSum float64
+	}
+	acc := make([]cell, len(xs))
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	errs := make(chan error, bc.Base.Networks)
+
+	for netIdx := 0; netIdx < bc.Base.Networks; netIdx++ {
+		netIdx := netIdx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			seed := bc.Base.Seed + int64(netIdx)*7919
+			r := rand.New(rand.NewSource(seed))
+			nodes := network.DeployUniform(bc.Base.Nodes, bc.Base.Width, bc.Base.Height, r)
+			initial := make([]geom.Point, len(nodes))
+			for i, n := range nodes {
+				initial[i] = n.Pos
+			}
+			model, err := mobility.NewRandomWaypoint(initial, bc.Mobility, r)
+			if err != nil {
+				errs <- err
+				return
+			}
+			pos := beacon.Sampled(model, 0.25, bc.EvalAtSec+1)
+
+			// Mean degree at evaluation time, for the energy figure.
+			snapshot := pos(bc.EvalAtSec)
+			nw, err := network.New(network.FromPoints(snapshot), bc.Base.Width, bc.Base.Height, bc.Base.RadioRange)
+			if err != nil {
+				errs <- err
+				return
+			}
+			meanDeg := nw.AvgDegree()
+
+			local := make([]cell, len(xs))
+			for pi, period := range bc.PeriodsSec {
+				cfg := bc.Beacon
+				cfg.PeriodSec = period
+				tables, err := beacon.Tables(cfg, bc.Base.Nodes, pos, bc.Base.RadioRange,
+					bc.EvalAtSec, rand.New(rand.NewSource(seed+int64(pi)*613)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				a := beacon.Evaluate(tables, pos, bc.Base.RadioRange, bc.EvalAtSec)
+				local[pi].posErrSum = a.MeanPosErrM
+				if a.TrueNeighbors > 0 {
+					local[pi].missSum = float64(a.Missing) / float64(a.TrueNeighbors)
+				}
+				local[pi].meanDegSum = meanDeg
+				local[pi].samples = 1
+			}
+			mu.Lock()
+			for pi := range xs {
+				acc[pi].posErrSum += local[pi].posErrSum
+				acc[pi].missSum += local[pi].missSum
+				acc[pi].meanDegSum += local[pi].meanDegSum
+				acc[pi].samples += local[pi].samples
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mk := func(title, ylabel string) *stats.Table {
+		return &stats.Table{Title: title, XLabel: "beacon period (s)", YLabel: ylabel, Xs: xs}
+	}
+	posErr := mk("E-X6: advertised-position error vs beacon period", "mean error (m)")
+	missing := mk("E-X6: missing-neighbor fraction vs beacon period", "missing fraction")
+	energy := mk("E-X6: beaconing energy vs beacon period", "J per node per hour")
+
+	pe := make([]float64, len(xs))
+	ms := make([]float64, len(xs))
+	en := make([]float64, len(xs))
+	radio := bc.Base.Radio
+	for pi := range xs {
+		if acc[pi].samples > 0 {
+			n := float64(acc[pi].samples)
+			pe[pi] = acc[pi].posErrSum / n
+			ms[pi] = acc[pi].missSum / n
+			cfg := bc.Beacon
+			cfg.PeriodSec = xs[pi]
+			en[pi] = beacon.EnergyPerNodePerHour(cfg, radio, acc[pi].meanDegSum/n)
+		}
+	}
+	posErr.Series = []stats.Series{{Label: "position error", Y: pe}}
+	missing.Series = []stats.Series{{Label: "missing", Y: ms}}
+	energy.Series = []stats.Series{{Label: "energy", Y: en}}
+	return &BeaconResult{PosError: posErr, MissingFrac: missing, EnergyPerHour: energy}, nil
+}

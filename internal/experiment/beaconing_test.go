@@ -1,0 +1,40 @@
+package experiment
+
+import "testing"
+
+func TestBeaconingQuickShape(t *testing.T) {
+	bc := QuickBeaconConfig()
+	res, err := RunBeaconing(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.PosError.Render())
+	t.Log("\n" + res.MissingFrac.Render())
+	t.Log("\n" + res.EnergyPerHour.Render())
+	pe := res.PosError.Series[0].Y
+	if pe[0] <= 0 || pe[len(pe)-1] <= pe[0] {
+		t.Errorf("position error should grow with the period: %v", pe)
+	}
+	en := res.EnergyPerHour.Series[0].Y
+	if en[0] <= en[len(en)-1] {
+		t.Errorf("energy should shrink with the period: %v", en)
+	}
+	for _, m := range res.MissingFrac.Series[0].Y {
+		if m < 0 || m > 1 {
+			t.Errorf("missing fraction %v out of range", m)
+		}
+	}
+}
+
+func TestBeaconingValidates(t *testing.T) {
+	bc := QuickBeaconConfig()
+	bc.Mobility.SpeedMin = 0
+	if _, err := RunBeaconing(bc); err == nil {
+		t.Fatal("bad mobility should error")
+	}
+	bc = QuickBeaconConfig()
+	bc.Base.Networks = 0
+	if _, err := RunBeaconing(bc); err == nil {
+		t.Fatal("no networks should error")
+	}
+}

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"math/rand"
+	"sync"
+
+	"gmp/internal/routing"
+	"gmp/internal/stats"
+	"gmp/internal/workload"
+)
+
+// ClusteringConfig parameterizes the destination-clustering extension
+// experiment (E-X7): the paper evaluates uniformly drawn destinations, but
+// its introduction motivates multicast with *groups* — subscribers of a
+// shared regional interest. This experiment sweeps the geographic spread of
+// the destination cluster and measures how every protocol's total hops
+// respond.
+type ClusteringConfig struct {
+	// Base supplies geometry, density, seeds, tasks and hop budget.
+	Base Config
+	// Spreads is the sweep of initial cluster radii in meters; a
+	// non-positive value means the paper's uniform drawing.
+	Spreads []float64
+	// K is the destination count per task.
+	K int
+	// PBMLambda fixes PBM's trade-off parameter.
+	PBMLambda float64
+}
+
+// DefaultClusteringConfig sweeps tight clusters to uniform at Table 1
+// density, k=12.
+func DefaultClusteringConfig() ClusteringConfig {
+	return ClusteringConfig{
+		Base:      Default(),
+		Spreads:   []float64{50, 100, 200, 400, 0},
+		K:         12,
+		PBMLambda: 0.3,
+	}
+}
+
+// QuickClusteringConfig is a scaled-down variant for tests.
+func QuickClusteringConfig() ClusteringConfig {
+	cc := DefaultClusteringConfig()
+	cc.Base = Quick()
+	cc.Spreads = []float64{80, 0}
+	cc.K = 8
+	return cc
+}
+
+// RunClustering measures mean total hops per task against the destination
+// cluster spread (the last X, 0, denotes uniform drawing and is rendered as
+// the field diagonal for plotting sanity).
+func RunClustering(cc ClusteringConfig, protos []string) (*stats.Table, error) {
+	if err := cc.Base.Validate(protos); err != nil {
+		return nil, err
+	}
+
+	xs := make([]float64, len(cc.Spreads))
+	for i, s := range cc.Spreads {
+		if s <= 0 {
+			// Represent "uniform" by the field diagonal.
+			xs[i] = cc.Base.Width + cc.Base.Height
+		} else {
+			xs[i] = s
+		}
+	}
+	type cell struct {
+		hops  float64
+		tasks int
+	}
+	acc := make([][]cell, len(protos))
+	for i := range acc {
+		acc[i] = make([]cell, len(xs))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	errs := make(chan error, cc.Base.Networks)
+
+	for netIdx := 0; netIdx < cc.Base.Networks; netIdx++ {
+		netIdx := netIdx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			b, err := buildBench(cc.Base, netIdx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			local := make([][]cell, len(protos))
+			for pi := range local {
+				local[pi] = make([]cell, len(xs))
+			}
+			for si, spread := range cc.Spreads {
+				taskR := rand.New(rand.NewSource(cc.Base.Seed + int64(netIdx)*7919 + int64(si)*70001))
+				for t := 0; t < cc.Base.TasksPerNet; t++ {
+					var task workload.Task
+					var err error
+					if spread <= 0 {
+						task, err = workload.Generate(taskR, cc.Base.Nodes, cc.K)
+					} else {
+						task, err = workload.GenerateClustered(taskR, b.nw, cc.K, spread)
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					for pi, proto := range protos {
+						var p routing.Protocol
+						if proto == ProtoPBM {
+							p = routing.NewPBM(b.nw, b.pg, cc.PBMLambda)
+						} else {
+							p = b.protocol(proto)
+						}
+						m := b.en.RunTask(p, task.Source, task.Dests)
+						local[pi][si].hops += float64(m.TotalHops())
+						local[pi][si].tasks++
+					}
+				}
+			}
+			mu.Lock()
+			for pi := range protos {
+				for si := range xs {
+					acc[pi][si].hops += local[pi][si].hops
+					acc[pi][si].tasks += local[pi][si].tasks
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	table := &stats.Table{
+		Title:  "E-X7: total hops vs destination cluster spread",
+		XLabel: "cluster spread (m)",
+		YLabel: "mean transmissions/task",
+		Xs:     xs,
+	}
+	for pi, proto := range protos {
+		ys := make([]float64, len(xs))
+		for si := range xs {
+			if c := acc[pi][si]; c.tasks > 0 {
+				ys[si] = c.hops / float64(c.tasks)
+			}
+		}
+		table.Series = append(table.Series, stats.Series{Label: proto, Y: ys})
+	}
+	return table, nil
+}

@@ -1,0 +1,35 @@
+package experiment
+
+import "testing"
+
+func TestClusteringQuickShape(t *testing.T) {
+	cc := QuickClusteringConfig()
+	tbl, err := RunClustering(cc, []string{ProtoGMP, ProtoGRD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.Render())
+	gmp := tbl.Get(ProtoGMP)
+	grd := tbl.Get(ProtoGRD)
+	// Multicast's relative advantage must be larger for tight clusters
+	// (first sweep point) than for uniform destinations (last).
+	tight := gmp.Y[0] / grd.Y[0]
+	uniform := gmp.Y[len(gmp.Y)-1] / grd.Y[len(grd.Y)-1]
+	if tight >= uniform {
+		t.Errorf("clustering should amplify sharing: tight ratio %v vs uniform %v", tight, uniform)
+	}
+	for _, s := range tbl.Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("%s non-positive hops %v", s.Label, y)
+			}
+		}
+	}
+}
+
+func TestClusteringValidates(t *testing.T) {
+	cc := QuickClusteringConfig()
+	if _, err := RunClustering(cc, []string{"zzz"}); err == nil {
+		t.Fatal("bad protocol should error")
+	}
+}

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"gmp/internal/stats"
+	"gmp/internal/workload"
+)
+
+// CompareResult carries paired statistical comparisons between two
+// protocols on identical tasks.
+type CompareResult struct {
+	// ProtoA and ProtoB name the compared protocols (differences are A−B).
+	ProtoA, ProtoB string
+	// K is the destination count used.
+	K int
+	// TotalHops, PerDest and Energy are the paired comparisons of the three
+	// §5 metrics at 95% confidence.
+	TotalHops stats.PairedComparison
+	PerDest   stats.PairedComparison
+	Energy    stats.PairedComparison
+}
+
+// String renders the verdicts compactly.
+func (c *CompareResult) String() string {
+	return fmt.Sprintf("%s vs %s (k=%d, n=%d paired tasks)\n  total hops: %s\n  hops/dest:  %s\n  energy (J): %s\n",
+		c.ProtoA, c.ProtoB, c.K, c.TotalHops.N,
+		c.TotalHops.String(), c.PerDest.String(), c.Energy.String())
+}
+
+// CompareProtocols runs two protocols over the same task sets (fully
+// paired) and returns confidence intervals for their metric differences —
+// the statistical backing for "A beats B" claims in EXPERIMENTS.md.
+func CompareProtocols(cfg Config, protoA, protoB string, k int) (*CompareResult, error) {
+	if err := cfg.Validate([]string{protoA, protoB}); err != nil {
+		return nil, err
+	}
+
+	type sample struct{ hops, perDest, energy float64 }
+	perNet := make([][][2]sample, cfg.Networks) // [net][task][0=A,1=B]
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	errs := make([]error, cfg.Networks)
+
+	for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+		netIdx := netIdx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b, err := buildBench(cfg, netIdx)
+			if err != nil {
+				errs[netIdx] = err
+				return
+			}
+			taskR := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919 + int64(k)*104729))
+			tasks, err := workload.GenerateBatch(taskR, cfg.Nodes, k, cfg.TasksPerNet)
+			if err != nil {
+				errs[netIdx] = err
+				return
+			}
+			rows := make([][2]sample, 0, len(tasks))
+			for _, task := range tasks {
+				var row [2]sample
+				for side, proto := range []string{protoA, protoB} {
+					tm := b.runTask(cfg, proto, task)
+					row[side] = sample{hops: tm.totalHops, perDest: tm.perDest, energy: tm.energy}
+				}
+				rows = append(rows, row)
+			}
+			perNet[netIdx] = rows
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var aHops, bHops, aPD, bPD, aE, bE []float64
+	for _, rows := range perNet {
+		for _, row := range rows {
+			aHops = append(aHops, row[0].hops)
+			bHops = append(bHops, row[1].hops)
+			aPD = append(aPD, row[0].perDest)
+			bPD = append(bPD, row[1].perDest)
+			aE = append(aE, row[0].energy)
+			bE = append(bE, row[1].energy)
+		}
+	}
+	out := &CompareResult{ProtoA: protoA, ProtoB: protoB, K: k}
+	var err error
+	if out.TotalHops, err = stats.ComparePaired(aHops, bHops, 0.95); err != nil {
+		return nil, err
+	}
+	if out.PerDest, err = stats.ComparePaired(aPD, bPD, 0.95); err != nil {
+		return nil, err
+	}
+	if out.Energy, err = stats.ComparePaired(aE, bE, 0.95); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

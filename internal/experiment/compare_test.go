@@ -1,0 +1,34 @@
+package experiment
+
+import "testing"
+
+func TestCompareProtocolsGMPvsGRD(t *testing.T) {
+	cfg := Quick()
+	cfg.Networks = 2
+	cfg.TasksPerNet = 20
+	res, err := CompareProtocols(cfg, ProtoGMP, ProtoGRD, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	// GMP must use significantly fewer total hops than per-destination
+	// unicast: the CI lies entirely below zero.
+	if !res.TotalHops.Significant() || res.TotalHops.CIHigh >= 0 {
+		t.Fatalf("GMP vs GRD total hops not significantly negative: %v", res.TotalHops)
+	}
+	if res.TotalHops.N != 40 {
+		t.Fatalf("pairs = %d", res.TotalHops.N)
+	}
+	// Per-destination hops go the other way or are a wash; either way the
+	// comparison must be well-formed.
+	if res.PerDest.CILow > res.PerDest.CIHigh {
+		t.Fatal("malformed CI")
+	}
+}
+
+func TestCompareProtocolsValidates(t *testing.T) {
+	cfg := Quick()
+	if _, err := CompareProtocols(cfg, "xx", ProtoGRD, 5); err == nil {
+		t.Fatal("bad protocol should error")
+	}
+}

@@ -1,0 +1,130 @@
+// Package experiment is the harness that regenerates every table and figure
+// of the paper's §5 evaluation: Figure 11 (total hops), Figure 12
+// (per-destination hops), Figure 14 (energy), Figure 15 (failed tasks vs
+// density), plus the PBM λ ablation. See DESIGN.md §4 for the experiment
+// index.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"gmp/internal/planar"
+	"gmp/internal/sim"
+)
+
+// Protocol identifiers accepted by the harness.
+const (
+	ProtoGMP   = "GMP"
+	ProtoGMPnr = "GMPnr"
+	ProtoLGS   = "LGS"
+	ProtoLGK   = "LGK"
+	ProtoPBM   = "PBM"
+	ProtoSMT   = "SMT"
+	ProtoGRD   = "GRD"
+	// ProtoGMPmst is the A-4 ablation: GMP's routing machinery with the
+	// rrSTR tree replaced by a Euclidean MST, isolating the paper's central
+	// tree-construction claim.
+	ProtoGMPmst = "GMPmst"
+	// ProtoGMPsmst is the A-6 ablation arm: GMP over the corner-Steinerized
+	// MST — the classical MST-improvement heuristic the paper cites.
+	ProtoGMPsmst = "GMPsmst"
+)
+
+// AllProtocols lists every protocol in the order the paper's figures use.
+func AllProtocols() []string {
+	return []string{ProtoPBM, ProtoLGS, ProtoGMP, ProtoGMPnr, ProtoSMT, ProtoGRD}
+}
+
+// Config describes one experiment campaign. Default reproduces Table 1.
+type Config struct {
+	// Width and Height of the deployment region in meters.
+	Width, Height float64
+	// Nodes deployed uniformly at random.
+	Nodes int
+	// RadioRange in meters.
+	RadioRange float64
+	// Networks is the number of independent deployments (paper: 10).
+	Networks int
+	// TasksPerNet is the number of multicast tasks per deployment and
+	// per destination-count value (paper: 100).
+	TasksPerNet int
+	// Ks is the sweep of destination counts (paper: 3 to 25).
+	Ks []int
+	// MaxHops is the per-packet hop budget (paper §5.4: 100).
+	MaxHops int
+	// Seed makes the whole campaign reproducible.
+	Seed int64
+	// Lambdas is PBM's trade-off sweep; per task the λ minimizing total
+	// hops is kept, as in §5.1.
+	Lambdas []float64
+	// Planarizer selects the graph used by perimeter mode.
+	Planarizer planar.Kind
+	// Radio carries the physical-layer constants (Table 1).
+	Radio sim.RadioParams
+}
+
+// Default returns the paper's Table 1 setup.
+func Default() Config {
+	return Config{
+		Width:       1000,
+		Height:      1000,
+		Nodes:       1000,
+		RadioRange:  150,
+		Networks:    10,
+		TasksPerNet: 100,
+		Ks:          []int{3, 5, 8, 12, 16, 20, 25},
+		MaxHops:     100,
+		Seed:        1,
+		Lambdas:     []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+		Planarizer:  planar.Gabriel,
+		Radio:       sim.DefaultRadioParams(),
+	}
+}
+
+// Quick returns a scaled-down campaign for tests and smoke runs: same
+// geometry and protocols, fewer networks/tasks/Ks.
+func Quick() Config {
+	cfg := Default()
+	cfg.Nodes = 400
+	cfg.Networks = 2
+	cfg.TasksPerNet = 8
+	cfg.Ks = []int{4, 8}
+	cfg.Lambdas = []float64{0, 0.3, 0.6}
+	cfg.Seed = 7
+	return cfg
+}
+
+// Validation errors.
+var (
+	ErrNoKs        = errors.New("experiment: empty K sweep")
+	ErrNoNetworks  = errors.New("experiment: need at least one network")
+	ErrNoTasks     = errors.New("experiment: need at least one task per network")
+	ErrNoLambdas   = errors.New("experiment: PBM requested with empty lambda sweep")
+	ErrBadProtocol = errors.New("experiment: unknown protocol")
+)
+
+// Validate checks the configuration for the given protocol list.
+func (c Config) Validate(protos []string) error {
+	if len(c.Ks) == 0 {
+		return ErrNoKs
+	}
+	if c.Networks < 1 {
+		return ErrNoNetworks
+	}
+	if c.TasksPerNet < 1 {
+		return ErrNoTasks
+	}
+	for _, p := range protos {
+		switch p {
+		case ProtoGMP, ProtoGMPnr, ProtoLGS, ProtoLGK, ProtoSMT, ProtoGRD, ProtoGMPmst, ProtoGMPsmst:
+		case ProtoPBM:
+			if len(c.Lambdas) == 0 {
+				return ErrNoLambdas
+			}
+		default:
+			return fmt.Errorf("%w: %q", ErrBadProtocol, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cfg := Quick()
+	if err := cfg.Validate(AllProtocols()); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Ks = nil
+	if err := bad.Validate(nil); !errors.Is(err, ErrNoKs) {
+		t.Errorf("Ks: %v", err)
+	}
+	bad = cfg
+	bad.Networks = 0
+	if err := bad.Validate(nil); !errors.Is(err, ErrNoNetworks) {
+		t.Errorf("Networks: %v", err)
+	}
+	bad = cfg
+	bad.TasksPerNet = 0
+	if err := bad.Validate(nil); !errors.Is(err, ErrNoTasks) {
+		t.Errorf("Tasks: %v", err)
+	}
+	bad = cfg
+	bad.Lambdas = nil
+	if err := bad.Validate([]string{ProtoPBM}); !errors.Is(err, ErrNoLambdas) {
+		t.Errorf("Lambdas: %v", err)
+	}
+	if err := cfg.Validate([]string{"WAT"}); !errors.Is(err, ErrBadProtocol) {
+		t.Errorf("unknown proto: %v", err)
+	}
+}
+
+func TestRunMainQuickCampaign(t *testing.T) {
+	cfg := Quick()
+	protos := []string{ProtoGMP, ProtoLGS, ProtoGRD}
+	res, err := RunMain(cfg, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := map[string]interface{ Render() string }{
+		"TotalHops":   res.TotalHops,
+		"PerDestHops": res.PerDestHops,
+		"Energy":      res.Energy,
+		"FailureRate": res.FailureRate,
+	}
+	for name, tbl := range tables {
+		if tbl == nil {
+			t.Fatalf("%s table missing", name)
+		}
+		if out := tbl.Render(); len(out) == 0 {
+			t.Fatalf("%s renders empty", name)
+		}
+	}
+	// Structure: one series per protocol, one Y per k.
+	if len(res.TotalHops.Series) != len(protos) {
+		t.Fatalf("series = %d", len(res.TotalHops.Series))
+	}
+	for _, s := range res.TotalHops.Series {
+		if len(s.Y) != len(cfg.Ks) {
+			t.Fatalf("%s: %d Ys for %d Ks", s.Label, len(s.Y), len(cfg.Ks))
+		}
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("%s: non-positive mean hops %v", s.Label, y)
+			}
+		}
+	}
+	// Multicast sharing: GMP total hops below GRD at every k.
+	gmp := res.TotalHops.Get(ProtoGMP)
+	grd := res.TotalHops.Get(ProtoGRD)
+	for i := range cfg.Ks {
+		if gmp.Y[i] >= grd.Y[i] {
+			t.Errorf("k=%d: GMP total %v not below GRD %v", cfg.Ks[i], gmp.Y[i], grd.Y[i])
+		}
+	}
+	// Per-destination: GRD is the greedy lower-bound reference; GMP must be
+	// within a reasonable factor of it.
+	gmpPD := res.PerDestHops.Get(ProtoGMP)
+	grdPD := res.PerDestHops.Get(ProtoGRD)
+	for i := range cfg.Ks {
+		if gmpPD.Y[i] > grdPD.Y[i]*2 {
+			t.Errorf("k=%d: GMP per-dest %v more than 2x GRD %v", cfg.Ks[i], gmpPD.Y[i], grdPD.Y[i])
+		}
+	}
+	// Energy tracks total hops: same ordering between GMP and GRD.
+	gmpE := res.Energy.Get(ProtoGMP)
+	grdE := res.Energy.Get(ProtoGRD)
+	for i := range cfg.Ks {
+		if gmpE.Y[i] >= grdE.Y[i] {
+			t.Errorf("k=%d: GMP energy %v not below GRD %v", cfg.Ks[i], gmpE.Y[i], grdE.Y[i])
+		}
+	}
+}
+
+func TestRunMainDeterministic(t *testing.T) {
+	cfg := Quick()
+	cfg.Networks = 1
+	cfg.TasksPerNet = 4
+	cfg.Ks = []int{5}
+	protos := []string{ProtoGMP, ProtoPBM}
+	a, err := RunMain(cfg, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMain(cfg, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalHops.CSV() != b.TotalHops.CSV() {
+		t.Fatalf("nondeterministic totals:\n%s\nvs\n%s", a.TotalHops.CSV(), b.TotalHops.CSV())
+	}
+	if a.Energy.CSV() != b.Energy.CSV() {
+		t.Fatal("nondeterministic energy")
+	}
+}
+
+func TestRunMainRejectsInvalid(t *testing.T) {
+	cfg := Quick()
+	if _, err := RunMain(cfg, []string{"bogus"}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestRunFailuresQuick(t *testing.T) {
+	fc := QuickFailureConfig()
+	protos := []string{ProtoGMP, ProtoLGS}
+	tbl, err := RunFailures(fc, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("series = %d", len(tbl.Series))
+	}
+	totalTasks := float64(fc.Base.Networks * fc.Base.TasksPerNet)
+	for _, s := range tbl.Series {
+		for i, y := range s.Y {
+			if y < 0 || y > totalTasks {
+				t.Fatalf("%s: failures %v out of range at density %v", s.Label, y, tbl.Xs[i])
+			}
+		}
+	}
+	// Sparse networks must fail at least as often as dense ones for LGS
+	// (monotone trend over the sweep endpoints).
+	lgs := tbl.Get(ProtoLGS)
+	if lgs.Y[0] < lgs.Y[len(lgs.Y)-1] {
+		t.Errorf("LGS failures at low density (%v) below high density (%v)",
+			lgs.Y[0], lgs.Y[len(lgs.Y)-1])
+	}
+	// GMP never fails more often than LGS, which has no recovery at all.
+	gmp := tbl.Get(ProtoGMP)
+	for i := range tbl.Xs {
+		if gmp.Y[i] > lgs.Y[i] {
+			t.Errorf("density %v: GMP failures %v above LGS %v", tbl.Xs[i], gmp.Y[i], lgs.Y[i])
+		}
+	}
+}
+
+func TestLambdaSweepQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Networks = 1
+	cfg.TasksPerNet = 5
+	tbl, err := LambdaSweep(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("series = %d", len(tbl.Series))
+	}
+	if len(tbl.Xs) != len(cfg.Lambdas) {
+		t.Fatalf("xs = %v", tbl.Xs)
+	}
+	for _, s := range tbl.Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("%s: non-positive %v", s.Label, y)
+			}
+		}
+	}
+}
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	cfg := Default()
+	if cfg.Width != 1000 || cfg.Height != 1000 || cfg.Nodes != 1000 ||
+		cfg.RadioRange != 150 || cfg.Networks != 10 || cfg.TasksPerNet != 100 ||
+		cfg.MaxHops != 100 {
+		t.Fatalf("Default deviates from Table 1: %+v", cfg)
+	}
+	if cfg.Radio.TxPowerW != 1.3 || cfg.Radio.RxPowerW != 0.9 ||
+		cfg.Radio.MessageBytes != 128 || cfg.Radio.DataRateBps != 1e6 {
+		t.Fatalf("radio params deviate from Table 1: %+v", cfg.Radio)
+	}
+}

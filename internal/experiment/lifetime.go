@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"math/rand"
+	"sync"
+
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/routing"
+	"gmp/internal/sim"
+	"gmp/internal/stats"
+)
+
+// LifetimeConfig parameterizes the network-lifetime extension experiment
+// (E-X4): every node starts with a fixed energy budget; a stream of
+// multicast tasks drains transmit energy at senders and receive energy at
+// all listeners (the §5.3 model, accounted per node); nodes that exhaust
+// their budget die and the topology degrades until tasks start failing.
+//
+// This turns the paper's Figure 14 comparison into the metric deployments
+// actually care about: how many multicasts the network survives.
+type LifetimeConfig struct {
+	// Base supplies geometry, density, seeds and hop budget.
+	Base Config
+	// BatteriesJ is the sweep of per-node energy budgets in joules.
+	BatteriesJ []float64
+	// K is the destination count per task.
+	K int
+	// MaxTasks caps the stream per battery level (safety bound).
+	MaxTasks int
+	// PBMLambda fixes PBM's trade-off parameter.
+	PBMLambda float64
+}
+
+// DefaultLifetimeConfig sweeps 1–4 J batteries at Table 1 density. For
+// scale: one 12-destination GMP task drains ≈0.06 J from a busy node, so
+// these budgets correspond to lifetimes of tens to hundreds of tasks.
+func DefaultLifetimeConfig() LifetimeConfig {
+	return LifetimeConfig{
+		Base:       Default(),
+		BatteriesJ: []float64{1, 2, 4},
+		K:          12,
+		MaxTasks:   20000,
+		PBMLambda:  0.3,
+	}
+}
+
+// QuickLifetimeConfig is a scaled-down variant for tests.
+func QuickLifetimeConfig() LifetimeConfig {
+	lc := DefaultLifetimeConfig()
+	lc.Base = Quick()
+	lc.BatteriesJ = []float64{0.5, 1}
+	lc.K = 6
+	lc.MaxTasks = 3000
+	return lc
+}
+
+// LifetimeResult bundles the two lifetime tables.
+type LifetimeResult struct {
+	// FirstDeath is the mean number of tasks completed before the first
+	// node exhausts its battery.
+	FirstDeath *stats.Table
+	// FirstFailure is the mean number of tasks completed before the first
+	// task misses a destination.
+	FirstFailure *stats.Table
+}
+
+// RunLifetime measures network lifetime in tasks for each protocol and
+// battery budget, averaged over the campaign's deployments.
+func RunLifetime(lc LifetimeConfig, protos []string) (*LifetimeResult, error) {
+	if err := lc.Base.Validate(protos); err != nil {
+		return nil, err
+	}
+
+	xs := append([]float64(nil), lc.BatteriesJ...)
+	type cell struct {
+		deathSum, failSum float64
+		runs              int
+	}
+	acc := make([][]cell, len(protos))
+	for i := range acc {
+		acc[i] = make([]cell, len(xs))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	errs := make(chan error, lc.Base.Networks*len(xs)*len(protos))
+
+	for netIdx := 0; netIdx < lc.Base.Networks; netIdx++ {
+		for bi, battery := range lc.BatteriesJ {
+			for pi, proto := range protos {
+				netIdx, bi, pi := netIdx, bi, pi
+				battery, proto := battery, proto
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					death, fail, err := runLifetimeStream(lc, proto, battery, netIdx)
+					if err != nil {
+						errs <- err
+						return
+					}
+					mu.Lock()
+					acc[pi][bi].deathSum += float64(death)
+					acc[pi][bi].failSum += float64(fail)
+					acc[pi][bi].runs++
+					mu.Unlock()
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mk := func(title string, pick func(cell) float64) *stats.Table {
+		t := &stats.Table{
+			Title:  title,
+			XLabel: "battery (J)",
+			YLabel: "tasks",
+			Xs:     xs,
+		}
+		for pi, proto := range protos {
+			ys := make([]float64, len(xs))
+			for bi := range xs {
+				if c := acc[pi][bi]; c.runs > 0 {
+					ys[bi] = pick(c) / float64(c.runs)
+				}
+			}
+			t.Series = append(t.Series, stats.Series{Label: proto, Y: ys})
+		}
+		return t
+	}
+	return &LifetimeResult{
+		FirstDeath: mk("E-X4: tasks until first node death",
+			func(c cell) float64 { return c.deathSum }),
+		FirstFailure: mk("E-X4: tasks until first delivery failure",
+			func(c cell) float64 { return c.failSum }),
+	}, nil
+}
+
+// runLifetimeStream drives one protocol's task stream on one deployment
+// until the first delivery failure (or MaxTasks) and reports when the first
+// node died and when the first task failed.
+func runLifetimeStream(lc LifetimeConfig, proto string, batteryJ float64, netIdx int) (firstDeath, firstFailure int, err error) {
+	seed := lc.Base.Seed + int64(netIdx)*7919
+	r := rand.New(rand.NewSource(seed))
+	nodes := network.DeployUniform(lc.Base.Nodes, lc.Base.Width, lc.Base.Height, r)
+	base, err := network.New(nodes, lc.Base.Width, lc.Base.Height, lc.Base.RadioRange)
+	if err != nil {
+		return 0, 0, err
+	}
+	radio := lc.Base.Radio
+	radio.RangeM = lc.Base.RadioRange
+
+	remaining := make([]float64, lc.Base.Nodes)
+	for i := range remaining {
+		remaining[i] = batteryJ
+	}
+
+	nw := base
+	pg := planar.Planarize(nw, lc.Base.Planarizer)
+	en := sim.NewEngine(nw, radio, lc.Base.MaxHops)
+	en.SetEnergyLedger(true)
+	var dead []int
+
+	taskR := rand.New(rand.NewSource(seed + 77))
+	firstDeath, firstFailure = lc.MaxTasks, lc.MaxTasks
+	for taskNo := 1; taskNo <= lc.MaxTasks; taskNo++ {
+		alive := nw.AliveIDs()
+		if len(alive) < lc.K+1 {
+			if firstFailure == lc.MaxTasks {
+				firstFailure = taskNo
+			}
+			break
+		}
+		src, dests := pickAliveTask(taskR, alive, lc.K)
+		var p routing.Protocol
+		if proto == ProtoPBM {
+			p = routing.NewPBM(nw, pg, lc.PBMLambda)
+		} else {
+			b := &bench{nw: nw, pg: pg, en: en}
+			p = b.protocol(proto)
+		}
+		m := en.RunTask(p, src, dests)
+		if m.Failed() && firstFailure == lc.MaxTasks {
+			firstFailure = taskNo
+			break
+		}
+
+		died := false
+		for id, spent := range m.EnergyByNode {
+			if remaining[id] <= 0 {
+				continue
+			}
+			remaining[id] -= spent
+			if remaining[id] <= 0 {
+				dead = append(dead, id)
+				died = true
+				if firstDeath == lc.MaxTasks {
+					firstDeath = taskNo
+				}
+			}
+		}
+		if died {
+			nw = base.WithFailures(dead)
+			pg = planar.Planarize(nw, lc.Base.Planarizer)
+			en = sim.NewEngine(nw, radio, lc.Base.MaxHops)
+			en.SetEnergyLedger(true)
+		}
+	}
+	return firstDeath, firstFailure, nil
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import "testing"
+
+func TestLifetimeQuickShape(t *testing.T) {
+	lc := QuickLifetimeConfig()
+	lc.Base.Networks = 2
+	res, err := RunLifetime(lc, []string{ProtoGMP, ProtoGRD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.FirstDeath.Render())
+	t.Log("\n" + res.FirstFailure.Render())
+	gmpD := res.FirstDeath.Get(ProtoGMP)
+	grdD := res.FirstDeath.Get(ProtoGRD)
+	for bi := range res.FirstDeath.Xs {
+		if gmpD.Y[bi] <= 0 || grdD.Y[bi] <= 0 {
+			t.Fatalf("non-positive lifetime at battery %v", res.FirstDeath.Xs[bi])
+		}
+		// Multicasting spends less energy per task, so GMP must outlive
+		// per-destination unicast.
+		if gmpD.Y[bi] < grdD.Y[bi] {
+			t.Errorf("battery %v: GMP first death %v before GRD %v",
+				res.FirstDeath.Xs[bi], gmpD.Y[bi], grdD.Y[bi])
+		}
+	}
+	// Bigger batteries mean longer lifetimes.
+	if gmpD.Y[0] > gmpD.Y[len(gmpD.Y)-1] {
+		t.Errorf("GMP lifetime not increasing with battery: %v", gmpD.Y)
+	}
+	// Failures happen at or after the first death.
+	gmpF := res.FirstFailure.Get(ProtoGMP)
+	for bi := range res.FirstFailure.Xs {
+		if gmpF.Y[bi] < gmpD.Y[bi] {
+			t.Errorf("failure before first death at battery %v", res.FirstFailure.Xs[bi])
+		}
+	}
+}
+
+func TestLifetimeValidates(t *testing.T) {
+	lc := QuickLifetimeConfig()
+	if _, err := RunLifetime(lc, []string{"nah"}); err == nil {
+		t.Fatal("bad protocol should error")
+	}
+}

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"gmp/internal/routing"
+	"gmp/internal/sim"
+	"gmp/internal/stats"
+	"gmp/internal/workload"
+)
+
+// LoadConfig parameterizes the offered-load extension experiment (E-X5):
+// many multicast sessions start within a fixed window on the shared medium;
+// half-duplex senders serialize their frames, so latency grows with load.
+//
+// ns-2 measured this implicitly through 802.11 contention; the library's
+// engine models the first-order component — sender-side queueing — which is
+// all the deterministic part of the comparison needs.
+type LoadConfig struct {
+	// Base supplies geometry, density, seeds and hop budget.
+	Base Config
+	// SessionCounts is the sweep of concurrent sessions per window. Each
+	// must divide TotalSessions so every sweep point replays the same task
+	// population and differs only in overlap.
+	SessionCounts []int
+	// TotalSessions is the task population per network.
+	TotalSessions int
+	// WindowSec is the arrival window: session starts are spread uniformly
+	// over [0, WindowSec).
+	WindowSec float64
+	// K is the destination count per session.
+	K int
+	// PBMLambda fixes PBM's trade-off parameter.
+	PBMLambda float64
+}
+
+// DefaultLoadConfig sweeps 1–64 concurrent sessions over a 10 ms window at
+// Table 1 density — from idle to a heavily loaded medium (each session's
+// own frames take ~1 ms each).
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{
+		Base:          Default(),
+		SessionCounts: []int{1, 4, 16, 64},
+		TotalSessions: 64,
+		WindowSec:     0.01,
+		K:             12,
+		PBMLambda:     0.3,
+	}
+}
+
+// QuickLoadConfig is a scaled-down variant for tests.
+func QuickLoadConfig() LoadConfig {
+	lc := DefaultLoadConfig()
+	lc.Base = Quick()
+	lc.SessionCounts = []int{1, 32}
+	lc.TotalSessions = 32
+	lc.K = 6
+	return lc
+}
+
+// ErrBadSessionCount is returned when a sweep point does not divide the
+// task population.
+var ErrBadSessionCount = errBadSessionCount
+
+var errBadSessionCount = fmt.Errorf("experiment: session count must divide TotalSessions")
+
+// RunLoad measures the mean per-destination delivery latency (milliseconds)
+// against the number of concurrent sessions.
+func RunLoad(lc LoadConfig, protos []string) (*stats.Table, error) {
+	if err := lc.Base.Validate(protos); err != nil {
+		return nil, err
+	}
+	for _, c := range lc.SessionCounts {
+		if c < 1 || lc.TotalSessions%c != 0 {
+			return nil, fmt.Errorf("%w: %d into %d", errBadSessionCount, c, lc.TotalSessions)
+		}
+	}
+
+	xs := make([]float64, len(lc.SessionCounts))
+	for i, n := range lc.SessionCounts {
+		xs[i] = float64(n)
+	}
+	// Per-session mean latencies, kept raw so both mean and p95 can be
+	// reported.
+	acc := make([][][]float64, len(protos))
+	for i := range acc {
+		acc[i] = make([][]float64, len(xs))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	errs := make(chan error, lc.Base.Networks)
+
+	for netIdx := 0; netIdx < lc.Base.Networks; netIdx++ {
+		netIdx := netIdx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			b, err := buildBench(lc.Base, netIdx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			r := rand.New(rand.NewSource(lc.Base.Seed + int64(netIdx)*7919 + 99991))
+			// One task population and one start-offset stream, replayed at
+			// every sweep point: only the overlap changes.
+			tasks, err := workload.GenerateBatch(r, lc.Base.Nodes, lc.K, lc.TotalSessions)
+			if err != nil {
+				errs <- err
+				return
+			}
+			starts := make([]float64, lc.TotalSessions)
+			for i := range starts {
+				starts[i] = r.Float64() * lc.WindowSec
+			}
+			local := make([][][]float64, len(protos))
+			for pi := range local {
+				local[pi] = make([][]float64, len(xs))
+			}
+			for si, count := range lc.SessionCounts {
+				for pi, proto := range protos {
+					for chunk := 0; chunk < lc.TotalSessions; chunk += count {
+						sessions := make([]sim.Session, count)
+						for i := 0; i < count; i++ {
+							task := tasks[chunk+i]
+							sessions[i] = sim.Session{
+								Start:   starts[chunk+i],
+								Handler: loadProtocol(b, proto, lc.PBMLambda),
+								Src:     task.Source,
+								Dests:   task.Dests,
+							}
+						}
+						res := b.en.RunScript(sessions)
+						for _, m := range res {
+							if len(m.DeliveredAt) == 0 {
+								continue
+							}
+							local[pi][si] = append(local[pi][si], m.MeanLatency())
+						}
+					}
+				}
+			}
+			mu.Lock()
+			for pi := range protos {
+				for si := range xs {
+					acc[pi][si] = append(acc[pi][si], local[pi][si]...)
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	table := &stats.Table{
+		Title:  "E-X5: delivery latency under concurrent load",
+		XLabel: "concurrent sessions",
+		YLabel: "mean latency (ms)",
+		Xs:     xs,
+	}
+	for pi, proto := range protos {
+		mean := make([]float64, len(xs))
+		p95 := make([]float64, len(xs))
+		for si := range xs {
+			if samples := acc[pi][si]; len(samples) > 0 {
+				mean[si] = stats.Mean(samples) * 1000
+				p95[si] = stats.Percentile(samples, 0.95) * 1000
+			}
+		}
+		table.Series = append(table.Series,
+			stats.Series{Label: proto, Y: mean},
+			stats.Series{Label: proto + " p95", Y: p95})
+	}
+	return table, nil
+}
+
+// loadProtocol builds a fresh handler per session (sessions must not share
+// stateful handlers).
+func loadProtocol(b *bench, proto string, lambda float64) routing.Protocol {
+	if proto == ProtoPBM {
+		return routing.NewPBM(b.nw, b.pg, lambda)
+	}
+	return b.protocol(proto)
+}

@@ -1,0 +1,36 @@
+package experiment
+
+import "testing"
+
+func TestLoadQuickShape(t *testing.T) {
+	lc := QuickLoadConfig()
+	tbl, err := RunLoad(lc, []string{ProtoGMP, ProtoGRD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.Render())
+	for _, s := range tbl.Series {
+		if s.Y[0] <= 0 {
+			t.Errorf("%s idle latency %v not positive", s.Label, s.Y[0])
+		}
+		// Latency must not decrease under load.
+		if s.Y[len(s.Y)-1] < s.Y[0]-1e-9 {
+			t.Errorf("%s latency dropped under load: %v", s.Label, s.Y)
+		}
+	}
+	// GRD sends one frame per destination from the same source: under load
+	// its sender queue is longer than GMP's grouped copies.
+	gmp := tbl.Get(ProtoGMP)
+	grd := tbl.Get(ProtoGRD)
+	last := len(tbl.Xs) - 1
+	if grd.Y[last] < gmp.Y[last] {
+		t.Errorf("GRD loaded latency %v below GMP %v", grd.Y[last], gmp.Y[last])
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	lc := QuickLoadConfig()
+	if _, err := RunLoad(lc, []string{"nope"}); err == nil {
+		t.Fatal("bad protocol should error")
+	}
+}

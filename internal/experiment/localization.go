@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"math/rand"
+	"sync"
+
+	"gmp/internal/planar"
+	"gmp/internal/routing"
+	"gmp/internal/sim"
+	"gmp/internal/stats"
+	"gmp/internal/workload"
+)
+
+// LocalizationConfig parameterizes the localization-error extension
+// experiment (E-X2): isotropic Gaussian noise is added to every node's
+// *reported* position while the radio physics stay truthful, and delivery
+// ratio plus total hops are measured per protocol.
+//
+// The paper's §2 model assumes perfect coordinates ("through an internal
+// GPS device or through a separate calibration process"); this experiment
+// quantifies how each protocol degrades when that assumption slips.
+type LocalizationConfig struct {
+	// Base supplies geometry, density, seeds, tasks and hop budget.
+	Base Config
+	// Sigmas is the sweep of position-noise standard deviations in meters.
+	Sigmas []float64
+	// K is the destination count per task.
+	K int
+	// PBMLambda fixes PBM's trade-off parameter.
+	PBMLambda float64
+}
+
+// DefaultLocalizationConfig sweeps 0–40 m of GPS error at Table 1 density.
+func DefaultLocalizationConfig() LocalizationConfig {
+	return LocalizationConfig{
+		Base:      Default(),
+		Sigmas:    []float64{0, 5, 10, 20, 40},
+		K:         12,
+		PBMLambda: 0.3,
+	}
+}
+
+// QuickLocalizationConfig is a scaled-down variant for tests.
+func QuickLocalizationConfig() LocalizationConfig {
+	lc := DefaultLocalizationConfig()
+	lc.Base = Quick()
+	lc.Sigmas = []float64{0, 15, 40}
+	lc.K = 6
+	return lc
+}
+
+// LocalizationResult pairs the two tables the experiment produces.
+type LocalizationResult struct {
+	// Delivery is the per-destination delivery ratio vs σ.
+	Delivery *stats.Table
+	// TotalHops is the mean transmissions per task vs σ (successful or
+	// not), showing the detour cost of misjudged progress.
+	TotalHops *stats.Table
+}
+
+// RunLocalization measures protocol behavior under position noise.
+func RunLocalization(lc LocalizationConfig, protos []string) (*LocalizationResult, error) {
+	if err := lc.Base.Validate(protos); err != nil {
+		return nil, err
+	}
+
+	xs := make([]float64, len(lc.Sigmas))
+	copy(xs, lc.Sigmas)
+
+	type cell struct {
+		delivered, total int
+		hops             int
+		tasks            int
+	}
+	acc := make([][]cell, len(protos))
+	for i := range acc {
+		acc[i] = make([]cell, len(lc.Sigmas))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	errs := make(chan error, lc.Base.Networks*len(lc.Sigmas))
+
+	for netIdx := 0; netIdx < lc.Base.Networks; netIdx++ {
+		for si, sigma := range lc.Sigmas {
+			netIdx, si, sigma := netIdx, si, sigma
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+
+				b, err := buildBench(lc.Base, netIdx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				r := rand.New(rand.NewSource(lc.Base.Seed + int64(netIdx)*7919 + int64(si)*52627))
+				noisy := b.nw.WithPositionNoise(sigma, r)
+				pg := planar.Planarize(noisy, lc.Base.Planarizer)
+				radio := lc.Base.Radio
+				radio.RangeM = lc.Base.RadioRange
+				en := sim.NewEngine(noisy, radio, lc.Base.MaxHops)
+
+				tasks, err := workload.GenerateBatch(r, lc.Base.Nodes, lc.K, lc.Base.TasksPerNet)
+				if err != nil {
+					errs <- err
+					return
+				}
+				local := make([]cell, len(protos))
+				for _, task := range tasks {
+					for pi, proto := range protos {
+						var p routing.Protocol
+						if proto == ProtoPBM {
+							p = routing.NewPBM(noisy, pg, lc.PBMLambda)
+						} else {
+							nb := &bench{nw: noisy, pg: pg, en: en}
+							p = nb.protocol(proto)
+						}
+						m := en.RunTask(p, task.Source, task.Dests)
+						local[pi].delivered += len(m.Delivered)
+						local[pi].total += m.DestCount
+						local[pi].hops += m.Transmissions
+						local[pi].tasks++
+					}
+				}
+				mu.Lock()
+				for pi := range protos {
+					acc[pi][si].delivered += local[pi].delivered
+					acc[pi][si].total += local[pi].total
+					acc[pi][si].hops += local[pi].hops
+					acc[pi][si].tasks += local[pi].tasks
+				}
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	delivery := &stats.Table{
+		Title:  "E-X2: delivery ratio under localization error",
+		XLabel: "sigma (m)",
+		YLabel: "delivered destinations fraction",
+		Xs:     xs,
+	}
+	hops := &stats.Table{
+		Title:  "E-X2: total hops under localization error",
+		XLabel: "sigma (m)",
+		YLabel: "mean transmissions/task",
+		Xs:     xs,
+	}
+	for pi, proto := range protos {
+		dy := make([]float64, len(lc.Sigmas))
+		hy := make([]float64, len(lc.Sigmas))
+		for si := range lc.Sigmas {
+			c := acc[pi][si]
+			if c.total > 0 {
+				dy[si] = float64(c.delivered) / float64(c.total)
+			}
+			if c.tasks > 0 {
+				hy[si] = float64(c.hops) / float64(c.tasks)
+			}
+		}
+		delivery.Series = append(delivery.Series, stats.Series{Label: proto, Y: dy})
+		hops.Series = append(hops.Series, stats.Series{Label: proto, Y: hy})
+	}
+	return &LocalizationResult{Delivery: delivery, TotalHops: hops}, nil
+}

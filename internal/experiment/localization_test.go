@@ -1,0 +1,40 @@
+package experiment
+
+import "testing"
+
+func TestLocalizationQuickShape(t *testing.T) {
+	lc := QuickLocalizationConfig()
+	res, err := RunLocalization(lc, []string{ProtoGMP, ProtoGRD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Delivery.Render())
+	t.Log("\n" + res.TotalHops.Render())
+	for _, s := range res.Delivery.Series {
+		if s.Y[0] < 0.95 {
+			t.Errorf("%s delivery at sigma=0 is %v", s.Label, s.Y[0])
+		}
+		last := s.Y[len(s.Y)-1]
+		if last > s.Y[0]+1e-9 {
+			t.Errorf("%s delivery improved under 40m noise: %v", s.Label, s.Y)
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Errorf("%s ratio %v out of range", s.Label, y)
+			}
+		}
+	}
+	// Noise must not make routing cheaper on average.
+	for _, s := range res.TotalHops.Series {
+		if s.Y[len(s.Y)-1] < s.Y[0]*0.9 {
+			t.Errorf("%s hops dropped under noise: %v", s.Label, s.Y)
+		}
+	}
+}
+
+func TestLocalizationValidates(t *testing.T) {
+	lc := QuickLocalizationConfig()
+	if _, err := RunLocalization(lc, []string{"bogus"}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"math/rand"
+	"sync"
+
+	"gmp/internal/planar"
+	"gmp/internal/routing"
+	"gmp/internal/sim"
+	"gmp/internal/stats"
+)
+
+// RobustnessConfig parameterizes the node-failure extension experiment
+// (E-X1): random radio failures are injected into a Table 1 deployment and
+// the per-destination delivery ratio is measured per protocol.
+//
+// The paper motivates GMP's statelessness with exactly this scenario —
+// "topology changes, node failures, and group membership changes can render
+// … maintaining a distributed tree or mesh structure unacceptably high" (§1)
+// — but does not evaluate it; this experiment closes that gap.
+type RobustnessConfig struct {
+	// Base supplies geometry, density, seeds, tasks and hop budget.
+	Base Config
+	// FailFractions is the sweep of failed-node fractions.
+	FailFractions []float64
+	// K is the destination count per task.
+	K int
+	// PBMLambda fixes PBM's trade-off parameter.
+	PBMLambda float64
+}
+
+// DefaultRobustnessConfig sweeps 0–50% failures at a 300-node density
+// (average degree ≈ 21). Table 1's 1000 nodes are so dense that even 30%
+// failures leave every task deliverable; the informative regime is where
+// failures push the survivors toward the connectivity threshold.
+func DefaultRobustnessConfig() RobustnessConfig {
+	cfg := Default()
+	cfg.Nodes = 300
+	return RobustnessConfig{
+		Base:          cfg,
+		FailFractions: []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+		K:             12,
+		PBMLambda:     0.3,
+	}
+}
+
+// QuickRobustnessConfig is a scaled-down variant for tests.
+func QuickRobustnessConfig() RobustnessConfig {
+	rc := DefaultRobustnessConfig()
+	rc.Base = Quick()
+	rc.FailFractions = []float64{0, 0.15, 0.3}
+	rc.K = 6
+	return rc
+}
+
+// RunRobustness measures the mean per-destination delivery ratio under each
+// failure fraction. Sources and destinations are drawn from the surviving
+// nodes, so the metric isolates routing resilience from dead endpoints.
+func RunRobustness(rc RobustnessConfig, protos []string) (*stats.Table, error) {
+	if err := rc.Base.Validate(protos); err != nil {
+		return nil, err
+	}
+
+	xs := make([]float64, len(rc.FailFractions))
+	for i, f := range rc.FailFractions {
+		xs[i] = f
+	}
+	table := &stats.Table{
+		Title:  "E-X1: delivery ratio under random node failures",
+		XLabel: "failed fraction",
+		YLabel: "delivered destinations fraction",
+		Xs:     xs,
+	}
+
+	// ratios[protoIdx][fracIdx] accumulates delivered and total counts.
+	type counter struct{ delivered, total int }
+	acc := make([][]counter, len(protos))
+	for i := range acc {
+		acc[i] = make([]counter, len(rc.FailFractions))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	errs := make(chan error, rc.Base.Networks*len(rc.FailFractions))
+
+	for netIdx := 0; netIdx < rc.Base.Networks; netIdx++ {
+		for fi, frac := range rc.FailFractions {
+			netIdx, fi, frac := netIdx, fi, frac
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+
+				b, err := buildBench(rc.Base, netIdx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				r := rand.New(rand.NewSource(rc.Base.Seed + int64(netIdx)*7919 + int64(fi)*31337))
+				failed := pickFailures(r, rc.Base.Nodes, frac)
+				degraded := b.nw.WithFailures(failed)
+				pg := planar.Planarize(degraded, rc.Base.Planarizer)
+				radio := rc.Base.Radio
+				radio.RangeM = rc.Base.RadioRange
+				en := sim.NewEngine(degraded, radio, rc.Base.MaxHops)
+
+				alive := degraded.AliveIDs()
+				local := make([]counter, len(protos))
+				for t := 0; t < rc.Base.TasksPerNet; t++ {
+					src, dests := pickAliveTask(r, alive, rc.K)
+					for pi, proto := range protos {
+						var p routing.Protocol
+						if proto == ProtoPBM {
+							p = routing.NewPBM(degraded, pg, rc.PBMLambda)
+						} else {
+							db := &bench{nw: degraded, pg: pg, en: en}
+							p = db.protocol(proto)
+						}
+						m := en.RunTask(p, src, dests)
+						local[pi].delivered += len(m.Delivered)
+						local[pi].total += m.DestCount
+					}
+				}
+				mu.Lock()
+				for pi := range protos {
+					acc[pi][fi].delivered += local[pi].delivered
+					acc[pi][fi].total += local[pi].total
+				}
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for pi, proto := range protos {
+		ys := make([]float64, len(rc.FailFractions))
+		for fi := range rc.FailFractions {
+			c := acc[pi][fi]
+			if c.total > 0 {
+				ys[fi] = float64(c.delivered) / float64(c.total)
+			}
+		}
+		table.Series = append(table.Series, stats.Series{Label: proto, Y: ys})
+	}
+	return table, nil
+}
+
+// pickFailures selects ⌊n·frac⌋ distinct node IDs to fail.
+func pickFailures(r *rand.Rand, n int, frac float64) []int {
+	count := int(float64(n) * frac)
+	perm := r.Perm(n)
+	return perm[:count]
+}
+
+// pickAliveTask draws a source and k distinct destinations from the alive
+// node set (k is clamped to the available population).
+func pickAliveTask(r *rand.Rand, alive []int, k int) (int, []int) {
+	if k > len(alive)-1 {
+		k = len(alive) - 1
+	}
+	perm := r.Perm(len(alive))
+	src := alive[perm[0]]
+	dests := make([]int, 0, k)
+	for _, idx := range perm[1 : k+1] {
+		dests = append(dests, alive[idx])
+	}
+	return src, dests
+}

@@ -1,0 +1,27 @@
+package experiment
+
+import "testing"
+
+func TestRobustnessQuickShape(t *testing.T) {
+	rc := QuickRobustnessConfig()
+	tbl, err := RunRobustness(rc, []string{ProtoGMP, ProtoLGS, ProtoGRD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.Render())
+	for _, s := range tbl.Series {
+		// Delivery at zero failures must be near-perfect for GMP/GRD.
+		if s.Label != ProtoLGS && s.Y[0] < 0.95 {
+			t.Errorf("%s delivery at 0%% failures = %v", s.Label, s.Y[0])
+		}
+		// Ratios are valid probabilities and non-increasing overall.
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Errorf("%s ratio %v out of range", s.Label, y)
+			}
+		}
+		if s.Y[len(s.Y)-1] > s.Y[0]+0.01 {
+			t.Errorf("%s delivery should not improve with failures: %v", s.Label, s.Y)
+		}
+	}
+}

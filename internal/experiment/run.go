@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/routing"
+	"gmp/internal/sim"
+	"gmp/internal/stats"
+	"gmp/internal/workload"
+)
+
+// Results bundles the three task-level metrics that Figures 11, 12 and 14
+// share one simulation pass for.
+type Results struct {
+	// TotalHops is Figure 11: mean transmissions per task vs k.
+	TotalHops *stats.Table
+	// PerDestHops is Figure 12: mean per-destination hop count vs k.
+	PerDestHops *stats.Table
+	// Energy is Figure 14: mean energy per task in joules vs k.
+	Energy *stats.Table
+	// FailureRate is the auxiliary fraction of tasks that missed at least
+	// one destination, per protocol and k.
+	FailureRate *stats.Table
+}
+
+// taskMetrics is the per-task sample for one protocol.
+type taskMetrics struct {
+	totalHops float64
+	perDest   float64
+	energy    float64
+	failed    bool
+}
+
+// netResult collects one network's samples: [proto][kIdx][task].
+type netResult [][][]taskMetrics
+
+// RunMain executes the main campaign (the shared workload behind Figures 11,
+// 12 and 14) for the given protocols and returns the three result tables.
+// Networks run in parallel; results are reduced in network order, so output
+// is fully deterministic for a given Config.
+func RunMain(cfg Config, protos []string) (*Results, error) {
+	if err := cfg.Validate(protos); err != nil {
+		return nil, err
+	}
+
+	perNet := make([]netResult, cfg.Networks)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	errs := make([]error, cfg.Networks)
+	for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+		netIdx := netIdx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := runOneNetwork(cfg, protos, netIdx)
+			perNet[netIdx] = res
+			errs[netIdx] = err
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Reduce: mean over all tasks of all networks, per protocol and k.
+	xs := make([]float64, len(cfg.Ks))
+	for i, k := range cfg.Ks {
+		xs[i] = float64(k)
+	}
+	mk := func(title, ylabel string, pick func(taskMetrics) float64) *stats.Table {
+		t := &stats.Table{Title: title, XLabel: "k", YLabel: ylabel, Xs: xs}
+		for pi, proto := range protos {
+			ys := make([]float64, len(cfg.Ks))
+			for ki := range cfg.Ks {
+				var vals []float64
+				for _, nr := range perNet {
+					for _, tm := range nr[pi][ki] {
+						vals = append(vals, pick(tm))
+					}
+				}
+				ys[ki] = stats.Mean(vals)
+			}
+			t.Series = append(t.Series, stats.Series{Label: proto, Y: ys})
+		}
+		return t
+	}
+
+	return &Results{
+		TotalHops: mk("Figure 11: total number of hops in the multicast tree",
+			"mean transmissions/task", func(m taskMetrics) float64 { return m.totalHops }),
+		PerDestHops: mk("Figure 12: per-destination hop count",
+			"mean hops/destination", func(m taskMetrics) float64 { return m.perDest }),
+		Energy: mk("Figure 14: total energy cost",
+			"mean energy/task (J)", func(m taskMetrics) float64 { return m.energy }),
+		FailureRate: mk("Auxiliary: task failure rate",
+			"failed fraction", func(m taskMetrics) float64 {
+				if m.failed {
+					return 1
+				}
+				return 0
+			}),
+	}, nil
+}
+
+// maxParallel bounds worker goroutines to the machine's CPUs.
+func maxParallel() int {
+	n := runtime.NumCPU()
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// bench holds one deployed network with its engine and planar graph.
+type bench struct {
+	nw *network.Network
+	pg *planar.Graph
+	en *sim.Engine
+}
+
+// buildBench deploys network netIdx of the campaign.
+func buildBench(cfg Config, netIdx int) (*bench, error) {
+	r := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919))
+	nodes := network.DeployUniform(cfg.Nodes, cfg.Width, cfg.Height, r)
+	nw, err := network.New(nodes, cfg.Width, cfg.Height, cfg.RadioRange)
+	if err != nil {
+		return nil, fmt.Errorf("network %d: %w", netIdx, err)
+	}
+	radio := cfg.Radio
+	radio.RangeM = cfg.RadioRange
+	return &bench{
+		nw: nw,
+		pg: planar.Planarize(nw, cfg.Planarizer),
+		en: sim.NewEngine(nw, radio, cfg.MaxHops),
+	}, nil
+}
+
+// runOneNetwork simulates all tasks of one deployment for every protocol.
+func runOneNetwork(cfg Config, protos []string, netIdx int) (netResult, error) {
+	b, err := buildBench(cfg, netIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	res := make(netResult, len(protos))
+	for pi := range protos {
+		res[pi] = make([][]taskMetrics, len(cfg.Ks))
+	}
+
+	for ki, k := range cfg.Ks {
+		taskR := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919 + int64(k)*104729))
+		tasks, err := workload.GenerateBatch(taskR, cfg.Nodes, k, cfg.TasksPerNet)
+		if err != nil {
+			return nil, err
+		}
+		for pi, proto := range protos {
+			samples := make([]taskMetrics, 0, len(tasks))
+			for _, task := range tasks {
+				samples = append(samples, b.runTask(cfg, proto, task))
+			}
+			res[pi][ki] = samples
+		}
+	}
+	return res, nil
+}
+
+// runTask executes one task under the named protocol, applying the paper's
+// best-of-λ rule for PBM.
+func (b *bench) runTask(cfg Config, proto string, task workload.Task) taskMetrics {
+	switch proto {
+	case ProtoPBM:
+		best := taskMetrics{totalHops: -1}
+		for _, lambda := range cfg.Lambdas {
+			m := b.en.RunTask(routing.NewPBM(b.nw, b.pg, lambda), task.Source, task.Dests)
+			tm := toTaskMetrics(m)
+			// §5.1: keep the λ minimizing total hops; prefer non-failed
+			// runs over failed ones at equal hop counts.
+			if best.totalHops < 0 || tm.better(best) {
+				best = tm
+			}
+		}
+		return best
+	default:
+		return toTaskMetrics(b.en.RunTask(b.protocol(proto), task.Source, task.Dests))
+	}
+}
+
+// protocol instantiates the named protocol over this bench's network.
+func (b *bench) protocol(name string) routing.Protocol {
+	switch name {
+	case ProtoGMP:
+		return routing.NewGMP(b.nw, b.pg)
+	case ProtoGMPnr:
+		return routing.NewGMPnr(b.nw, b.pg)
+	case ProtoGMPmst:
+		return routing.NewGMPWithOptions(b.nw, b.pg,
+			routing.GMPOptions{MSTGrouping: true}, ProtoGMPmst)
+	case ProtoGMPsmst:
+		return routing.NewGMPWithOptions(b.nw, b.pg,
+			routing.GMPOptions{SteinerizedGrouping: true}, ProtoGMPsmst)
+	case ProtoLGS:
+		return routing.NewLGS(b.nw)
+	case ProtoLGK:
+		return routing.NewLGK(b.nw, 2)
+	case ProtoSMT:
+		return routing.NewSMT(b.nw)
+	case ProtoGRD:
+		return routing.NewGRD(b.nw, b.pg)
+	default:
+		// Validate rejects unknown names before any run starts.
+		panic("experiment: unvalidated protocol " + name)
+	}
+}
+
+func toTaskMetrics(m sim.TaskMetrics) taskMetrics {
+	return taskMetrics{
+		totalHops: float64(m.TotalHops()),
+		perDest:   m.AvgHopsPerDest(),
+		energy:    m.EnergyJ,
+		failed:    m.Failed(),
+	}
+}
+
+// better reports whether tm should replace cur as PBM's best-of-λ pick.
+func (tm taskMetrics) better(cur taskMetrics) bool {
+	if tm.failed != cur.failed {
+		return !tm.failed
+	}
+	return tm.totalHops < cur.totalHops
+}

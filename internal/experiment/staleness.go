@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"gmp/internal/geom"
+	"gmp/internal/mobility"
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/routing"
+	"gmp/internal/sim"
+	"gmp/internal/stats"
+	"gmp/internal/workload"
+)
+
+// StalenessConfig parameterizes the location-staleness extension experiment
+// (E-X3): nodes move under random waypoint; destination coordinates carried
+// in packets were learned T seconds ago (at group-join time), while relay
+// nodes know current positions from 1-hop beaconing. Delivery degrades as
+// destinations drift away from their advertised locations.
+//
+// This probes the §2 assumption that "the source node knows the
+// destinations prior to the dissemination of the data packet" under the
+// MANET dynamics the PBM/LGS baselines were designed for.
+type StalenessConfig struct {
+	// Base supplies geometry, density, seeds, tasks and hop budget.
+	Base Config
+	// StalenessSec is the sweep of coordinate ages in seconds.
+	StalenessSec []float64
+	// Mobility describes the movement model.
+	Mobility mobility.Config
+	// K is the destination count per task.
+	K int
+}
+
+// DefaultStalenessConfig sweeps 0–120 s of staleness under pedestrian-to-
+// vehicular speeds (1–10 m/s) at Table 1 density.
+func DefaultStalenessConfig() StalenessConfig {
+	return StalenessConfig{
+		Base:         Default(),
+		StalenessSec: []float64{0, 10, 30, 60, 120},
+		Mobility: mobility.Config{
+			Width: 1000, Height: 1000,
+			SpeedMin: 1, SpeedMax: 10, Pause: 5,
+		},
+		K: 12,
+	}
+}
+
+// QuickStalenessConfig is a scaled-down variant for tests.
+func QuickStalenessConfig() StalenessConfig {
+	sc := DefaultStalenessConfig()
+	sc.Base = Quick()
+	sc.StalenessSec = []float64{0, 30, 120}
+	sc.K = 6
+	return sc
+}
+
+// RunStaleness measures per-destination delivery ratio against coordinate
+// age for the given protocols.
+func RunStaleness(sc StalenessConfig, protos []string) (*stats.Table, error) {
+	if err := sc.Base.Validate(protos); err != nil {
+		return nil, err
+	}
+	if err := sc.Mobility.Validate(); err != nil {
+		return nil, err
+	}
+
+	xs := append([]float64(nil), sc.StalenessSec...)
+	type cell struct{ delivered, total int }
+	acc := make([][]cell, len(protos))
+	for i := range acc {
+		acc[i] = make([]cell, len(xs))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	errs := make(chan error, sc.Base.Networks)
+
+	for netIdx := 0; netIdx < sc.Base.Networks; netIdx++ {
+		netIdx := netIdx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			local, err := runStalenessNetwork(sc, protos, netIdx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			for pi := range protos {
+				for si := range xs {
+					acc[pi][si].delivered += local[pi][si].delivered
+					acc[pi][si].total += local[pi][si].total
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	table := &stats.Table{
+		Title:  "E-X3: delivery ratio vs destination-coordinate staleness",
+		XLabel: "staleness (s)",
+		YLabel: "delivered destinations fraction",
+		Xs:     xs,
+	}
+	for pi, proto := range protos {
+		ys := make([]float64, len(xs))
+		for si := range xs {
+			if c := acc[pi][si]; c.total > 0 {
+				ys[si] = float64(c.delivered) / float64(c.total)
+			}
+		}
+		table.Series = append(table.Series, stats.Series{Label: proto, Y: ys})
+	}
+	return table, nil
+}
+
+// stalenessCell mirrors the accumulator layout: [proto][staleness].
+type stalenessCell struct{ delivered, total int }
+
+func runStalenessNetwork(sc StalenessConfig, protos []string, netIdx int) ([][]stalenessCell, error) {
+	seed := sc.Base.Seed + int64(netIdx)*7919
+	r := rand.New(rand.NewSource(seed))
+	initial := network.DeployUniform(sc.Base.Nodes, sc.Base.Width, sc.Base.Height, r)
+	initPts := make([]geom.Point, len(initial))
+	for i, n := range initial {
+		initPts[i] = n.Pos
+	}
+	model, err := mobility.NewRandomWaypoint(initPts, sc.Mobility, r)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]stalenessCell, len(protos))
+	for pi := range out {
+		out[pi] = make([]stalenessCell, len(sc.StalenessSec))
+	}
+
+	elapsed := 0.0
+	for si, staleness := range sc.StalenessSec {
+		// Advertised coordinates are the positions at campaign start; the
+		// model advances so that the current topology is `staleness`
+		// seconds newer.
+		if staleness > elapsed {
+			model.Step(staleness - elapsed)
+			elapsed = staleness
+		}
+		current := model.Positions()
+		nw, err := network.New(network.FromPoints(current), sc.Base.Width, sc.Base.Height, sc.Base.RadioRange)
+		if err != nil {
+			return nil, fmt.Errorf("staleness network: %w", err)
+		}
+		pg := planar.Planarize(nw, sc.Base.Planarizer)
+		radio := sc.Base.Radio
+		radio.RangeM = sc.Base.RadioRange
+
+		taskR := rand.New(rand.NewSource(seed + int64(si)*40009))
+		tasks, err := workload.GenerateBatch(taskR, sc.Base.Nodes, sc.K, sc.Base.TasksPerNet)
+		if err != nil {
+			return nil, err
+		}
+		for _, task := range tasks {
+			// The packet carries each destination's stale (initial)
+			// coordinates; everything else is current.
+			overrides := make(map[int]geom.Point, len(task.Dests))
+			for _, d := range task.Dests {
+				overrides[d] = initPts[d]
+			}
+			view := nw.WithReportedPositions(overrides)
+			en := sim.NewEngine(view, radio, sc.Base.MaxHops)
+			for pi, proto := range protos {
+				var p routing.Protocol
+				vb := &bench{nw: view, pg: pg, en: en}
+				if proto == ProtoPBM {
+					p = routing.NewPBM(view, pg, 0.3)
+				} else {
+					p = vb.protocol(proto)
+				}
+				m := en.RunTask(p, task.Source, task.Dests)
+				out[pi][si].delivered += len(m.Delivered)
+				out[pi][si].total += m.DestCount
+			}
+		}
+	}
+	return out, nil
+}

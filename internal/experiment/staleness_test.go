@@ -1,0 +1,43 @@
+package experiment
+
+import "testing"
+
+func TestStalenessQuickShape(t *testing.T) {
+	sc := QuickStalenessConfig()
+	tbl, err := RunStaleness(sc, []string{ProtoGMP, ProtoGRD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.Render())
+	for _, s := range tbl.Series {
+		if s.Y[0] < 0.9 {
+			t.Errorf("%s delivery at staleness 0 = %v", s.Label, s.Y[0])
+		}
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if last > first+1e-9 {
+			t.Errorf("%s delivery should degrade with staleness: %v", s.Label, s.Y)
+		}
+		// At 120s and up to 10 m/s, many destinations drifted hundreds of
+		// meters away from their advertised spots: delivery must visibly
+		// suffer (well below perfect).
+		if last > 0.95 {
+			t.Errorf("%s staleness had no effect: %v", s.Label, s.Y)
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Errorf("%s ratio %v out of range", s.Label, y)
+			}
+		}
+	}
+}
+
+func TestStalenessValidates(t *testing.T) {
+	sc := QuickStalenessConfig()
+	if _, err := RunStaleness(sc, []string{"??"}); err == nil {
+		t.Fatal("bad protocol should error")
+	}
+	sc.Mobility.SpeedMin = 0
+	if _, err := RunStaleness(sc, []string{ProtoGMP}); err == nil {
+		t.Fatal("bad mobility config should error")
+	}
+}

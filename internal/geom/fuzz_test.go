@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func sane(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e7 {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSteinerPoint checks that the Fermat construction never panics, never
+// produces NaN for sane inputs, and never beats the true lower bounds.
+func FuzzSteinerPoint(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 0.0, 0.5, 0.8)
+	f.Add(0.0, 0.0, 10.0, 0.1, -10.0, 0.1) // obtuse
+	f.Add(0.0, 0.0, 2.0, 2.0, 1.0, 1.0)    // collinear
+	f.Add(5.0, 5.0, 5.0, 5.0, 9.0, 1.0)    // coincident
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy float64) {
+		if !sane(ax, ay, bx, by, cx, cy) {
+			t.Skip()
+		}
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		s := SteinerPoint(a, b, c)
+		if math.IsNaN(s.X) || math.IsNaN(s.Y) {
+			t.Fatalf("NaN Steiner point for %v %v %v", a, b, c)
+		}
+		cost := s.Dist(a) + s.Dist(b) + s.Dist(c)
+		// Lower bound: half the triangle perimeter.
+		perim := a.Dist(b) + b.Dist(c) + c.Dist(a)
+		if cost < perim/2-1e-6*(1+perim) {
+			t.Fatalf("Steiner cost %v below perimeter/2 %v", cost, perim/2)
+		}
+		// Upper bound: best single-vertex star.
+		best := math.Min(a.Dist(b)+a.Dist(c), math.Min(b.Dist(a)+b.Dist(c), c.Dist(a)+c.Dist(b)))
+		if cost > best+1e-6*(1+best) {
+			t.Fatalf("Steiner cost %v above best star %v", cost, best)
+		}
+	})
+}
+
+// FuzzPolygonContains checks that point-in-polygon never panics and agrees
+// with the convexity structure on triangles (a point is inside a triangle
+// iff it is on a consistent side of all edges).
+func FuzzPolygonContains(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 0.0, 5.0, 8.0, 5.0, 3.0)
+	f.Add(0.0, 0.0, 10.0, 0.0, 5.0, 8.0, 50.0, 50.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, px, py float64) {
+		if !sane(ax, ay, bx, by, cx, cy, px, py) {
+			t.Skip()
+		}
+		tri := Polygon{Vertices: []Point{Pt(ax, ay), Pt(bx, by), Pt(cx, cy)}}
+		p := Pt(px, py)
+		got := tri.Contains(p)
+		// Orientation-based oracle, skipping near-degenerate cases where
+		// both methods are within numerical noise.
+		o1 := Orientation(Pt(ax, ay), Pt(bx, by), p)
+		o2 := Orientation(Pt(bx, by), Pt(cx, cy), p)
+		o3 := Orientation(Pt(cx, cy), Pt(ax, ay), p)
+		if o1 == 0 || o2 == 0 || o3 == 0 {
+			t.Skip()
+		}
+		if Orientation(Pt(ax, ay), Pt(bx, by), Pt(cx, cy)) == 0 {
+			t.Skip()
+		}
+		want := o1 == o2 && o2 == o3
+		if got != want {
+			// Tolerate disagreement only very close to an edge.
+			d := math.Min(Seg(Pt(ax, ay), Pt(bx, by)).DistToPoint(p),
+				math.Min(Seg(Pt(bx, by), Pt(cx, cy)).DistToPoint(p),
+					Seg(Pt(cx, cy), Pt(ax, ay)).DistToPoint(p)))
+			if d > 1e-6 {
+				t.Fatalf("Contains=%v oracle=%v for %v in %v (edge dist %v)", got, want, p, tri.Vertices, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+// Package geom provides the 2-D computational geometry substrate used by the
+// GMP multicast routing library: points and vectors in the Euclidean plane,
+// exact three-point Euclidean Steiner (Fermat/Torricelli) points, segment
+// predicates needed for graph planarization, and a Weiszfeld geometric-median
+// solver used as a test oracle.
+//
+// All coordinates are float64 meters. Comparisons that must tolerate
+// floating-point noise use the package epsilon, Eps.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the absolute tolerance used by approximate geometric predicates.
+// Network coordinates are meters in fields on the order of 10^3 m, so 1e-9 m
+// is far below any physically meaningful distance while staying well above
+// float64 rounding error for the magnitudes involved.
+const Eps = 1e-9
+
+// Point is a location (or free vector) in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String renders the point with enough precision for debugging.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// Add returns the vector sum p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the 3-D cross product p×q. Its sign gives
+// the orientation of q relative to p (positive = counter-clockwise).
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of p viewed as a vector.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q. Prefer it
+// over Dist for comparisons: it avoids the square root.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Eq reports whether p and q coincide within Eps.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// Near reports whether p and q are within tol of each other.
+func (p Point) Near(q Point, tol float64) bool { return p.Dist(q) <= tol }
+
+// Midpoint returns the midpoint of segment pq.
+func Midpoint(p, q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+// Centroid returns the arithmetic mean of pts. It returns the zero Point for
+// an empty slice.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	return c.Scale(1 / float64(len(pts)))
+}
+
+// AngleAt returns the interior angle, in radians, at vertex v of the triangle
+// (v, a, b): the angle between rays v→a and v→b. It returns 0 if either ray
+// is degenerate (a or b coincides with v).
+func AngleAt(v, a, b Point) float64 {
+	u, w := a.Sub(v), b.Sub(v)
+	nu, nw := u.Norm(), w.Norm()
+	if nu <= Eps || nw <= Eps {
+		return 0
+	}
+	cos := u.Dot(w) / (nu * nw)
+	// Clamp against rounding before acos.
+	cos = math.Max(-1, math.Min(1, cos))
+	return math.Acos(cos)
+}
+
+// Rotate returns p rotated by angle radians counter-clockwise about the
+// origin.
+func (p Point) Rotate(angle float64) Point {
+	s, c := math.Sincos(angle)
+	return Point{c*p.X - s*p.Y, s*p.X + c*p.Y}
+}
+
+// RotateAbout returns p rotated by angle radians counter-clockwise about
+// center.
+func (p Point) RotateAbout(center Point, angle float64) Point {
+	return p.Sub(center).Rotate(angle).Add(center)
+}
+
+// Orientation classifies the turn a→b→c: +1 for counter-clockwise, -1 for
+// clockwise, 0 for collinear (within a scale-aware tolerance).
+func Orientation(a, b, c Point) int {
+	cross := b.Sub(a).Cross(c.Sub(a))
+	// Scale tolerance with the magnitudes involved so the predicate is robust
+	// both near the origin and at kilometer-scale coordinates.
+	scale := b.Sub(a).Norm() * c.Sub(a).Norm()
+	tol := Eps * math.Max(1, scale)
+	switch {
+	case cross > tol:
+		return 1
+	case cross < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Collinear reports whether a, b and c lie on a common line.
+func Collinear(a, b, c Point) bool { return Orientation(a, b, c) == 0 }
+
+// PathLength returns the sum of segment lengths along pts.
+func PathLength(pts []Point) float64 {
+	var total float64
+	for i := 1; i < len(pts); i++ {
+		total += pts[i-1].Dist(pts[i])
+	}
+	return total
+}
+
+// SumDist returns the total distance from p to every point in pts.
+func SumDist(p Point, pts []Point) float64 {
+	var total float64
+	for _, q := range pts {
+		total += p.Dist(q)
+	}
+	return total
+}
+
+// Bearing returns the angle of the vector p→q in radians in (-π, π],
+// measured counter-clockwise from the positive x axis.
+func Bearing(p, q Point) float64 { return math.Atan2(q.Y-p.Y, q.X-p.X) }
+
+// NormalizeAngle maps an angle to the half-open interval [0, 2π).
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// CCWDelta returns the counter-clockwise angular distance from angle `from`
+// to angle `to`, in [0, 2π).
+func CCWDelta(from, to float64) float64 {
+	return NormalizeAngle(to - from)
+}

@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	almostEq(t, p.Dot(q), 3-8, 1e-12, "Dot")
+	almostEq(t, p.Cross(q), -4-6, 1e-12, "Cross")
+	almostEq(t, Pt(3, 4).Norm(), 5, 1e-12, "Norm")
+	almostEq(t, Pt(3, 4).Norm2(), 25, 1e-12, "Norm2")
+	almostEq(t, p.Dist(q), math.Hypot(2, 6), 1e-12, "Dist")
+	almostEq(t, p.Dist2(q), 40, 1e-12, "Dist2")
+}
+
+func TestEqAndNear(t *testing.T) {
+	p := Pt(1, 1)
+	if !p.Eq(Pt(1+Eps/2, 1-Eps/2)) {
+		t.Error("Eq should tolerate sub-epsilon noise")
+	}
+	if p.Eq(Pt(1.001, 1)) {
+		t.Error("Eq should reject distinct points")
+	}
+	if !p.Near(Pt(1.5, 1), 0.5) {
+		t.Error("Near within tolerance")
+	}
+	if p.Near(Pt(2, 1), 0.5) {
+		t.Error("Near outside tolerance")
+	}
+}
+
+func TestMidpointCentroid(t *testing.T) {
+	if got := Midpoint(Pt(0, 0), Pt(2, 4)); !got.Eq(Pt(1, 2)) {
+		t.Errorf("Midpoint = %v", got)
+	}
+	if got := Centroid(nil); got != (Point{}) {
+		t.Errorf("empty Centroid = %v", got)
+	}
+	got := Centroid([]Point{Pt(0, 0), Pt(3, 0), Pt(0, 3)})
+	if !got.Eq(Pt(1, 1)) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestAngleAt(t *testing.T) {
+	// Right angle at origin.
+	almostEq(t, AngleAt(Pt(0, 0), Pt(1, 0), Pt(0, 1)), math.Pi/2, 1e-12, "right angle")
+	// Straight line through vertex.
+	almostEq(t, AngleAt(Pt(0, 0), Pt(1, 0), Pt(-1, 0)), math.Pi, 1e-12, "straight angle")
+	// Degenerate ray.
+	almostEq(t, AngleAt(Pt(0, 0), Pt(0, 0), Pt(1, 1)), 0, 1e-12, "degenerate ray")
+	// Equilateral triangle: 60 degrees everywhere.
+	a, b, c := Pt(0, 0), Pt(1, 0), Pt(0.5, math.Sqrt(3)/2)
+	almostEq(t, AngleAt(a, b, c), math.Pi/3, 1e-9, "equilateral")
+}
+
+func TestRotate(t *testing.T) {
+	got := Pt(1, 0).Rotate(math.Pi / 2)
+	if !got.Eq(Pt(0, 1)) {
+		t.Errorf("Rotate 90 = %v", got)
+	}
+	got = Pt(2, 0).RotateAbout(Pt(1, 0), math.Pi)
+	if !got.Eq(Pt(0, 0)) {
+		t.Errorf("RotateAbout = %v", got)
+	}
+}
+
+func TestOrientation(t *testing.T) {
+	if Orientation(Pt(0, 0), Pt(1, 0), Pt(1, 1)) != 1 {
+		t.Error("expected CCW")
+	}
+	if Orientation(Pt(0, 0), Pt(1, 0), Pt(1, -1)) != -1 {
+		t.Error("expected CW")
+	}
+	if Orientation(Pt(0, 0), Pt(1, 1), Pt(2, 2)) != 0 {
+		t.Error("expected collinear")
+	}
+	if !Collinear(Pt(0, 0), Pt(1000, 1000), Pt(500, 500)) {
+		t.Error("large-scale collinear")
+	}
+}
+
+func TestPathLengthAndSumDist(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(3, 0), Pt(3, 4)}
+	almostEq(t, PathLength(pts), 7, 1e-12, "PathLength")
+	almostEq(t, PathLength(pts[:1]), 0, 1e-12, "single point path")
+	almostEq(t, SumDist(Pt(0, 0), pts), 0+3+5, 1e-12, "SumDist")
+}
+
+func TestBearingAndAngles(t *testing.T) {
+	almostEq(t, Bearing(Pt(0, 0), Pt(1, 0)), 0, 1e-12, "east")
+	almostEq(t, Bearing(Pt(0, 0), Pt(0, 1)), math.Pi/2, 1e-12, "north")
+	almostEq(t, NormalizeAngle(-math.Pi/2), 3*math.Pi/2, 1e-12, "normalize negative")
+	almostEq(t, NormalizeAngle(5*math.Pi), math.Pi, 1e-9, "normalize wrap")
+	almostEq(t, CCWDelta(0, math.Pi/2), math.Pi/2, 1e-12, "ccw quarter")
+	almostEq(t, CCWDelta(math.Pi/2, 0), 3*math.Pi/2, 1e-12, "ccw wrap")
+}
+
+// randPointIn returns a deterministic pseudo-random point in [0,scale)^2.
+func randPointIn(r *rand.Rand, scale float64) Point {
+	return Pt(r.Float64()*scale, r.Float64()*scale)
+}
+
+func TestOrientationAntisymmetryProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b, c := randPointIn(r, 1000), randPointIn(r, 1000), randPointIn(r, 1000)
+		if Orientation(a, b, c) != -Orientation(a, c, b) {
+			t.Fatalf("orientation not antisymmetric for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestDistSymmetryQuick(t *testing.T) {
+	// Fold quick's unbounded float64 inputs into field-scale coordinates.
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e4)
+	}
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(clamp(ax), clamp(ay)), Pt(clamp(bx), clamp(by))
+		return math.Abs(a.Dist(b)-b.Dist(a)) <= 1e-9*math.Max(1, a.Dist(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randPointIn(r, 1000))
+			}
+		},
+	}
+	f := func(a, b, c Point) bool {
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

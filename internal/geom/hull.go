@@ -1,0 +1,75 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of pts in counter-clockwise order
+// (Andrew's monotone chain). Collinear boundary points are dropped; inputs
+// with fewer than three distinct points return what is available (the
+// degenerate hull).
+func ConvexHull(pts []Point) []Point {
+	if len(pts) < 2 {
+		return append([]Point(nil), pts...)
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return append([]Point(nil), uniq...)
+	}
+
+	build := func(points []Point) []Point {
+		var chain []Point
+		for _, p := range points {
+			for len(chain) >= 2 &&
+				Orientation(chain[len(chain)-2], chain[len(chain)-1], p) <= 0 {
+				chain = chain[:len(chain)-1]
+			}
+			chain = append(chain, p)
+		}
+		return chain
+	}
+	lower := build(uniq)
+	upper := build(reversed(uniq))
+	return append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+}
+
+func reversed(pts []Point) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[len(pts)-1-i] = p
+	}
+	return out
+}
+
+// HullRegion returns a polygon region covering the convex hull of pts grown
+// outward by margin meters (each hull vertex pushed away from the hull
+// centroid). Useful for geocasting to "the area these nodes occupy".
+func HullRegion(pts []Point, margin float64) Polygon {
+	hull := ConvexHull(pts)
+	if len(hull) == 0 {
+		return Polygon{}
+	}
+	c := Centroid(hull)
+	out := make([]Point, len(hull))
+	for i, p := range hull {
+		d := p.Sub(c)
+		n := d.Norm()
+		if n <= Eps {
+			out[i] = p
+			continue
+		}
+		out[i] = p.Add(d.Scale(margin / n))
+	}
+	return Polygon{Vertices: out}
+}

@@ -1,0 +1,92 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquareWithInterior(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10),
+		Pt(5, 5), Pt(2, 7), Pt(8, 3), // interior
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull = %v", hull)
+	}
+	want := map[Point]bool{Pt(0, 0): true, Pt(10, 0): true, Pt(10, 10): true, Pt(0, 10): true}
+	for _, p := range hull {
+		if !want[p] {
+			t.Fatalf("unexpected hull vertex %v", p)
+		}
+	}
+	// CCW orientation.
+	for i := range hull {
+		a, b, c := hull[i], hull[(i+1)%len(hull)], hull[(i+2)%len(hull)]
+		if Orientation(a, b, c) != 1 {
+			t.Fatalf("hull not CCW at %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Fatal("empty")
+	}
+	if got := ConvexHull([]Point{Pt(1, 1)}); len(got) != 1 {
+		t.Fatal("single")
+	}
+	if got := ConvexHull([]Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}); len(got) != 1 {
+		t.Fatalf("coincident: %v", got)
+	}
+	got := ConvexHull([]Point{Pt(0, 0), Pt(5, 5), Pt(10, 10), Pt(2, 2)})
+	if len(got) != 2 {
+		t.Fatalf("collinear hull = %v", got)
+	}
+}
+
+func TestConvexHullContainsAllPointsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + r.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(r.Float64()*1000, r.Float64()*1000)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		poly := Polygon{Vertices: hull}
+		for _, p := range pts {
+			if !poly.Contains(p) {
+				t.Fatalf("trial %d: hull does not contain input point %v", trial, p)
+			}
+		}
+	}
+}
+
+func TestHullRegionMargin(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(100, 0), Pt(100, 100), Pt(0, 100)}
+	region := HullRegion(pts, 50)
+	// Original corners strictly inside the grown region; far points outside.
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("corner %v not inside grown region", p)
+		}
+	}
+	if !region.Contains(Pt(-20, -20)) {
+		t.Fatal("margin should cover just beyond the corner")
+	}
+	if region.Contains(Pt(-200, -200)) {
+		t.Fatal("far point should stay outside")
+	}
+	if len(HullRegion(nil, 10).Vertices) != 0 {
+		t.Fatal("empty input")
+	}
+	// Single point: margin cannot grow a point; region stays degenerate.
+	single := HullRegion([]Point{Pt(5, 5)}, 10)
+	if len(single.Vertices) != 1 {
+		t.Fatalf("single-point hull region = %v", single.Vertices)
+	}
+}

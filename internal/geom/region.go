@@ -1,0 +1,98 @@
+package geom
+
+import "math"
+
+// Region is a geographic target area for geocasting: membership plus an
+// anchor point used as the routing target while approaching the region.
+type Region interface {
+	// Contains reports whether p lies inside the region.
+	Contains(p Point) bool
+	// Anchor returns the point the approach phase routes toward.
+	Anchor() Point
+}
+
+// Disk is a circular region.
+type Disk struct {
+	C Point
+	R float64
+}
+
+// Contains implements Region.
+func (d Disk) Contains(p Point) bool { return p.Dist(d.C) <= d.R }
+
+// Anchor implements Region.
+func (d Disk) Anchor() Point { return d.C }
+
+// Rect is an axis-aligned rectangular region spanned by two corners.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect normalizes two arbitrary corners into a Rect.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Pt(math.Min(a.X, b.X), math.Min(a.Y, b.Y)),
+		Max: Pt(math.Max(a.X, b.X), math.Max(a.Y, b.Y)),
+	}
+}
+
+// Contains implements Region.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X-Eps && p.X <= r.Max.X+Eps &&
+		p.Y >= r.Min.Y-Eps && p.Y <= r.Max.Y+Eps
+}
+
+// Anchor implements Region.
+func (r Rect) Anchor() Point { return Midpoint(r.Min, r.Max) }
+
+// Polygon is a simple (non-self-intersecting) polygon region given by its
+// vertices in order. The boundary counts as inside.
+type Polygon struct {
+	Vertices []Point
+}
+
+// Contains implements Region with the even–odd ray-casting rule, with an
+// explicit boundary check so edge and vertex points count as inside.
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg.Vertices)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if Seg(pg.Vertices[i], pg.Vertices[(i+1)%n]).Contains(p) {
+			return true
+		}
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := pg.Vertices[i], pg.Vertices[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := (vj.X-vi.X)*(p.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Anchor implements Region using the polygon's area centroid (falling back
+// to the vertex mean for degenerate polygons).
+func (pg Polygon) Anchor() Point {
+	n := len(pg.Vertices)
+	if n == 0 {
+		return Point{}
+	}
+	var areaSum, cx, cy float64
+	for i := 0; i < n; i++ {
+		a, b := pg.Vertices[i], pg.Vertices[(i+1)%n]
+		cross := a.Cross(b)
+		areaSum += cross
+		cx += (a.X + b.X) * cross
+		cy += (a.Y + b.Y) * cross
+	}
+	if math.Abs(areaSum) <= Eps {
+		return Centroid(pg.Vertices)
+	}
+	return Pt(cx/(3*areaSum), cy/(3*areaSum))
+}

@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDiskRegion(t *testing.T) {
+	d := Disk{C: Pt(100, 100), R: 50}
+	if !d.Contains(Pt(130, 100)) || !d.Contains(Pt(100, 150)) {
+		t.Error("inside/boundary points")
+	}
+	if d.Contains(Pt(151, 100)) {
+		t.Error("outside point")
+	}
+	if !d.Anchor().Eq(Pt(100, 100)) {
+		t.Error("anchor")
+	}
+}
+
+func TestRectRegion(t *testing.T) {
+	r := NewRect(Pt(200, 50), Pt(100, 150)) // corners in arbitrary order
+	if r.Min != Pt(100, 50) || r.Max != Pt(200, 150) {
+		t.Fatalf("normalize: %+v", r)
+	}
+	if !r.Contains(Pt(150, 100)) || !r.Contains(Pt(100, 50)) {
+		t.Error("inside/corner")
+	}
+	if r.Contains(Pt(99, 100)) || r.Contains(Pt(150, 151)) {
+		t.Error("outside")
+	}
+	if !r.Anchor().Eq(Pt(150, 100)) {
+		t.Errorf("anchor = %v", r.Anchor())
+	}
+}
+
+func TestPolygonRegionSquare(t *testing.T) {
+	sq := Polygon{Vertices: []Point{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}}
+	if !sq.Contains(Pt(5, 5)) {
+		t.Error("center")
+	}
+	if !sq.Contains(Pt(0, 5)) || !sq.Contains(Pt(10, 10)) {
+		t.Error("boundary/vertex should count as inside")
+	}
+	if sq.Contains(Pt(-1, 5)) || sq.Contains(Pt(5, 11)) {
+		t.Error("outside")
+	}
+	if !sq.Anchor().Eq(Pt(5, 5)) {
+		t.Errorf("anchor = %v", sq.Anchor())
+	}
+}
+
+func TestPolygonRegionConcave(t *testing.T) {
+	// L-shape: the notch must be outside.
+	l := Polygon{Vertices: []Point{
+		Pt(0, 0), Pt(10, 0), Pt(10, 4), Pt(4, 4), Pt(4, 10), Pt(0, 10),
+	}}
+	if !l.Contains(Pt(2, 8)) || !l.Contains(Pt(8, 2)) {
+		t.Error("arms should be inside")
+	}
+	if l.Contains(Pt(8, 8)) {
+		t.Error("notch should be outside")
+	}
+}
+
+func TestPolygonDegenerate(t *testing.T) {
+	if (Polygon{}).Contains(Pt(0, 0)) {
+		t.Error("empty polygon contains nothing")
+	}
+	line := Polygon{Vertices: []Point{Pt(0, 0), Pt(10, 0), Pt(20, 0)}}
+	// Zero-area polygon: anchor falls back to the vertex mean.
+	if !line.Anchor().Eq(Pt(10, 0)) {
+		t.Errorf("degenerate anchor = %v", line.Anchor())
+	}
+	if !line.Contains(Pt(5, 0)) {
+		t.Error("boundary of degenerate polygon")
+	}
+	if line.Contains(Pt(5, 1)) {
+		t.Error("off-line point")
+	}
+}
+
+func TestPolygonMatchesDiskApproximation(t *testing.T) {
+	// A fine regular polygon approximates its circumscribed disk: random
+	// points classify identically except near the boundary.
+	const n = 64
+	var verts []Point
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / n
+		verts = append(verts, Pt(100+50*math.Cos(a), 100+50*math.Sin(a)))
+	}
+	poly := Polygon{Vertices: verts}
+	disk := Disk{C: Pt(100, 100), R: 50}
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		p := Pt(r.Float64()*200, r.Float64()*200)
+		d := p.Dist(disk.C)
+		if math.Abs(d-50) < 1 {
+			continue // boundary band where the approximation differs
+		}
+		if poly.Contains(p) != disk.Contains(p) {
+			t.Fatalf("polygon/disk disagree at %v (dist %v)", p, d)
+		}
+	}
+	if poly.Anchor().Dist(Pt(100, 100)) > 1e-6 {
+		t.Errorf("polygon centroid = %v", poly.Anchor())
+	}
+}

@@ -1,0 +1,153 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSteinerPointEquilateral(t *testing.T) {
+	// For an equilateral triangle the Fermat point is the centroid.
+	a, b, c := Pt(0, 0), Pt(2, 0), Pt(1, math.Sqrt(3))
+	got := SteinerPoint(a, b, c)
+	want := Centroid([]Point{a, b, c})
+	if got.Dist(want) > 1e-9 {
+		t.Fatalf("SteinerPoint = %v, want centroid %v", got, want)
+	}
+}
+
+func TestSteinerPointObtuseVertexRule(t *testing.T) {
+	// Angle at a is far above 120 degrees: the Fermat point is a itself.
+	a, b, c := Pt(0, 0), Pt(10, 0.1), Pt(-10, 0.1)
+	got := SteinerPoint(a, b, c)
+	if !got.Eq(a) {
+		t.Fatalf("SteinerPoint = %v, want vertex %v", got, a)
+	}
+}
+
+func TestSteinerPointExactly120(t *testing.T) {
+	// Construct an isoceles triangle with apex angle exactly 120 degrees.
+	a := Pt(0, 0)
+	b := Pt(1, 0).Rotate(math.Pi / 3)  // 60 degrees
+	c := Pt(1, 0).Rotate(-math.Pi / 3) // -60 degrees
+	got := SteinerPoint(a, b, c)
+	if got.Dist(a) > 1e-6 {
+		t.Fatalf("SteinerPoint = %v, want apex %v at the 120-degree vertex", got, a)
+	}
+}
+
+func TestSteinerPointCollinear(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b, c Point
+		want    Point
+	}{
+		{"x order", Pt(0, 0), Pt(5, 0), Pt(2, 0), Pt(2, 0)},
+		{"y order", Pt(0, 3), Pt(0, 0), Pt(0, 9), Pt(0, 3)},
+		{"diagonal", Pt(0, 0), Pt(2, 2), Pt(1, 1), Pt(1, 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SteinerPoint(tc.a, tc.b, tc.c)
+			if !got.Eq(tc.want) {
+				t.Fatalf("SteinerPoint = %v, want middle %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSteinerPointCoincident(t *testing.T) {
+	a := Pt(1, 1)
+	if got := SteinerPoint(a, a, Pt(5, 5)); !got.Eq(a) {
+		t.Fatalf("two coincident: got %v", got)
+	}
+	if got := SteinerPoint(Pt(5, 5), a, a); !got.Eq(a) {
+		t.Fatalf("coincident bc: got %v", got)
+	}
+	if got := SteinerPoint(a, a, a); !got.Eq(a) {
+		t.Fatalf("all coincident: got %v", got)
+	}
+}
+
+func TestSteinerPoint120DegreeViewAngles(t *testing.T) {
+	// For an interior Fermat point every pair of terminals subtends exactly
+	// 120 degrees.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a, b, c := randPointIn(r, 1000), randPointIn(r, 1000), randPointIn(r, 1000)
+		if Collinear(a, b, c) {
+			continue
+		}
+		if AngleAt(a, b, c) >= maxFermatAngle || AngleAt(b, a, c) >= maxFermatAngle ||
+			AngleAt(c, a, b) >= maxFermatAngle {
+			continue
+		}
+		s := SteinerPoint(a, b, c)
+		for _, pair := range [][2]Point{{a, b}, {b, c}, {c, a}} {
+			got := AngleAt(s, pair[0], pair[1])
+			if math.Abs(got-maxFermatAngle) > 1e-6 {
+				t.Fatalf("view angle %v at Steiner point of %v %v %v; want 120 degrees", got, a, b, c)
+			}
+		}
+	}
+}
+
+func TestSteinerPointMatchesWeiszfeldOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a, b, c := randPointIn(r, 1000), randPointIn(r, 1000), randPointIn(r, 1000)
+		exact := SteinerCost(a, b, c)
+		seed := Centroid([]Point{a, b, c})
+		approx := Weiszfeld([]Point{a, b, c}, seed, 2000)
+		oracle := approx.Dist(a) + approx.Dist(b) + approx.Dist(c)
+		// The exact construction must never be worse than the iterative
+		// solver (up to solver convergence slack).
+		if exact > oracle+1e-6 {
+			t.Fatalf("exact cost %.9f worse than Weiszfeld %.9f for %v %v %v", exact, oracle, a, b, c)
+		}
+	}
+}
+
+func TestSteinerCostNeverWorseThanBestVertex(t *testing.T) {
+	// The Steiner tree through the Fermat point is at most the best
+	// two-edge star rooted at any of the three vertices.
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		a, b, c := randPointIn(r, 100), randPointIn(r, 100), randPointIn(r, 100)
+		cost := SteinerCost(a, b, c)
+		best := math.Min(a.Dist(b)+a.Dist(c), math.Min(b.Dist(a)+b.Dist(c), c.Dist(a)+c.Dist(b)))
+		if cost > best+1e-9 {
+			t.Fatalf("Steiner cost %v exceeds best vertex star %v", cost, best)
+		}
+	}
+}
+
+func TestWeiszfeldBasics(t *testing.T) {
+	if got := Weiszfeld(nil, Pt(3, 4), 10); !got.Eq(Pt(3, 4)) {
+		t.Fatalf("empty input should return seed, got %v", got)
+	}
+	// Geometric median of the vertices of a square is its center.
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	got := Weiszfeld(pts, Pt(0.3, 0.9), 500)
+	if got.Dist(Pt(1, 1)) > 1e-6 {
+		t.Fatalf("square median = %v, want (1,1)", got)
+	}
+	// Seeding exactly on a data point must not wedge the iteration.
+	got = Weiszfeld(pts, Pt(0, 0), 500)
+	if got.Dist(Pt(1, 1)) > 1e-4 {
+		t.Fatalf("vertex-seeded median = %v, want (1,1)", got)
+	}
+}
+
+func TestLineIntersection(t *testing.T) {
+	p, ok := lineIntersection(Pt(0, 0), Pt(2, 2), Pt(0, 2), Pt(2, 0))
+	if !ok || !p.Eq(Pt(1, 1)) {
+		t.Fatalf("intersection = %v ok=%v", p, ok)
+	}
+	if _, ok := lineIntersection(Pt(0, 0), Pt(1, 0), Pt(0, 1), Pt(1, 1)); ok {
+		t.Fatal("parallel lines should not intersect")
+	}
+	if _, ok := lineIntersection(Pt(0, 0), Pt(0, 0), Pt(0, 1), Pt(1, 1)); ok {
+		t.Fatal("degenerate line should not intersect")
+	}
+}

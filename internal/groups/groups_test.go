@@ -1,0 +1,228 @@
+package groups
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gmp/internal/network"
+	"gmp/internal/planar"
+)
+
+func testService(t *testing.T, seed int64, n int) *Service {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	nodes := network.DeployUniform(n, 1000, 1000, r)
+	nw, err := network.New(nodes, 1000, 1000, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Connected() {
+		t.Skip("unlucky disconnected deployment")
+	}
+	return New(nw, planar.Planarize(nw, planar.Gabriel))
+}
+
+func TestHashPointDeterministicAndInField(t *testing.T) {
+	s := testService(t, 1, 500)
+	a := s.HashPoint("alpha")
+	b := s.HashPoint("alpha")
+	if !a.Eq(b) {
+		t.Fatal("hash not deterministic")
+	}
+	if a.X < 0 || a.X > 1000 || a.Y < 0 || a.Y > 1000 {
+		t.Fatalf("hash point %v outside field", a)
+	}
+	if s.HashPoint("beta").Eq(a) {
+		t.Fatal("distinct groups should hash apart (overwhelmingly)")
+	}
+}
+
+func TestJoinLookupLeave(t *testing.T) {
+	s := testService(t, 2, 600)
+	const g = "sensors/fire"
+	for _, m := range []int{10, 20, 30} {
+		if err := s.Join(m, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members, err := s.Members(99, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 || members[0] != 10 || members[2] != 30 {
+		t.Fatalf("members = %v", members)
+	}
+	v := s.Version(g)
+	if v != 3 {
+		t.Fatalf("version = %d", v)
+	}
+
+	if err := s.Leave(20, g); err != nil {
+		t.Fatal(err)
+	}
+	members, err = s.Members(99, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("after leave: %v", members)
+	}
+	if s.Version(g) != 4 {
+		t.Fatalf("version after leave = %d", s.Version(g))
+	}
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	s := testService(t, 3, 500)
+	const g = "dup"
+	if err := s.Join(5, g); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Version(g)
+	if err := s.Join(5, g); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version(g) != v {
+		t.Fatal("duplicate join must not bump the version")
+	}
+	members, err := s.Members(1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestEmptyGroupLookup(t *testing.T) {
+	s := testService(t, 4, 500)
+	if _, err := s.Members(3, "ghost"); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLeaveUnknownMemberHarmless(t *testing.T) {
+	s := testService(t, 5, 500)
+	if err := s.Join(1, "g"); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Version("g")
+	if err := s.Leave(42, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version("g") != v {
+		t.Fatal("no-op leave must not bump version")
+	}
+}
+
+func TestControlCostAccounting(t *testing.T) {
+	s := testService(t, 6, 800)
+	if err := s.Join(0, "billing"); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Operations != 1 {
+		t.Fatalf("operations = %d", m.Operations)
+	}
+	// A join from a random node to a random rendezvous across a 1 km field
+	// takes at least one and at most maxHops transmissions, unless the
+	// member already is the home node.
+	home := s.Home("billing")
+	if home != 0 && m.Messages < 1 {
+		t.Fatalf("messages = %d", m.Messages)
+	}
+	if _, err := s.Members(7, "billing"); err != nil {
+		t.Fatal(err)
+	}
+	m2 := s.Metrics()
+	if m2.Messages < m.Messages {
+		t.Fatal("lookup must add control messages")
+	}
+}
+
+func TestHomeIsClosestToHash(t *testing.T) {
+	s := testService(t, 7, 700)
+	for _, g := range []string{"a", "b", "c", "d"} {
+		home := s.Home(g)
+		hp := s.HashPoint(g)
+		d := s.nw.Pos(home).Dist(hp)
+		for i := 0; i < s.nw.Len(); i++ {
+			if s.nw.Pos(i).Dist(hp) < d-1e-9 {
+				t.Fatalf("node %d closer to %v than home %d", i, hp, home)
+			}
+		}
+	}
+}
+
+func TestLeaseExpiryAndRefresh(t *testing.T) {
+	base := testService(t, 9, 600)
+	s := New(base.nw, base.pg, WithLease(30))
+	const g = "leased"
+	if err := s.JoinAt(5, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JoinAt(9, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Before expiry both are visible.
+	members, err := s.MembersAt(1, g, 20)
+	if err != nil || len(members) != 2 {
+		t.Fatalf("at t=20: %v %v", members, err)
+	}
+	// Node 5 refreshes; node 9 does not.
+	v := s.Version(g)
+	if err := s.JoinAt(5, g, 25); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version(g) != v {
+		t.Fatal("refresh must not bump version")
+	}
+	members, err = s.MembersAt(1, g, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0] != 5 {
+		t.Fatalf("at t=40: %v", members)
+	}
+	// After everything lapses the group is empty.
+	if _, err := s.MembersAt(1, g, 500); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("expired group: %v", err)
+	}
+	// Re-joining an expired member bumps the version again.
+	v = s.Version(g)
+	if err := s.JoinAt(9, g, 600); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version(g) != v+1 {
+		t.Fatal("revival should bump version")
+	}
+}
+
+func TestNoLeaseNeverExpires(t *testing.T) {
+	s := testService(t, 10, 500)
+	if err := s.JoinAt(3, "forever", 0); err != nil {
+		t.Fatal(err)
+	}
+	members, err := s.MembersAt(1, "forever", 1e12)
+	if err != nil || len(members) != 1 {
+		t.Fatalf("lease-free entry expired: %v %v", members, err)
+	}
+}
+
+func TestRouteBudgetError(t *testing.T) {
+	s := testService(t, 8, 600)
+	tight := New(s.nw, s.pg, WithMaxHops(1))
+	// A member far from the rendezvous cannot reach it in one hop.
+	var far int
+	hp := tight.HashPoint("g")
+	worst := -1.0
+	for i := 0; i < tight.nw.Len(); i++ {
+		if d := tight.nw.Pos(i).Dist(hp); d > worst {
+			worst, far = d, i
+		}
+	}
+	if err := tight.Join(far, "g"); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("err = %v", err)
+	}
+}

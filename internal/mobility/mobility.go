@@ -1,0 +1,137 @@
+// Package mobility provides node-movement models for studying how location
+// staleness affects geographic multicast. The paper's baselines (PBM, LGS)
+// come from the MANET literature where nodes move; GMP's statelessness is
+// motivated by exactly such dynamics (§1: "topology changes, node failures,
+// and group membership changes"). The random-waypoint model here is the
+// standard one those works evaluate under.
+package mobility
+
+import (
+	"errors"
+	"math/rand"
+
+	"gmp/internal/geom"
+)
+
+// Config parameterizes a random-waypoint model.
+type Config struct {
+	// Width and Height bound the movement area in meters.
+	Width, Height float64
+	// SpeedMin and SpeedMax bound the uniformly drawn leg speeds (m/s).
+	// SpeedMin must be positive (the classical model's zero-speed pitfall
+	// freezes nodes forever).
+	SpeedMin, SpeedMax float64
+	// Pause is the dwell time at each waypoint in seconds.
+	Pause float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return errors.New("mobility: area must be positive")
+	}
+	if c.SpeedMin <= 0 || c.SpeedMax < c.SpeedMin {
+		return errors.New("mobility: need 0 < SpeedMin <= SpeedMax")
+	}
+	if c.Pause < 0 {
+		return errors.New("mobility: negative pause")
+	}
+	return nil
+}
+
+// nodeState is one node's current leg.
+type nodeState struct {
+	pos       geom.Point
+	target    geom.Point
+	speed     float64
+	pauseLeft float64
+}
+
+// Model is a random-waypoint mobility model over a fixed node population.
+// It is deterministic given its seed source.
+type Model struct {
+	cfg   Config
+	r     *rand.Rand
+	nodes []nodeState
+	time  float64
+}
+
+// NewRandomWaypoint starts a model with the given initial positions.
+func NewRandomWaypoint(initial []geom.Point, cfg Config, r *rand.Rand) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg, r: r, nodes: make([]nodeState, len(initial))}
+	for i, p := range initial {
+		m.nodes[i].pos = p
+		m.retarget(i)
+	}
+	return m, nil
+}
+
+// retarget draws a fresh waypoint and speed for node i.
+func (m *Model) retarget(i int) {
+	n := &m.nodes[i]
+	n.target = geom.Pt(m.r.Float64()*m.cfg.Width, m.r.Float64()*m.cfg.Height)
+	n.speed = m.cfg.SpeedMin + m.r.Float64()*(m.cfg.SpeedMax-m.cfg.SpeedMin)
+	n.pauseLeft = 0
+}
+
+// Step advances all nodes by dt seconds.
+func (m *Model) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	m.time += dt
+	for i := range m.nodes {
+		m.stepNode(i, dt)
+	}
+}
+
+func (m *Model) stepNode(i int, dt float64) {
+	n := &m.nodes[i]
+	for dt > 0 {
+		if n.pauseLeft > 0 {
+			if n.pauseLeft >= dt {
+				n.pauseLeft -= dt
+				return
+			}
+			dt -= n.pauseLeft
+			n.pauseLeft = 0
+			m.retarget(i)
+			continue
+		}
+		dist := n.pos.Dist(n.target)
+		travel := n.speed * dt
+		if travel < dist {
+			dir := n.target.Sub(n.pos).Scale(1 / dist)
+			n.pos = n.pos.Add(dir.Scale(travel))
+			return
+		}
+		// Reached the waypoint: consume the remaining time with a pause.
+		dt -= dist / n.speed
+		n.pos = n.target
+		n.pauseLeft = m.cfg.Pause
+		if n.pauseLeft == 0 {
+			m.retarget(i)
+		}
+	}
+}
+
+// Positions returns a snapshot of all current positions.
+func (m *Model) Positions() []geom.Point {
+	out := make([]geom.Point, len(m.nodes))
+	for i, n := range m.nodes {
+		out[i] = n.pos
+	}
+	return out
+}
+
+// Pos returns node i's current position.
+func (m *Model) Pos(i int) geom.Point { return m.nodes[i].pos }
+
+// Time returns the accumulated simulated seconds.
+func (m *Model) Time() float64 { return m.time }
+
+// Len returns the node count.
+func (m *Model) Len() int { return len(m.nodes) }

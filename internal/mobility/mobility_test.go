@@ -1,0 +1,162 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmp/internal/geom"
+)
+
+func defaultConfig() Config {
+	return Config{Width: 1000, Height: 1000, SpeedMin: 1, SpeedMax: 10, Pause: 2}
+}
+
+func initialPts(n int, r *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*1000, r.Float64()*1000)
+	}
+	return pts
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero width", func(c *Config) { c.Width = 0 }},
+		{"zero height", func(c *Config) { c.Height = 0 }},
+		{"zero min speed", func(c *Config) { c.SpeedMin = 0 }},
+		{"max below min", func(c *Config) { c.SpeedMax = 0.5 }},
+		{"negative pause", func(c *Config) { c.Pause = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := defaultConfig()
+			tc.mut(&cfg)
+			if cfg.Validate() == nil {
+				t.Fatal("expected validation error")
+			}
+			if _, err := NewRandomWaypoint(nil, cfg, rand.New(rand.NewSource(1))); err == nil {
+				t.Fatal("constructor must validate")
+			}
+		})
+	}
+	if defaultConfig().Validate() != nil {
+		t.Fatal("default config should validate")
+	}
+}
+
+func TestNodesStayInBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m, err := NewRandomWaypoint(initialPts(50, r), defaultConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 500; step++ {
+		m.Step(1)
+		for i := 0; i < m.Len(); i++ {
+			p := m.Pos(i)
+			if p.X < -1e-9 || p.X > 1000+1e-9 || p.Y < -1e-9 || p.Y > 1000+1e-9 {
+				t.Fatalf("node %d escaped to %v at step %d", i, p, step)
+			}
+		}
+	}
+	if m.Time() != 500 {
+		t.Fatalf("Time = %v", m.Time())
+	}
+}
+
+func TestSpeedBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m, err := NewRandomWaypoint(initialPts(30, r), defaultConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := m.Positions()
+	for step := 0; step < 200; step++ {
+		m.Step(1)
+		cur := m.Positions()
+		for i := range cur {
+			if d := cur[i].Dist(prev[i]); d > 10+1e-6 {
+				t.Fatalf("node %d moved %vm in 1s (max speed 10)", i, d)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestNodesActuallyMove(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	start := initialPts(20, r)
+	m, err := NewRandomWaypoint(start, defaultConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(120)
+	moved := 0
+	for i, p := range m.Positions() {
+		if p.Dist(start[i]) > 10 {
+			moved++
+		}
+	}
+	if moved < 15 {
+		t.Fatalf("only %d of 20 nodes moved meaningfully in 2 min", moved)
+	}
+}
+
+func TestPauseDwellsAtWaypoint(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.SpeedMin, cfg.SpeedMax = 100, 100 // reach waypoints fast
+	cfg.Pause = 1000                      // then sit for a long time
+	r := rand.New(rand.NewSource(9))
+	m, err := NewRandomWaypoint(initialPts(10, r), cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After enough time every node has reached its first waypoint and is
+	// pausing; two snapshots 1 s apart must be identical.
+	m.Step(60)
+	a := m.Positions()
+	m.Step(1)
+	b := m.Positions()
+	for i := range a {
+		if !a[i].Eq(b[i]) {
+			t.Fatalf("node %d moved while pausing", i)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	mk := func() []geom.Point {
+		r := rand.New(rand.NewSource(11))
+		m, err := NewRandomWaypoint(initialPts(25, r), defaultConfig(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Step(300)
+		return m.Positions()
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if !a[i].Eq(b[i]) {
+			t.Fatal("model not deterministic")
+		}
+	}
+}
+
+func TestZeroOrNegativeStepIsNoop(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	m, err := NewRandomWaypoint(initialPts(5, r), defaultConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Positions()
+	m.Step(0)
+	m.Step(-5)
+	for i, p := range m.Positions() {
+		if !p.Eq(before[i]) {
+			t.Fatal("no-op step moved nodes")
+		}
+	}
+}

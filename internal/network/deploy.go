@@ -1,0 +1,88 @@
+package network
+
+import (
+	"math"
+	"math/rand"
+
+	"gmp/internal/geom"
+)
+
+// DeployUniform places n nodes uniformly at random in the width×height
+// region, reproducing the paper's §5 deployment ("the 1000 nodes are
+// uniformly distributed in the network"). The generator is caller-supplied
+// so whole experiments are reproducible from a single seed.
+func DeployUniform(n int, width, height float64, r *rand.Rand) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: i, Pos: geom.Pt(r.Float64()*width, r.Float64()*height)}
+	}
+	return nodes
+}
+
+// DeployGrid places nodes on a cols×rows lattice with the given spacing,
+// starting at the origin corner offset by half a spacing. Deterministic;
+// used by tests that need known topologies.
+func DeployGrid(cols, rows int, spacing float64) []Node {
+	nodes := make([]Node, 0, cols*rows)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			nodes = append(nodes, Node{
+				ID:  len(nodes),
+				Pos: geom.Pt(spacing/2+float64(x)*spacing, spacing/2+float64(y)*spacing),
+			})
+		}
+	}
+	return nodes
+}
+
+// DeployUniformExclude deploys like DeployUniform but rejects positions for
+// which exclude returns true, carving obstacles (voids) into the field.
+// Rejection sampling keeps the remaining density uniform.
+func DeployUniformExclude(n int, width, height float64, exclude func(geom.Point) bool, r *rand.Rand) []Node {
+	nodes := make([]Node, 0, n)
+	for len(nodes) < n {
+		p := geom.Pt(r.Float64()*width, r.Float64()*height)
+		if exclude(p) {
+			continue
+		}
+		nodes = append(nodes, Node{ID: len(nodes), Pos: p})
+	}
+	return nodes
+}
+
+// DeployUniformWithVoid deploys like DeployUniform but rejects positions
+// inside the disk of the given radius around center, creating a routing void.
+// Used to exercise perimeter-mode recovery.
+func DeployUniformWithVoid(n int, width, height float64, center geom.Point, radius float64, r *rand.Rand) []Node {
+	return DeployUniformExclude(n, width, height, func(p geom.Point) bool {
+		return p.Dist(center) < radius
+	}, r)
+}
+
+// CShapedObstacle returns an exclusion predicate describing a thick annular
+// wall around center that is open only on the west side: a concave trap for
+// greedy geographic forwarding. Packets traveling east into the pocket reach
+// a local minimum and can only escape via perimeter routing. innerR and
+// outerR bound the wall; make the wall thicker than the radio range so it
+// cannot be jumped.
+func CShapedObstacle(center geom.Point, innerR, outerR float64) func(geom.Point) bool {
+	return func(p geom.Point) bool {
+		d := p.Dist(center)
+		if d < innerR || d > outerR {
+			return false
+		}
+		// Wall present except for the western opening (|angle| > 120°).
+		ang := geom.Bearing(center, p)
+		return ang > -2*math.Pi/3 && ang < 2*math.Pi/3
+	}
+}
+
+// FromPoints wraps explicit coordinates as nodes with dense IDs. Useful for
+// golden-topology tests reproducing the paper's figures.
+func FromPoints(pts []geom.Point) []Node {
+	nodes := make([]Node, len(pts))
+	for i, p := range pts {
+		nodes[i] = Node{ID: i, Pos: p}
+	}
+	return nodes
+}

@@ -1,0 +1,275 @@
+// Package network implements the paper's §2 wireless sensor network model: a
+// set of nodes with known coordinates in a rectangular region, communicating
+// over unit-disk radio links. Node locations double as identifiers and
+// network addresses; there is no separate ID-establishment protocol.
+//
+// The package provides seeded uniform deployment, a grid spatial index for
+// fast neighbor queries, adjacency precomputation, and connectivity probes.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gmp/internal/geom"
+	"gmp/internal/steiner"
+)
+
+// Node is a sensor node: an identifier plus a position. The position is the
+// node's address in the geographic routing scheme.
+type Node struct {
+	ID  int
+	Pos geom.Point
+}
+
+// Network is an immutable snapshot of a deployed sensor field with unit-disk
+// connectivity of a fixed radio range. Build one with New; all query methods
+// are safe for concurrent use afterwards.
+type Network struct {
+	nodes  []Node
+	rng    float64 // radio range
+	width  float64
+	height float64
+
+	cellSize float64
+	cols     int
+	rows     int
+	cells    [][]int // cell index -> node IDs
+
+	adj [][]int // node ID -> sorted neighbor IDs
+
+	// down marks nodes with failed radios in degraded views produced by
+	// WithFailures; nil in a freshly built network.
+	down []bool
+
+	// reported, when non-nil, overlays the positions nodes *believe* they
+	// are at (WithPositionNoise); physics keeps using true positions.
+	reported []geom.Point
+}
+
+// Validation errors returned by New.
+var (
+	ErrNoNodes       = errors.New("network: no nodes")
+	ErrBadRange      = errors.New("network: radio range must be positive")
+	ErrBadDimensions = errors.New("network: region dimensions must be positive")
+)
+
+// New builds a network over the given nodes in a width×height region with
+// the given radio range. Node IDs must equal their slice index (deployments
+// from this package guarantee that).
+func New(nodes []Node, width, height, radioRange float64) (*Network, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	if radioRange <= 0 {
+		return nil, ErrBadRange
+	}
+	if width <= 0 || height <= 0 {
+		return nil, ErrBadDimensions
+	}
+	for i, n := range nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("network: node at index %d has ID %d; IDs must be dense", i, n.ID)
+		}
+	}
+	owned := make([]Node, len(nodes))
+	copy(owned, nodes)
+
+	nw := &Network{
+		nodes:    owned,
+		rng:      radioRange,
+		width:    width,
+		height:   height,
+		cellSize: radioRange,
+		cols:     int(math.Ceil(width/radioRange)) + 1,
+		rows:     int(math.Ceil(height/radioRange)) + 1,
+	}
+	nw.cells = make([][]int, nw.cols*nw.rows)
+	for _, n := range owned {
+		c := nw.cellOf(n.Pos)
+		nw.cells[c] = append(nw.cells[c], n.ID)
+	}
+	nw.buildAdjacency()
+	return nw, nil
+}
+
+func (nw *Network) cellOf(p geom.Point) int {
+	cx := int(p.X / nw.cellSize)
+	cy := int(p.Y / nw.cellSize)
+	cx = clampInt(cx, 0, nw.cols-1)
+	cy = clampInt(cy, 0, nw.rows-1)
+	return cy*nw.cols + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// buildAdjacency precomputes sorted unit-disk neighbor lists using the grid:
+// candidates for a node can only lie in its own or the eight adjacent cells.
+func (nw *Network) buildAdjacency() {
+	nw.adj = make([][]int, len(nw.nodes))
+	r2 := nw.rng * nw.rng
+	for _, n := range nw.nodes {
+		cx := clampInt(int(n.Pos.X/nw.cellSize), 0, nw.cols-1)
+		cy := clampInt(int(n.Pos.Y/nw.cellSize), 0, nw.rows-1)
+		var nbrs []int
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= nw.cols || y < 0 || y >= nw.rows {
+					continue
+				}
+				for _, id := range nw.cells[y*nw.cols+x] {
+					if id == n.ID {
+						continue
+					}
+					if n.Pos.Dist2(nw.nodes[id].Pos) <= r2 {
+						nbrs = append(nbrs, id)
+					}
+				}
+			}
+		}
+		sort.Ints(nbrs)
+		nw.adj[n.ID] = nbrs
+	}
+}
+
+// Len returns the number of nodes.
+func (nw *Network) Len() int { return len(nw.nodes) }
+
+// Range returns the radio range.
+func (nw *Network) Range() float64 { return nw.rng }
+
+// Width returns the region width in meters.
+func (nw *Network) Width() float64 { return nw.width }
+
+// Height returns the region height in meters.
+func (nw *Network) Height() float64 { return nw.height }
+
+// Node returns the node with the given ID.
+func (nw *Network) Node(id int) Node { return nw.nodes[id] }
+
+// Pos returns the position of node id as the node itself reports it. It
+// equals the true position except in views built with WithPositionNoise.
+func (nw *Network) Pos(id int) geom.Point {
+	if nw.reported != nil {
+		return nw.reported[id]
+	}
+	return nw.nodes[id].Pos
+}
+
+// Dist returns the Euclidean distance between the reported positions of
+// nodes a and b.
+func (nw *Network) Dist(a, b int) float64 { return nw.Pos(a).Dist(nw.Pos(b)) }
+
+// Neighbors returns the IDs of all nodes within radio range of node id,
+// sorted ascending. The returned slice is shared; callers must not mutate it.
+func (nw *Network) Neighbors(id int) []int { return nw.adj[id] }
+
+// Degree returns the number of neighbors of node id.
+func (nw *Network) Degree(id int) int { return len(nw.adj[id]) }
+
+// AvgDegree returns the mean neighbor count over all nodes.
+func (nw *Network) AvgDegree() float64 {
+	var total int
+	for _, a := range nw.adj {
+		total += len(a)
+	}
+	return float64(total) / float64(len(nw.nodes))
+}
+
+// InRange reports whether nodes a and b can hear each other: geometrically
+// within radio range and both radios alive.
+func (nw *Network) InRange(a, b int) bool {
+	if !nw.Alive(a) || !nw.Alive(b) {
+		return false
+	}
+	return nw.nodes[a].Pos.Dist2(nw.nodes[b].Pos) <= nw.rng*nw.rng
+}
+
+// ClosestNode returns the ID of the node closest to p.
+func (nw *Network) ClosestNode(p geom.Point) int {
+	best, bestD := -1, math.Inf(1)
+	for _, n := range nw.nodes {
+		if d := n.Pos.Dist2(p); d < bestD {
+			best, bestD = n.ID, d
+		}
+	}
+	return best
+}
+
+// NodesInDisk returns the IDs of all nodes within radius of p, sorted.
+func (nw *Network) NodesInDisk(p geom.Point, radius float64) []int {
+	var out []int
+	r2 := radius * radius
+	for _, n := range nw.nodes {
+		if n.Pos.Dist2(p) <= r2 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Graph returns the unit-disk connectivity graph in the representation
+// expected by the steiner package's KMB heuristic.
+func (nw *Network) Graph() steiner.Graph {
+	return steiner.Graph{N: len(nw.nodes), Adj: nw.adj}
+}
+
+// Connected reports whether the unit-disk graph is connected.
+func (nw *Network) Connected() bool {
+	return len(nw.ReachableFrom(0)) == len(nw.nodes)
+}
+
+// ReachableFrom returns the set of node IDs reachable from src over radio
+// links, as a sorted slice including src itself.
+func (nw *Network) ReachableFrom(src int) []int {
+	seen := make([]bool, len(nw.nodes))
+	seen[src] = true
+	queue := []int{src}
+	out := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range nw.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HopDistances returns BFS hop counts from src to every node; unreachable
+// nodes get -1.
+func (nw *Network) HopDistances(src int) []int {
+	dist := make([]int, len(nw.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range nw.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

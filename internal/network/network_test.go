@@ -1,0 +1,222 @@
+package network
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gmp/internal/geom"
+)
+
+func mustNetwork(t *testing.T, nodes []Node, w, h, rng float64) *Network {
+	t.Helper()
+	nw, err := New(nodes, w, h, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 100, 100, 10); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("no nodes: %v", err)
+	}
+	nodes := FromPoints([]geom.Point{geom.Pt(1, 1)})
+	if _, err := New(nodes, 100, 100, 0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("bad range: %v", err)
+	}
+	if _, err := New(nodes, 0, 100, 10); !errors.Is(err, ErrBadDimensions) {
+		t.Errorf("bad dims: %v", err)
+	}
+	bad := []Node{{ID: 5, Pos: geom.Pt(1, 1)}}
+	if _, err := New(bad, 100, 100, 10); err == nil {
+		t.Error("sparse IDs should be rejected")
+	}
+}
+
+func TestNeighborsMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	nodes := DeployUniform(300, 1000, 1000, r)
+	nw := mustNetwork(t, nodes, 1000, 1000, 150)
+	for _, n := range nodes {
+		want := map[int]bool{}
+		for _, m := range nodes {
+			if m.ID != n.ID && n.Pos.Dist(m.Pos) <= 150 {
+				want[m.ID] = true
+			}
+		}
+		got := nw.Neighbors(n.ID)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %d neighbors, want %d", n.ID, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("node %d: unexpected neighbor %d", n.ID, id)
+			}
+		}
+		// Sorted ascending.
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("node %d: neighbors not sorted: %v", n.ID, got)
+			}
+		}
+	}
+}
+
+func TestNeighborsEdgeOfRegion(t *testing.T) {
+	// Nodes on the region boundary must index into valid grid cells.
+	nodes := FromPoints([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(1000, 1000), geom.Pt(1000, 0), geom.Pt(0, 1000),
+		geom.Pt(999, 999),
+	})
+	nw := mustNetwork(t, nodes, 1000, 1000, 150)
+	if got := nw.Neighbors(1); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("corner neighbors = %v", got)
+	}
+	if nw.Degree(0) != 0 {
+		t.Fatalf("origin corner should be isolated, degree %d", nw.Degree(0))
+	}
+}
+
+func TestInRangeAndDist(t *testing.T) {
+	nodes := FromPoints([]geom.Point{geom.Pt(0, 0), geom.Pt(150, 0), geom.Pt(151, 0)})
+	nw := mustNetwork(t, nodes, 1000, 1000, 150)
+	if !nw.InRange(0, 1) {
+		t.Error("boundary distance should be in range")
+	}
+	if nw.InRange(0, 2) {
+		t.Error("just beyond range")
+	}
+	if d := nw.Dist(0, 2); d != 151 {
+		t.Errorf("Dist = %v", d)
+	}
+}
+
+func TestConnectivityAndReachability(t *testing.T) {
+	// Chain topology: 0-1-2 connected, 3 isolated.
+	nodes := FromPoints([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(200, 0), geom.Pt(700, 700),
+	})
+	nw := mustNetwork(t, nodes, 1000, 1000, 120)
+	if nw.Connected() {
+		t.Error("network with isolated node reported connected")
+	}
+	reach := nw.ReachableFrom(0)
+	if len(reach) != 3 || reach[0] != 0 || reach[2] != 2 {
+		t.Errorf("ReachableFrom(0) = %v", reach)
+	}
+	dists := nw.HopDistances(0)
+	want := []int{0, 1, 2, -1}
+	for i, w := range want {
+		if dists[i] != w {
+			t.Errorf("HopDistances[%d] = %d, want %d", i, dists[i], w)
+		}
+	}
+}
+
+func TestGridDeployConnected(t *testing.T) {
+	nodes := DeployGrid(10, 10, 100)
+	nw := mustNetwork(t, nodes, 1000, 1000, 150)
+	if !nw.Connected() {
+		t.Fatal("grid with spacing < range must be connected")
+	}
+	// Interior node at (450+?,...): grid spacing 100, range 150 covers the 4
+	// orthogonal and 4 diagonal neighbors (diag = 141.4 < 150).
+	center := nw.ClosestNode(geom.Pt(450, 450))
+	if got := nw.Degree(center); got != 8 {
+		t.Fatalf("interior grid degree = %d, want 8", got)
+	}
+}
+
+func TestClosestNodeAndDisk(t *testing.T) {
+	nodes := DeployGrid(5, 5, 100)
+	nw := mustNetwork(t, nodes, 500, 500, 150)
+	id := nw.ClosestNode(geom.Pt(51, 52))
+	if !nw.Pos(id).Eq(geom.Pt(50, 50)) {
+		t.Fatalf("ClosestNode = %d at %v", id, nw.Pos(id))
+	}
+	disk := nw.NodesInDisk(geom.Pt(50, 50), 101)
+	if len(disk) != 3 {
+		t.Fatalf("NodesInDisk = %v", disk)
+	}
+}
+
+func TestAvgDegreeMatchesTheory(t *testing.T) {
+	// For uniform density d nodes/m² and range r, expected degree ≈ dπr²
+	// away from borders. With 1000 nodes in 1000x1000 at r=150 that is
+	// ≈ 70.7; border effects pull the mean down ~10-20%.
+	r := rand.New(rand.NewSource(67))
+	nodes := DeployUniform(1000, 1000, 1000, r)
+	nw := mustNetwork(t, nodes, 1000, 1000, 150)
+	got := nw.AvgDegree()
+	if got < 50 || got > 72 {
+		t.Fatalf("AvgDegree = %v, outside plausible band [50, 72]", got)
+	}
+}
+
+func TestDeployUniformWithVoid(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	center := geom.Pt(500, 500)
+	nodes := DeployUniformWithVoid(500, 1000, 1000, center, 200, r)
+	if len(nodes) != 500 {
+		t.Fatalf("deployed %d nodes", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.Pos.Dist(center) < 200 {
+			t.Fatalf("node %d inside the void at %v", n.ID, n.Pos)
+		}
+	}
+}
+
+func TestDeployUniformExcludeAndCShape(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	center := geom.Pt(500, 500)
+	trap := CShapedObstacle(center, 180, 360)
+	nodes := DeployUniformExclude(400, 1000, 1000, trap, r)
+	if len(nodes) != 400 {
+		t.Fatalf("deployed %d", len(nodes))
+	}
+	for _, n := range nodes {
+		if trap(n.Pos) {
+			t.Fatalf("node %d inside the obstacle at %v", n.ID, n.Pos)
+		}
+	}
+	// The predicate itself: wall east, opening west, clear center/outside.
+	if !trap(geom.Pt(500+250, 500)) {
+		t.Error("east wall should be excluded")
+	}
+	if trap(geom.Pt(500-250, 500)) {
+		t.Error("western opening should be allowed")
+	}
+	if trap(center) || trap(geom.Pt(500, 500+170)) {
+		t.Error("pocket interior should be allowed")
+	}
+	if trap(geom.Pt(500, 500+400)) {
+		t.Error("outside the outer radius should be allowed")
+	}
+	if !trap(geom.Pt(500, 500+250)) {
+		t.Error("north wall should be excluded")
+	}
+}
+
+func TestDeployDeterminism(t *testing.T) {
+	a := DeployUniform(50, 1000, 1000, rand.New(rand.NewSource(99)))
+	b := DeployUniform(50, 1000, 1000, rand.New(rand.NewSource(99)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical deployment")
+		}
+	}
+}
+
+func TestGraphExport(t *testing.T) {
+	nodes := FromPoints([]geom.Point{geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(200, 0)})
+	nw := mustNetwork(t, nodes, 1000, 1000, 120)
+	g := nw.Graph()
+	if g.N != 3 {
+		t.Fatalf("Graph.N = %d", g.N)
+	}
+	if len(g.Adj[1]) != 2 {
+		t.Fatalf("middle node adjacency = %v", g.Adj[1])
+	}
+}

@@ -1,0 +1,50 @@
+package planar
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmp/internal/geom"
+	"gmp/internal/network"
+)
+
+func benchNetwork(b *testing.B, n int) *network.Network {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	nw, err := network.New(network.DeployUniform(n, 1000, 1000, r), 1000, 1000, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+func BenchmarkPlanarizeGabriel(b *testing.B) {
+	nw := benchNetwork(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Planarize(nw, Gabriel)
+	}
+}
+
+func BenchmarkPlanarizeRNG(b *testing.B) {
+	nw := benchNetwork(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Planarize(nw, RelativeNeighborhood)
+	}
+}
+
+func BenchmarkNextHop(b *testing.B) {
+	nw := benchNetwork(b, 1000)
+	g := Planarize(nw, Gabriel)
+	st := Enter(g, 0, geom.Pt(900, 900))
+	b.ResetTimer()
+	cur := 0
+	for i := 0; i < b.N; i++ {
+		next, nst, ok := NextHop(g, cur, st)
+		if !ok {
+			b.Fatal("stuck")
+		}
+		cur, st = next, nst
+	}
+}

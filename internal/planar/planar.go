@@ -1,0 +1,233 @@
+// Package planar provides the planarization and perimeter-routing substrate
+// required by GMP's void handling (paper §4.1, refs [29, 9, 4, 13, 31]).
+//
+// It extracts the Gabriel graph (GG) or Relative Neighborhood Graph (RNG)
+// from a unit-disk network — both computable by each node from purely local
+// information — and implements GPSR-style right-hand-rule face traversal over
+// the planar subgraph.
+package planar
+
+import (
+	"fmt"
+	"sort"
+
+	"gmp/internal/geom"
+	"gmp/internal/network"
+)
+
+// Kind selects the planarization rule.
+type Kind int
+
+const (
+	// Gabriel keeps edge (u,v) iff no witness node lies strictly inside the
+	// disk with diameter uv. This is GPSR's default and the denser of the
+	// two planar subgraphs.
+	Gabriel Kind = iota + 1
+	// RelativeNeighborhood keeps edge (u,v) iff no witness node lies
+	// strictly inside the lune of u and v. RNG ⊆ GG.
+	RelativeNeighborhood
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Gabriel:
+		return "gabriel"
+	case RelativeNeighborhood:
+		return "rng"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Graph is a planar subgraph of a network's unit-disk graph. Neighbor lists
+// are sorted counter-clockwise by bearing, which is the order the right-hand
+// rule consumes them in.
+type Graph struct {
+	nw  *network.Network
+	adj [][]int // node ID -> planar neighbors, CCW by bearing
+}
+
+// Planarize extracts the planar subgraph of kind from nw.
+//
+// Both rules are *local*: any witness for edge (u,v) lies within d(u,v) ≤
+// radio range of u, so witnesses are always among u's unit-disk neighbors —
+// a real node could run the same computation from its neighbor table alone.
+func Planarize(nw *network.Network, kind Kind) *Graph {
+	g := &Graph{nw: nw, adj: make([][]int, nw.Len())}
+	for u := 0; u < nw.Len(); u++ {
+		upos := nw.Pos(u)
+		var kept []int
+		for _, v := range nw.Neighbors(u) {
+			vpos := nw.Pos(v)
+			witnessed := false
+			for _, w := range nw.Neighbors(u) {
+				if w == v {
+					continue
+				}
+				wpos := nw.Pos(w)
+				switch kind {
+				case RelativeNeighborhood:
+					witnessed = geom.InLune(upos, vpos, wpos)
+				default:
+					witnessed = geom.InDisk(upos, vpos, wpos)
+				}
+				if witnessed {
+					break
+				}
+			}
+			if !witnessed {
+				kept = append(kept, v)
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool {
+			bi := geom.Bearing(upos, nw.Pos(kept[i]))
+			bj := geom.Bearing(upos, nw.Pos(kept[j]))
+			if bi != bj {
+				return bi < bj
+			}
+			return kept[i] < kept[j]
+		})
+		g.adj[u] = kept
+	}
+	return g
+}
+
+// Neighbors returns u's planar neighbors in CCW bearing order. The slice is
+// shared; callers must not mutate it.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the planar degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Network returns the underlying network.
+func (g *Graph) Network() *network.Network { return g.nw }
+
+// NumEdges returns the number of undirected planar edges. Symmetric by
+// construction of GG/RNG; counted from the directed lists.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// State is the mutable perimeter-traversal state carried in a packet while
+// it is in perimeter mode (the paper's PERIMODE flag plus GPSR's face
+// bookkeeping).
+type State struct {
+	// Target is the geographic point the traversal is trying to approach.
+	// For GMP groups this is the average location of the void destinations
+	// (paper §4.1 step 2).
+	Target geom.Point
+	// Entry is the position of the node where perimeter mode was entered;
+	// greedy recovery compares progress against it.
+	Entry geom.Point
+	// FaceEntry is the point where the packet entered the current face
+	// (GPSR's Lf); face changes advance it along the Entry→Target line.
+	FaceEntry geom.Point
+	// Prev is the node the packet arrived from, -1 right after entering
+	// perimeter mode.
+	Prev int
+}
+
+// Enter returns the initial perimeter state for a packet entering perimeter
+// mode at node cur aiming at target.
+func Enter(g *Graph, cur int, target geom.Point) State {
+	pos := g.nw.Pos(cur)
+	return State{Target: target, Entry: pos, FaceEntry: pos, Prev: -1}
+}
+
+// NextHop advances the right-hand-rule traversal one step from cur. It
+// returns the chosen neighbor and the updated state, or ok=false when cur
+// has no planar neighbors (an isolated node — traversal cannot proceed).
+//
+// The rule follows GPSR: take the first edge counter-clockwise from the
+// reference direction (the incoming edge, or the cur→target line on entry).
+// Before committing to an edge that properly crosses the FaceEntry→Target
+// segment at a point closer to the target, the traversal switches to the
+// adjacent face: FaceEntry moves to the crossing and the sweep continues
+// with the next CCW edge.
+func NextHop(g *Graph, cur int, st State) (next int, out State, ok bool) {
+	nbrs := g.adj[cur]
+	if len(nbrs) == 0 {
+		return -1, st, false
+	}
+	pos := g.nw.Pos(cur)
+
+	var ref float64
+	if st.Prev == -1 {
+		ref = geom.Bearing(pos, st.Target)
+	} else {
+		ref = geom.Bearing(pos, g.nw.Pos(st.Prev))
+	}
+
+	// Order neighbors counter-clockwise starting just after ref. The
+	// incoming edge itself sorts last (delta 0 → 2π) so a dead end bounces
+	// the packet back, as the right-hand rule requires.
+	type cand struct {
+		id    int
+		delta float64
+	}
+	cands := make([]cand, 0, len(nbrs))
+	for _, n := range nbrs {
+		d := geom.CCWDelta(ref, geom.Bearing(pos, g.nw.Pos(n)))
+		if n == st.Prev || d < 1e-12 {
+			d = 2 * 3.141592653589793
+		}
+		cands = append(cands, cand{n, d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].delta != cands[j].delta {
+			return cands[i].delta < cands[j].delta
+		}
+		return cands[i].id < cands[j].id
+	})
+
+	// Face-change sweep.
+	idx := 0
+	for sweep := 0; sweep < len(cands); sweep++ {
+		n := cands[idx].id
+		edge := geom.Seg(pos, g.nw.Pos(n))
+		lfd := geom.Seg(st.FaceEntry, st.Target)
+		if edge.ProperlyIntersects(lfd) {
+			if cross, okc := edge.CrossingPoint(lfd); okc &&
+				cross.Dist(st.Target) < st.FaceEntry.Dist(st.Target)-geom.Eps {
+				st.FaceEntry = cross
+				idx = (idx + 1) % len(cands)
+				continue
+			}
+		}
+		break
+	}
+	chosen := cands[idx].id
+	st.Prev = cur
+	return chosen, st, true
+}
+
+// Route runs a full perimeter traversal from start until either reaching a
+// node whose position is strictly closer to the target than the entry point
+// (recovery, the GPSR exit rule), visiting a node within exitRadius of the
+// target, or exhausting maxHops. It returns the visited node sequence
+// including start. Used directly by the GRD baseline and by tests; GMP
+// drives NextHop step-by-step instead, because its recovery condition is a
+// full re-run of the grouping procedure.
+func Route(g *Graph, start int, target geom.Point, maxHops int) (path []int, recovered bool) {
+	st := Enter(g, start, target)
+	path = []int{start}
+	cur := start
+	for hop := 0; hop < maxHops; hop++ {
+		next, nst, ok := NextHop(g, cur, st)
+		if !ok {
+			return path, false
+		}
+		st = nst
+		cur = next
+		path = append(path, cur)
+		if g.nw.Pos(cur).Dist(target) < st.Entry.Dist(target)-geom.Eps {
+			return path, true
+		}
+	}
+	return path, false
+}

@@ -1,0 +1,73 @@
+package planar
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmp/internal/geom"
+	"gmp/internal/network"
+)
+
+// TestNextHopAlwaysReturnsTrueNeighbor stresses the face traversal over
+// random sparse deployments: every chosen hop must be an actual planar
+// neighbor, and the walk must never panic regardless of target placement.
+func TestNextHopAlwaysReturnsTrueNeighbor(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 20; trial++ {
+		nodes := network.DeployUniform(60+r.Intn(100), 800, 800, r)
+		nw, err := network.New(nodes, 800, 800, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Planarize(nw, Gabriel)
+		target := geom.Pt(r.Float64()*800, r.Float64()*800)
+		cur := r.Intn(nw.Len())
+		st := Enter(g, cur, target)
+		for hop := 0; hop < 100; hop++ {
+			next, nst, ok := NextHop(g, cur, st)
+			if !ok {
+				break // isolated node
+			}
+			found := false
+			for _, n := range g.Neighbors(cur) {
+				if n == next {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: hop to non-neighbor %d from %d", trial, next, cur)
+			}
+			cur, st = next, nst
+		}
+	}
+}
+
+// TestRouteTerminatesOnDisconnectedTargets ensures the bounded walk always
+// returns within its budget even when the target is in another component.
+func TestRouteTerminatesOnDisconnectedTargets(t *testing.T) {
+	r := rand.New(rand.NewSource(223))
+	// Two clusters far apart.
+	var pts []geom.Point
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.Pt(r.Float64()*200, r.Float64()*200))
+	}
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.Pt(800+r.Float64()*200, 800+r.Float64()*200))
+	}
+	nw, err := network.New(network.FromPoints(pts), 1000, 1000, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Planarize(nw, Gabriel)
+	path, recovered := Route(g, 0, geom.Pt(900, 900), 50)
+	if recovered {
+		// Recovery just means "got closer than the entry point", which a
+		// boundary walk may legitimately achieve; the essential property is
+		// termination within budget.
+		t.Logf("walk got closer without reaching: %d hops", len(path)-1)
+	}
+	if len(path) > 51 {
+		t.Fatalf("walk exceeded its budget: %d hops", len(path)-1)
+	}
+}

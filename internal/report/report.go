@@ -1,0 +1,109 @@
+// Package report assembles experiment results into a self-contained HTML
+// document with inline SVG charts and data tables — the artifact a
+// reproduction run hands to a reader.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gmp/internal/stats"
+	"gmp/internal/viz"
+)
+
+// Section is one figure of the report: a results table rendered as both a
+// line chart and an HTML table, with optional commentary.
+type Section struct {
+	Table   *stats.Table
+	Comment string
+}
+
+// Report is an ordered collection of sections with front matter.
+type Report struct {
+	Title    string
+	Subtitle string
+	sections []Section
+}
+
+// New creates an empty report.
+func New(title, subtitle string) *Report {
+	return &Report{Title: title, Subtitle: subtitle}
+}
+
+// Add appends a section. Nil tables are ignored so callers can pass
+// optional results unconditionally.
+func (r *Report) Add(t *stats.Table, comment string) {
+	if t == nil {
+		return
+	}
+	r.sections = append(r.sections, Section{Table: t, Comment: comment})
+}
+
+// Len returns the number of sections.
+func (r *Report) Len() int { return len(r.sections) }
+
+// HTML renders the full document. generated stamps the footer; pass the
+// zero time to omit it (deterministic output for tests).
+func (r *Report) HTML(generated time.Time) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", esc(r.Title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 920px; margin: 2em auto; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; font-size: 0.85em; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: right; }
+th { background: #f5f5f5; }
+p.comment { color: #444; }
+footer { margin-top: 3em; color: #888; font-size: 0.8em; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(r.Title))
+	if r.Subtitle != "" {
+		fmt.Fprintf(&b, "<p>%s</p>\n", esc(r.Subtitle))
+	}
+	for _, s := range r.sections {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", esc(s.Table.Title))
+		if s.Comment != "" {
+			fmt.Fprintf(&b, "<p class=\"comment\">%s</p>\n", esc(s.Comment))
+		}
+		b.WriteString(viz.LineChart(s.Table, viz.DefaultChartOptions()))
+		b.WriteString(htmlTable(s.Table))
+	}
+	if !generated.IsZero() {
+		fmt.Fprintf(&b, "<footer>generated %s</footer>\n", generated.Format(time.RFC3339))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// htmlTable renders the numeric table under each chart.
+func htmlTable(t *stats.Table) string {
+	var b strings.Builder
+	b.WriteString("<table><tr>")
+	fmt.Fprintf(&b, "<th>%s</th>", esc(t.XLabel))
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "<th>%s</th>", esc(s.Label))
+	}
+	b.WriteString("</tr>\n")
+	for i, x := range t.Xs {
+		b.WriteString("<tr>")
+		fmt.Fprintf(&b, "<td>%g</td>", x)
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "<td>%.2f</td>", s.Y[i])
+			} else {
+				b.WriteString("<td>—</td>")
+			}
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+	return b.String()
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

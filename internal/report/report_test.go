@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gmp/internal/stats"
+)
+
+func sampleTable() *stats.Table {
+	return &stats.Table{
+		Title:  "Figure 11 <total>",
+		XLabel: "k",
+		YLabel: "hops & more",
+		Xs:     []float64{3, 5, 8},
+		Series: []stats.Series{
+			{Label: "GMP", Y: []float64{9.4, 13.3, 18.1}},
+			{Label: "PBM", Y: []float64{10.5, 15.4, 21.7}},
+		},
+	}
+}
+
+func TestReportHTML(t *testing.T) {
+	r := New("GMP reproduction", "seed 1")
+	r.Add(sampleTable(), "paper claim here")
+	r.Add(nil, "ignored")
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	html := r.HTML(time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC))
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"GMP reproduction",
+		"Figure 11 &lt;total&gt;", // escaped
+		"paper claim here",
+		"<svg",
+		"<table>",
+		"<th>GMP</th>",
+		"13.30",
+		"generated 2026-07-04",
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestReportDeterministicWithoutTimestamp(t *testing.T) {
+	mk := func() string {
+		r := New("t", "")
+		r.Add(sampleTable(), "")
+		return r.HTML(time.Time{})
+	}
+	if mk() != mk() {
+		t.Fatal("report not deterministic")
+	}
+	if strings.Contains(mk(), "generated") {
+		t.Fatal("zero time must omit the footer")
+	}
+}
+
+func TestHTMLTableRagged(t *testing.T) {
+	tbl := sampleTable()
+	tbl.Series[1].Y = tbl.Series[1].Y[:1]
+	r := New("t", "")
+	r.Add(tbl, "")
+	if !strings.Contains(r.HTML(time.Time{}), "—") {
+		t.Fatal("ragged cells should render a dash")
+	}
+}

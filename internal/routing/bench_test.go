@@ -1,0 +1,77 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/sim"
+	"gmp/internal/workload"
+)
+
+// benchBed prepares a Table 1 scale network for per-task protocol benches.
+func benchBed(b *testing.B) (*network.Network, *planar.Graph, *sim.Engine, []workload.Task) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	nw, err := network.New(network.DeployUniform(1000, 1000, 1000, r), 1000, 1000, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pg := planar.Planarize(nw, planar.Gabriel)
+	en := sim.NewEngine(nw, sim.DefaultRadioParams(), 100)
+	tasks, err := workload.GenerateBatch(r, nw.Len(), 12, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw, pg, en, tasks
+}
+
+func benchmarkProtocol(b *testing.B, build func(*network.Network, *planar.Graph) Protocol) {
+	nw, pg, en, tasks := benchBed(b)
+	p := build(nw, pg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task := tasks[i%len(tasks)]
+		m := en.RunTask(p, task.Source, task.Dests)
+		if m.InvalidSends != 0 {
+			b.Fatal("invalid sends")
+		}
+	}
+}
+
+func BenchmarkTaskGMP(b *testing.B) {
+	benchmarkProtocol(b, func(nw *network.Network, pg *planar.Graph) Protocol {
+		return NewGMP(nw, pg)
+	})
+}
+
+func BenchmarkTaskGMPnr(b *testing.B) {
+	benchmarkProtocol(b, func(nw *network.Network, pg *planar.Graph) Protocol {
+		return NewGMPnr(nw, pg)
+	})
+}
+
+func BenchmarkTaskLGS(b *testing.B) {
+	benchmarkProtocol(b, func(nw *network.Network, _ *planar.Graph) Protocol {
+		return NewLGS(nw)
+	})
+}
+
+func BenchmarkTaskPBM(b *testing.B) {
+	benchmarkProtocol(b, func(nw *network.Network, pg *planar.Graph) Protocol {
+		return NewPBM(nw, pg, 0.3)
+	})
+}
+
+func BenchmarkTaskGRD(b *testing.B) {
+	benchmarkProtocol(b, func(nw *network.Network, pg *planar.Graph) Protocol {
+		return NewGRD(nw, pg)
+	})
+}
+
+func BenchmarkTaskSMT(b *testing.B) {
+	benchmarkProtocol(b, func(nw *network.Network, _ *planar.Graph) Protocol {
+		return NewSMT(nw)
+	})
+}

@@ -1,0 +1,157 @@
+package routing
+
+import (
+	"gmp/internal/geom"
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/sim"
+)
+
+// Geocast delivers a message to every node inside a geographic disk — the
+// group-communication sibling the paper's introduction contrasts multicast
+// against (refs [15, 2, 28]). It is built on the same substrates as GMP:
+// the packet first travels greedily (with perimeter recovery) toward the
+// region's center; once inside the region it floods region-restricted
+// copies.
+//
+// Geocast tasks are expressed through the usual engine interface by passing
+// the IDs of the nodes inside the region as the destination set (the
+// GeocastDests helper computes them); the protocol itself never uses that
+// list for routing — delivery accounting comes from the engine observing
+// packet arrivals, so the region flood stands on its own.
+type Geocast struct {
+	nw     *network.Network
+	pg     *planar.Graph
+	region geom.Region
+	// flooded models each region node's duplicate-suppression cache: a
+	// node rebroadcasts a flood packet at most once per task, exactly as
+	// classical region flooding does. Reset at Start.
+	flooded map[int]bool
+}
+
+var _ Protocol = (*Geocast)(nil)
+
+// NewGeocast returns a geocast protocol targeting the disk at center with
+// the given radius.
+func NewGeocast(nw *network.Network, pg *planar.Graph, center geom.Point, radius float64) *Geocast {
+	return NewGeocastRegion(nw, pg, geom.Disk{C: center, R: radius})
+}
+
+// NewGeocastRegion returns a geocast protocol targeting an arbitrary region
+// (disk, rectangle, polygon — anything implementing geom.Region).
+func NewGeocastRegion(nw *network.Network, pg *planar.Graph, region geom.Region) *Geocast {
+	return &Geocast{nw: nw, pg: pg, region: region}
+}
+
+// Name implements Protocol.
+func (g *Geocast) Name() string { return "GEO" }
+
+// GeocastDests returns the IDs of the nodes inside the target region of a
+// geocast — the destination set to hand to the engine for delivery
+// accounting.
+func GeocastDests(nw *network.Network, center geom.Point, radius float64) []int {
+	return GeocastRegionDests(nw, geom.Disk{C: center, R: radius})
+}
+
+// GeocastRegionDests returns the IDs of the nodes inside an arbitrary
+// region, sorted ascending.
+func GeocastRegionDests(nw *network.Network, region geom.Region) []int {
+	var out []int
+	for id := 0; id < nw.Len(); id++ {
+		if region.Contains(nw.Pos(id)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// inRegion reports whether node lies inside the geocast disk.
+func (g *Geocast) inRegion(node int) bool {
+	return g.region.Contains(g.nw.Pos(node))
+}
+
+// Start implements sim.Handler.
+func (g *Geocast) Start(e *sim.Engine, src int, dests []int) {
+	g.flooded = make(map[int]bool)
+	pkt := &sim.Packet{Dests: dests, Anchor: -1}
+	if g.inRegion(src) {
+		g.flood(e, src, pkt, -1)
+		return
+	}
+	g.approach(e, src, pkt)
+}
+
+// Receive implements sim.Handler.
+func (g *Geocast) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+	if g.inRegion(node) {
+		// Anchor carries the ID of the previous hop during the flood so a
+		// node does not echo straight back; duplicate suppression beyond
+		// that comes from the flood's hop-limited scope plus the engine's
+		// first-delivery-wins accounting.
+		prev := pkt.Anchor
+		if !pkt.Perimeter && prev != -1 && !g.inRegion(prev) {
+			prev = -1
+		}
+		g.flood(e, node, pkt, prev)
+		return
+	}
+	if pkt.Perimeter {
+		if g.nw.Pos(node).Dist(g.region.Anchor()) < pkt.Peri.Entry.Dist(g.region.Anchor())-geom.Eps {
+			pkt.Perimeter = false
+			g.approach(e, node, pkt)
+			return
+		}
+		next, nst, ok := planar.NextHop(g.pg, node, pkt.Peri)
+		if !ok {
+			e.Drop(pkt)
+			return
+		}
+		copyPkt := pkt.Clone()
+		copyPkt.Peri = nst
+		e.Send(node, next, copyPkt)
+		return
+	}
+	g.approach(e, node, pkt)
+}
+
+// approach takes one greedy step toward the region center, entering
+// perimeter mode at local minima.
+func (g *Geocast) approach(e *sim.Engine, node int, pkt *sim.Packet) {
+	if next := greedyNextHop(g.nw, node, g.region.Anchor()); next != -1 {
+		copyPkt := pkt.Clone()
+		copyPkt.Perimeter = false
+		copyPkt.Anchor = node
+		e.Send(node, next, copyPkt)
+		return
+	}
+	st := planar.Enter(g.pg, node, g.region.Anchor())
+	next, nst, ok := planar.NextHop(g.pg, node, st)
+	if !ok {
+		e.Drop(pkt)
+		return
+	}
+	copyPkt := pkt.Clone()
+	copyPkt.Perimeter = true
+	copyPkt.Peri = nst
+	e.Send(node, next, copyPkt)
+}
+
+// flood forwards region-restricted copies to every in-region neighbor
+// except the one the packet came from. Each node rebroadcasts at most once
+// per task (the flooded cache), so the flood costs at most one transmission
+// burst per region node and always terminates.
+func (g *Geocast) flood(e *sim.Engine, node int, pkt *sim.Packet, prev int) {
+	if g.flooded[node] {
+		return
+	}
+	g.flooded[node] = true
+	for _, n := range g.nw.Neighbors(node) {
+		if n == prev || !g.inRegion(n) {
+			continue
+		}
+		copyPkt := pkt.Clone()
+		copyPkt.Perimeter = false
+		copyPkt.Anchor = node
+		e.Send(node, n, copyPkt)
+	}
+}

@@ -1,0 +1,140 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmp/internal/geom"
+	"gmp/internal/network"
+)
+
+func TestGeocastDeliversWholeRegion(t *testing.T) {
+	bed := denseBed(t, 211, 800)
+	center := geom.Pt(750, 750)
+	const radius = 120.0
+	dests := GeocastDests(bed.nw, center, radius)
+	if len(dests) < 5 {
+		t.Skip("region unexpectedly empty")
+	}
+	src := bed.nw.ClosestNode(geom.Pt(150, 150)) // far outside the region
+	geo := NewGeocast(bed.nw, bed.pg, center, radius)
+	m := bed.en.RunTask(geo, src, dests)
+	if m.InvalidSends != 0 {
+		t.Fatalf("invalid sends: %d", m.InvalidSends)
+	}
+	if m.Failed() {
+		t.Fatalf("geocast missed %d of %d region nodes",
+			m.DestCount-len(m.Delivered), m.DestCount)
+	}
+}
+
+func TestGeocastSourceInsideRegion(t *testing.T) {
+	bed := denseBed(t, 223, 800)
+	center := geom.Pt(500, 500)
+	const radius = 150.0
+	dests := GeocastDests(bed.nw, center, radius)
+	src := bed.nw.ClosestNode(center)
+	geo := NewGeocast(bed.nw, bed.pg, center, radius)
+	m := bed.en.RunTask(geo, src, dests)
+	if m.Failed() {
+		t.Fatalf("in-region geocast failed: %d/%d", len(m.Delivered), m.DestCount)
+	}
+	// Duplicate suppression: the flood costs at most one burst per region
+	// node, so transmissions are bounded by Σ region-degree ≈ |R|·deg.
+	if m.Transmissions > len(dests)*80 {
+		t.Fatalf("flood exploded: %d transmissions for %d region nodes",
+			m.Transmissions, len(dests))
+	}
+}
+
+func TestGeocastFloodBounded(t *testing.T) {
+	// Repeat runs must not leak the duplicate-suppression cache across
+	// tasks: equal costs on identical tasks.
+	bed := denseBed(t, 227, 700)
+	center := geom.Pt(300, 700)
+	dests := GeocastDests(bed.nw, center, 100)
+	if len(dests) == 0 {
+		t.Skip("empty region")
+	}
+	src := bed.nw.ClosestNode(geom.Pt(800, 200))
+	geo := NewGeocast(bed.nw, bed.pg, center, 100)
+	a := bed.en.RunTask(geo, src, dests)
+	b := bed.en.RunTask(geo, src, dests)
+	if a.Transmissions != b.Transmissions {
+		t.Fatalf("state leaked across tasks: %d vs %d", a.Transmissions, b.Transmissions)
+	}
+}
+
+func TestGeocastAroundVoid(t *testing.T) {
+	// The approach phase must recover around a concave obstacle just like
+	// unicast perimeter routing.
+	r := rand.New(rand.NewSource(229))
+	trap := network.CShapedObstacle(geom.Pt(500, 500), 180, 360)
+	nodes := network.DeployUniformExclude(900, 1000, 1000, trap, r)
+	bed := newBed(t, nodes, 1000, 1000, 150, 200)
+	center := geom.Pt(930, 500) // behind the eastern wall from the pocket
+	dests := GeocastDests(bed.nw, center, 60)
+	if len(dests) == 0 {
+		t.Skip("empty region")
+	}
+	src := bed.nw.ClosestNode(geom.Pt(500, 500)) // inside the pocket
+	geo := NewGeocast(bed.nw, bed.pg, center, 60)
+	m := bed.en.RunTask(geo, src, dests)
+	if m.Failed() {
+		t.Fatalf("geocast failed around the trap: %d/%d delivered",
+			len(m.Delivered), m.DestCount)
+	}
+}
+
+func TestGeocastPolygonRegion(t *testing.T) {
+	bed := denseBed(t, 233, 800)
+	// A triangular zone in the north-east.
+	tri := geom.Polygon{Vertices: []geom.Point{
+		geom.Pt(650, 650), geom.Pt(950, 650), geom.Pt(800, 950),
+	}}
+	dests := GeocastRegionDests(bed.nw, tri)
+	if len(dests) < 3 {
+		t.Skip("triangle unexpectedly empty")
+	}
+	src := bed.nw.ClosestNode(geom.Pt(100, 100))
+	geo := NewGeocastRegion(bed.nw, bed.pg, tri)
+	m := bed.en.RunTask(geo, src, dests)
+	if m.Failed() {
+		t.Fatalf("polygon geocast missed %d of %d", m.DestCount-len(m.Delivered), m.DestCount)
+	}
+	// All delivered nodes are inside the triangle.
+	for d := range m.Delivered {
+		if !tri.Contains(bed.nw.Pos(d)) {
+			t.Fatalf("delivered node %d outside region", d)
+		}
+	}
+}
+
+func TestGeocastRectRegion(t *testing.T) {
+	bed := denseBed(t, 239, 700)
+	rect := geom.NewRect(geom.Pt(400, 400), geom.Pt(600, 600))
+	dests := GeocastRegionDests(bed.nw, rect)
+	if len(dests) == 0 {
+		t.Skip("empty rect")
+	}
+	src := bed.nw.ClosestNode(geom.Pt(50, 950))
+	geo := NewGeocastRegion(bed.nw, bed.pg, rect)
+	m := bed.en.RunTask(geo, src, dests)
+	if m.Failed() {
+		t.Fatalf("rect geocast failed: %d/%d", len(m.Delivered), m.DestCount)
+	}
+}
+
+func TestGeocastDestsHelper(t *testing.T) {
+	nodes := network.FromPoints([]geom.Point{
+		geom.Pt(100, 100), geom.Pt(110, 100), geom.Pt(400, 400),
+	})
+	nw, err := network.New(nodes, 500, 500, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := GeocastDests(nw, geom.Pt(105, 100), 20)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("GeocastDests = %v", got)
+	}
+}

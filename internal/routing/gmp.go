@@ -1,0 +1,229 @@
+package routing
+
+import (
+	"gmp/internal/geom"
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/sim"
+	"gmp/internal/steiner"
+)
+
+// GMPOptions tunes the GMP protocol variants.
+type GMPOptions struct {
+	// RadioAware enables the §3.3 radio-range-aware rrSTR cases. Disabling
+	// yields GMPnr.
+	RadioAware bool
+	// OneInRangeProse selects the §3.3 prose variant of the one-endpoint-
+	// in-range case (see steiner.Options); Figure 3 semantics when false.
+	OneInRangeProse bool
+	// MSTGrouping replaces the rrSTR tree with a Euclidean MST while
+	// keeping the rest of the GMP machinery (grouping by children,
+	// progress-constrained next hops, splitting, perimeter mode). Used by
+	// the tree-construction ablation that isolates the paper's central
+	// rrSTR-vs-MST claim.
+	MSTGrouping bool
+	// SteinerizedGrouping replaces the rrSTR tree with the corner-
+	// Steinerized MST (the classical MST-improvement heuristic family the
+	// paper cites as [23, 26, 33]) — the third arm of the A-6 tree
+	// ablation. Takes precedence over MSTGrouping.
+	SteinerizedGrouping bool
+}
+
+// GMP is the paper's protocol (§4): at every transmitting node it builds an
+// rrSTR virtual Euclidean Steiner tree over the remaining destinations,
+// groups them by the tree's pivots, forwards one copy per group toward the
+// pivot under a strict total-distance progress constraint, splits groups
+// around voids, and falls back to perimeter routing on the planarized graph
+// for destinations no grouping can serve.
+type GMP struct {
+	nw   *network.Network
+	pg   *planar.Graph
+	opts GMPOptions
+	name string
+}
+
+var _ Protocol = (*GMP)(nil)
+
+// NewGMP returns the full radio-range-aware protocol.
+func NewGMP(nw *network.Network, pg *planar.Graph) *GMP {
+	return &GMP{nw: nw, pg: pg, opts: GMPOptions{RadioAware: true}, name: "GMP"}
+}
+
+// NewGMPnr returns the ablation variant with radio-range awareness disabled
+// (the paper's GMPnr series).
+func NewGMPnr(nw *network.Network, pg *planar.Graph) *GMP {
+	return &GMP{nw: nw, pg: pg, name: "GMPnr"}
+}
+
+// NewGMPWithOptions returns a GMP variant with explicit options, used by the
+// ablation benchmarks.
+func NewGMPWithOptions(nw *network.Network, pg *planar.Graph, opts GMPOptions, name string) *GMP {
+	return &GMP{nw: nw, pg: pg, opts: opts, name: name}
+}
+
+// Name implements Protocol.
+func (g *GMP) Name() string { return g.name }
+
+func (g *GMP) steinerOpts() steiner.Options {
+	return steiner.Options{
+		RadioRange:      g.nw.Range(),
+		RadioAware:      g.opts.RadioAware,
+		OneInRangeProse: g.opts.OneInRangeProse,
+	}
+}
+
+// Start implements sim.Handler: the source runs the same procedure as every
+// forwarding node.
+func (g *GMP) Start(e *sim.Engine, src int, dests []int) {
+	g.process(e, src, &sim.Packet{Dests: dests})
+}
+
+// Receive implements sim.Handler.
+func (g *GMP) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+	if pkt.Perimeter {
+		g.recoverPerimeter(e, node, pkt)
+		return
+	}
+	g.process(e, node, pkt)
+}
+
+// process is Figure 7: group, forward, and push residual voids into
+// perimeter mode.
+func (g *GMP) process(e *sim.Engine, node int, pkt *sim.Packet) {
+	voids := g.forwardGroups(e, node, pkt)
+	if len(voids) == 0 {
+		return
+	}
+	g.enterPerimeter(e, node, pkt, voids)
+}
+
+// forwardGroups builds the rrSTR tree, walks its pivots, forwards one packet
+// copy per group that has a valid next hop, and splits groups per §4.1 when
+// none exists. It returns the destinations that remain void after maximal
+// splitting (each is a single non-virtual destination by then).
+func (g *GMP) forwardGroups(e *sim.Engine, node int, pkt *sim.Packet) (voids []int) {
+	var tree *steiner.Tree
+	switch {
+	case g.opts.SteinerizedGrouping:
+		tree = steiner.SteinerizedMST(g.nw.Pos(node), destsOf(g.nw, pkt.Dests))
+	case g.opts.MSTGrouping:
+		tree = steiner.EuclideanMST(g.nw.Pos(node), destsOf(g.nw, pkt.Dests))
+	default:
+		tree = steiner.Build(g.nw.Pos(node), destsOf(g.nw, pkt.Dests), g.steinerOpts())
+	}
+	worklist := tree.Pivots()
+
+	// Groups whose chosen next hop coincides are batched into a single
+	// transmission: the receiver re-partitions the union anyway, so two
+	// copies over the same link would only double the transmission count.
+	batches := make(map[int][]int)
+	var order []int
+
+	for len(worklist) > 0 {
+		p := worklist[0]
+		worklist = worklist[1:]
+		for {
+			group := g.groupLabels(tree, p)
+			next := groupNextHop(g.nw, node, tree.Vertex(p).Pos, group)
+			if next != -1 {
+				if _, seen := batches[next]; !seen {
+					order = append(order, next)
+				}
+				batches[next] = append(batches[next], group...)
+				break
+			}
+			// §4.1 splitting: promote the last child of p to a pivot.
+			last := tree.LastChild(p, 0)
+			if last == -1 {
+				// A lone terminal with no qualifying neighbor: a true void
+				// destination.
+				voids = append(voids, tree.Vertex(p).Label)
+				break
+			}
+			tree.RemoveEdge(p, last)
+			tree.AddEdge(0, last)
+			worklist = append(worklist, last)
+			if kids := tree.Children(p, 0); len(kids) == 1 && tree.Vertex(p).Kind == steiner.Virtual {
+				// A virtual pivot with one child dissolves into that child.
+				only := kids[0]
+				tree.RemoveEdge(p, only)
+				tree.AddEdge(0, only)
+				worklist = append(worklist, only)
+				break
+			}
+			// Otherwise retry the same (now smaller) pivot group.
+		}
+	}
+	for _, next := range order {
+		copyPkt := pkt.Clone()
+		copyPkt.Dests = sortedCopy(batches[next])
+		copyPkt.Perimeter = false
+		e.Send(node, next, copyPkt)
+	}
+	return sortedCopy(voids)
+}
+
+// groupLabels returns the sorted node IDs of the non-virtual destinations in
+// the subtree rooted at pivot p.
+func (g *GMP) groupLabels(tree *steiner.Tree, p int) []int {
+	terms := tree.SubtreeTerminals(p, 0)
+	labels := make([]int, len(terms))
+	for i, id := range terms {
+		labels[i] = tree.Vertex(id).Label
+	}
+	return sortedCopy(labels)
+}
+
+// enterPerimeter starts perimeter mode (§4.1): all void destinations travel
+// in a single copy aimed at their average location over the planarized
+// graph.
+func (g *GMP) enterPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []int) {
+	avg := geom.Centroid(positionsOf(g.nw, voids))
+	st := planar.Enter(g.pg, node, avg)
+	g.stepPerimeter(e, node, pkt, voids, st)
+}
+
+// stepPerimeter advances the face traversal one hop and forwards the
+// perimeter copy.
+func (g *GMP) stepPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []int, st planar.State) {
+	next, nst, ok := planar.NextHop(g.pg, node, st)
+	if !ok {
+		e.Drop(pkt)
+		return
+	}
+	copyPkt := pkt.Clone()
+	copyPkt.Dests = voids
+	copyPkt.Perimeter = true
+	copyPkt.Peri = nst
+	e.Send(node, next, copyPkt)
+}
+
+// recoverPerimeter handles a perimeter-mode packet (§4.1 steps 4–7): first
+// re-run the full GMP grouping; groups that now have valid next hops leave
+// perimeter mode. If nothing recovered, continue the same traversal; if
+// some groups recovered, start a fresh traversal toward the new average of
+// the still-void destinations.
+//
+// Recovery is attempted only once the packet is strictly closer to the
+// perimeter target than its entry point — the standard GPSR exit rule the
+// paper's §4.1 refers to ("similar to the one used by PBM [21]"). Without
+// it, the literal step-4 re-run lets a packet ping-pong forever between a
+// void node and the neighbor that first absorbed it.
+func (g *GMP) recoverPerimeter(e *sim.Engine, node int, pkt *sim.Packet) {
+	if g.nw.Pos(node).Dist(pkt.Peri.Target) >= pkt.Peri.Entry.Dist(pkt.Peri.Target)-geom.Eps {
+		g.stepPerimeter(e, node, pkt, pkt.Dests, pkt.Peri)
+		return
+	}
+	voids := g.forwardGroups(e, node, pkt)
+	switch {
+	case len(voids) == 0:
+		// Fully recovered.
+	case len(voids) == len(pkt.Dests):
+		// No progress: keep traversing with the same average destination
+		// and face state.
+		g.stepPerimeter(e, node, pkt, voids, pkt.Peri)
+	default:
+		// Partial recovery: fresh perimeter round for the remainder.
+		g.enterPerimeter(e, node, pkt, voids)
+	}
+}

@@ -1,0 +1,84 @@
+package routing
+
+import (
+	"gmp/internal/geom"
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/sim"
+)
+
+// GRD routes an independent packet to every destination with greedy
+// geographic forwarding plus GPSR-style perimeter recovery. It explicitly
+// minimizes the per-destination hop count, serving as the paper's lower
+// bound for Figure 12 and the upper extreme for total hops (no sharing at
+// all).
+type GRD struct {
+	nw *network.Network
+	pg *planar.Graph
+}
+
+var _ Protocol = (*GRD)(nil)
+
+// NewGRD returns the multiple-unicast baseline.
+func NewGRD(nw *network.Network, pg *planar.Graph) *GRD {
+	return &GRD{nw: nw, pg: pg}
+}
+
+// Name implements Protocol.
+func (g *GRD) Name() string { return "GRD" }
+
+// Start implements sim.Handler: one independent packet per destination.
+func (g *GRD) Start(e *sim.Engine, src int, dests []int) {
+	for _, d := range dests {
+		g.forward(e, src, &sim.Packet{Dests: []int{d}})
+	}
+}
+
+// Receive implements sim.Handler.
+func (g *GRD) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+	if len(pkt.Dests) != 1 {
+		e.Drop(pkt) // GRD packets always carry exactly one destination
+		return
+	}
+	if pkt.Perimeter {
+		target := g.nw.Pos(pkt.Dests[0])
+		// GPSR exit rule: resume greedy once strictly closer to the target
+		// than the perimeter entry point.
+		if g.nw.Pos(node).Dist(target) < pkt.Peri.Entry.Dist(target)-geom.Eps {
+			pkt.Perimeter = false
+			g.forward(e, node, pkt)
+			return
+		}
+		next, nst, ok := planar.NextHop(g.pg, node, pkt.Peri)
+		if !ok {
+			e.Drop(pkt)
+			return
+		}
+		copyPkt := pkt.Clone()
+		copyPkt.Peri = nst
+		e.Send(node, next, copyPkt)
+		return
+	}
+	g.forward(e, node, pkt)
+}
+
+// forward takes one greedy step, entering perimeter mode at local minima.
+func (g *GRD) forward(e *sim.Engine, node int, pkt *sim.Packet) {
+	target := g.nw.Pos(pkt.Dests[0])
+	if next := greedyNextHop(g.nw, node, target); next != -1 {
+		copyPkt := pkt.Clone()
+		copyPkt.Perimeter = false
+		e.Send(node, next, copyPkt)
+		return
+	}
+	st := planar.Enter(g.pg, node, target)
+	next, nst, ok := planar.NextHop(g.pg, node, st)
+	if !ok {
+		e.Drop(pkt)
+		return
+	}
+	copyPkt := pkt.Clone()
+	copyPkt.Perimeter = true
+	copyPkt.Peri = nst
+	e.Send(node, next, copyPkt)
+}

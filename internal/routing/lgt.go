@@ -1,0 +1,156 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gmp/internal/network"
+	"gmp/internal/sim"
+	"gmp/internal/steiner"
+)
+
+// LGS is the location-guided Steiner-tree baseline of Chen & Nahrstedt [5]:
+// a partitioning node builds a minimum spanning tree over itself and the
+// remaining destinations (actual destination locations only — no virtual
+// points), partitions the destinations by the MST children, and sends each
+// group greedily toward its subtree root.
+//
+// Crucially — and unlike GMP — only subtree roots re-partition: relay nodes
+// between roots just forward greedily toward the packet's current root
+// (§5.2: routing "prevents the destinations from getting divided into groups
+// at intermediate nodes"). LGS has no void recovery: it drops the packet
+// when no neighbor is closer to the current root (§5.4: "it fails when a
+// void destination is identified").
+type LGS struct {
+	nw *network.Network
+}
+
+var _ Protocol = (*LGS)(nil)
+
+// NewLGS returns the LGS baseline over nw.
+func NewLGS(nw *network.Network) *LGS { return &LGS{nw: nw} }
+
+// Name implements Protocol.
+func (l *LGS) Name() string { return "LGS" }
+
+// Start implements sim.Handler.
+func (l *LGS) Start(e *sim.Engine, src int, dests []int) {
+	l.partition(e, src, &sim.Packet{Dests: dests, Anchor: -1})
+}
+
+// Receive implements sim.Handler. The engine has already stripped this node
+// from the destination list, so a packet anchored at this node has reached
+// its subtree root and is due for re-partitioning.
+func (l *LGS) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+	if pkt.Anchor == node {
+		l.partition(e, node, pkt)
+		return
+	}
+	l.relay(e, node, pkt)
+}
+
+// partition rebuilds the MST at a subtree root and launches one copy per
+// child group.
+func (l *LGS) partition(e *sim.Engine, node int, pkt *sim.Packet) {
+	tree := steiner.EuclideanMST(l.nw.Pos(node), destsOf(l.nw, pkt.Dests))
+	for _, p := range tree.Pivots() {
+		group := make([]int, 0, len(pkt.Dests))
+		for _, id := range tree.SubtreeTerminals(p, 0) {
+			group = append(group, tree.Vertex(id).Label)
+		}
+		sort.Ints(group)
+		copyPkt := pkt.Clone()
+		copyPkt.Dests = group
+		copyPkt.Anchor = tree.Vertex(p).Label
+		l.relay(e, node, copyPkt)
+	}
+}
+
+// relay takes one greedy step toward the packet's anchor root.
+func (l *LGS) relay(e *sim.Engine, node int, pkt *sim.Packet) {
+	next := greedyNextHop(l.nw, node, l.nw.Pos(pkt.Anchor))
+	if next == -1 {
+		e.Drop(pkt) // void: LGS gives up on this group
+		return
+	}
+	e.Send(node, next, pkt)
+}
+
+// LGK is the location-guided k-ary tree variant of [5], included for
+// completeness: a partitioning node picks its k nearest destinations as
+// subtree roots and assigns every remaining destination to the closest
+// root. Like LGS, only roots re-partition.
+type LGK struct {
+	nw *network.Network
+	k  int
+}
+
+var _ Protocol = (*LGK)(nil)
+
+// NewLGK returns an LGK instance with fan-out k (k ≥ 1; [5] evaluates k=2).
+func NewLGK(nw *network.Network, k int) *LGK {
+	if k < 1 {
+		k = 1
+	}
+	return &LGK{nw: nw, k: k}
+}
+
+// Name implements Protocol.
+func (l *LGK) Name() string { return fmt.Sprintf("LGK%d", l.k) }
+
+// Start implements sim.Handler.
+func (l *LGK) Start(e *sim.Engine, src int, dests []int) {
+	l.partition(e, src, &sim.Packet{Dests: dests, Anchor: -1})
+}
+
+// Receive implements sim.Handler.
+func (l *LGK) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+	if pkt.Anchor == node {
+		l.partition(e, node, pkt)
+		return
+	}
+	l.relay(e, node, pkt)
+}
+
+func (l *LGK) partition(e *sim.Engine, node int, pkt *sim.Packet) {
+	pos := l.nw.Pos(node)
+	dests := sortedCopy(pkt.Dests)
+	// Roots: the k destinations nearest to the current node.
+	sort.SliceStable(dests, func(i, j int) bool {
+		return pos.Dist(l.nw.Pos(dests[i])) < pos.Dist(l.nw.Pos(dests[j]))
+	})
+	k := l.k
+	if k > len(dests) {
+		k = len(dests)
+	}
+	roots := dests[:k]
+	groups := make(map[int][]int, k)
+	for _, r := range roots {
+		groups[r] = []int{r}
+	}
+	for _, d := range dests[k:] {
+		best, bestD := roots[0], math.Inf(1)
+		for _, r := range roots {
+			if dd := l.nw.Pos(d).Dist(l.nw.Pos(r)); dd < bestD {
+				best, bestD = r, dd
+			}
+		}
+		groups[best] = append(groups[best], d)
+	}
+	for _, r := range roots {
+		copyPkt := pkt.Clone()
+		copyPkt.Dests = sortedCopy(groups[r])
+		copyPkt.Anchor = r
+		l.relay(e, node, copyPkt)
+	}
+}
+
+func (l *LGK) relay(e *sim.Engine, node int, pkt *sim.Packet) {
+	next := greedyNextHop(l.nw, node, l.nw.Pos(pkt.Anchor))
+	if next == -1 {
+		e.Drop(pkt)
+		return
+	}
+	e.Send(node, next, pkt)
+}

@@ -1,0 +1,268 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gmp/internal/geom"
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/sim"
+)
+
+// pbmExactLimit caps the candidate count for exhaustive subset enumeration;
+// beyond it PBM falls back to greedy forward-selection. The paper itself
+// notes PBM "can be very costly when there are large numbers of neighbors
+// and destinations" — see DESIGN.md §3 for the substitution argument.
+const pbmExactLimit = 12
+
+// PBM is the position-based multicast baseline (Mauve et al. [21]). At each
+// node it chooses a subset S of its neighbors minimizing
+//
+//	f(S) = λ·|S|/|N| + (1-λ)·(Σ_d min_{n∈S} d(n,d)) / (Σ_d d(cur,d))
+//
+// assigns every destination to the closest member of S, and forwards one
+// copy per chosen neighbor. λ trades total hops (bandwidth) against
+// per-destination progress; the paper sweeps λ ∈ {0, 0.1, …, 0.6} and keeps
+// the best run.
+//
+// Void destinations (no neighbor closer than the current node) are grouped
+// into a single perimeter-mode packet aimed at their average location; unlike
+// GMP, PBM always sends void destinations to perimeter mode immediately
+// (§4.1, Figure 10 discussion).
+type PBM struct {
+	nw     *network.Network
+	pg     *planar.Graph
+	lambda float64
+}
+
+var _ Protocol = (*PBM)(nil)
+
+// NewPBM returns a PBM instance with the given trade-off parameter λ.
+func NewPBM(nw *network.Network, pg *planar.Graph, lambda float64) *PBM {
+	return &PBM{nw: nw, pg: pg, lambda: lambda}
+}
+
+// Name implements Protocol.
+func (p *PBM) Name() string { return fmt.Sprintf("PBM(λ=%.1f)", p.lambda) }
+
+// Lambda returns the protocol's trade-off parameter.
+func (p *PBM) Lambda() float64 { return p.lambda }
+
+// Start implements sim.Handler.
+func (p *PBM) Start(e *sim.Engine, src int, dests []int) {
+	p.process(e, src, &sim.Packet{Dests: dests})
+}
+
+// Receive implements sim.Handler.
+func (p *PBM) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+	if pkt.Perimeter {
+		p.recoverPerimeter(e, node, pkt)
+		return
+	}
+	p.process(e, node, pkt)
+}
+
+// splitVoids partitions dests into those with at least one strictly closer
+// neighbor and those without (voids).
+func (p *PBM) splitVoids(node int, dests []int) (routable, voids []int) {
+	for _, d := range dests {
+		if greedyNextHop(p.nw, node, p.nw.Pos(d)) == -1 {
+			voids = append(voids, d)
+		} else {
+			routable = append(routable, d)
+		}
+	}
+	return routable, voids
+}
+
+func (p *PBM) process(e *sim.Engine, node int, pkt *sim.Packet) {
+	routable, voids := p.splitVoids(node, pkt.Dests)
+	if len(routable) > 0 {
+		p.forwardSubset(e, node, pkt, routable)
+	}
+	if len(voids) > 0 {
+		p.enterPerimeter(e, node, pkt, voids)
+	}
+}
+
+// forwardSubset runs the subset optimization and sends one copy per chosen
+// neighbor with its assigned destinations.
+func (p *PBM) forwardSubset(e *sim.Engine, node int, pkt *sim.Packet, dests []int) {
+	subset := p.chooseSubset(node, dests)
+	if len(subset) == 0 {
+		// Cannot happen for routable destinations, but fail safe.
+		e.Drop(pkt)
+		return
+	}
+	assign := make(map[int][]int, len(subset))
+	for _, d := range dests {
+		dp := p.nw.Pos(d)
+		best, bestD := subset[0], math.Inf(1)
+		for _, n := range subset {
+			if dd := p.nw.Pos(n).Dist(dp); dd < bestD {
+				best, bestD = n, dd
+			}
+		}
+		assign[best] = append(assign[best], d)
+	}
+	members := make([]int, 0, len(assign))
+	for n := range assign {
+		members = append(members, n)
+	}
+	sort.Ints(members)
+	for _, n := range members {
+		copyPkt := pkt.Clone()
+		copyPkt.Dests = sortedCopy(assign[n])
+		copyPkt.Perimeter = false
+		e.Send(node, n, copyPkt)
+	}
+}
+
+// candidates returns the distinct per-destination closest neighbors: the
+// only neighbors that can lower the remaining-distance term of f.
+func (p *PBM) candidates(node int, dests []int) []int {
+	set := make(map[int]bool)
+	for _, d := range dests {
+		dp := p.nw.Pos(d)
+		best, bestD := -1, math.Inf(1)
+		for _, n := range p.nw.Neighbors(node) {
+			if dd := p.nw.Pos(n).Dist(dp); dd < bestD {
+				best, bestD = n, dd
+			}
+		}
+		if best != -1 {
+			set[best] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// objective evaluates f(S) for the given subset.
+func (p *PBM) objective(node int, subset, dests []int) float64 {
+	m := p.nw.Degree(node)
+	if m == 0 || len(subset) == 0 {
+		return math.Inf(1)
+	}
+	var remaining float64
+	for _, d := range dests {
+		dp := p.nw.Pos(d)
+		best := math.Inf(1)
+		for _, n := range subset {
+			if dd := p.nw.Pos(n).Dist(dp); dd < best {
+				best = dd
+			}
+		}
+		remaining += best
+	}
+	curTotal := sumDistTo(p.nw, p.nw.Pos(node), dests)
+	if curTotal <= geom.Eps {
+		curTotal = geom.Eps
+	}
+	return p.lambda*float64(len(subset))/float64(m) + (1-p.lambda)*remaining/curTotal
+}
+
+// chooseSubset minimizes f over subsets of the candidate neighbors:
+// exhaustively when the candidate set is small, greedily otherwise.
+func (p *PBM) chooseSubset(node int, dests []int) []int {
+	cands := p.candidates(node, dests)
+	if len(cands) == 0 {
+		return nil
+	}
+	if len(cands) <= pbmExactLimit {
+		return p.exhaustiveSubset(node, cands, dests)
+	}
+	return p.greedySubset(node, cands, dests)
+}
+
+func (p *PBM) exhaustiveSubset(node int, cands, dests []int) []int {
+	bestF := math.Inf(1)
+	var best []int
+	buf := make([]int, 0, len(cands))
+	for mask := 1; mask < 1<<len(cands); mask++ {
+		buf = buf[:0]
+		for i, c := range cands {
+			if mask&(1<<i) != 0 {
+				buf = append(buf, c)
+			}
+		}
+		if f := p.objective(node, buf, dests); f < bestF {
+			bestF = f
+			best = append([]int(nil), buf...)
+		}
+	}
+	return best
+}
+
+func (p *PBM) greedySubset(node int, cands, dests []int) []int {
+	var subset []int
+	bestF := math.Inf(1)
+	remaining := append([]int(nil), cands...)
+	for len(remaining) > 0 {
+		pick, pickF := -1, bestF
+		for i, c := range remaining {
+			f := p.objective(node, append(subset, c), dests)
+			if f < pickF {
+				pick, pickF = i, f
+			}
+		}
+		if pick == -1 {
+			break // no single addition improves f
+		}
+		subset = append(subset, remaining[pick])
+		bestF = pickF
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	sort.Ints(subset)
+	return subset
+}
+
+// enterPerimeter puts all void destinations into one perimeter-mode copy
+// aimed at their average location, as in [21].
+func (p *PBM) enterPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []int) {
+	avg := geom.Centroid(positionsOf(p.nw, voids))
+	st := planar.Enter(p.pg, node, avg)
+	p.stepPerimeter(e, node, pkt, voids, st)
+}
+
+func (p *PBM) stepPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []int, st planar.State) {
+	next, nst, ok := planar.NextHop(p.pg, node, st)
+	if !ok {
+		e.Drop(pkt)
+		return
+	}
+	copyPkt := pkt.Clone()
+	copyPkt.Dests = sortedCopy(voids)
+	copyPkt.Perimeter = true
+	copyPkt.Peri = nst
+	e.Send(node, next, copyPkt)
+}
+
+// recoverPerimeter resumes greedy forwarding for destinations that now have
+// a closer neighbor; the rest keep traversing (same average if the void set
+// is unchanged, fresh round otherwise). As in GMP, recovery waits for the
+// GPSR exit condition — strictly closer to the perimeter target than the
+// entry point — to prevent ping-pong loops.
+func (p *PBM) recoverPerimeter(e *sim.Engine, node int, pkt *sim.Packet) {
+	if p.nw.Pos(node).Dist(pkt.Peri.Target) >= pkt.Peri.Entry.Dist(pkt.Peri.Target)-geom.Eps {
+		p.stepPerimeter(e, node, pkt, pkt.Dests, pkt.Peri)
+		return
+	}
+	routable, voids := p.splitVoids(node, pkt.Dests)
+	if len(routable) > 0 {
+		p.forwardSubset(e, node, pkt, routable)
+	}
+	switch {
+	case len(voids) == 0:
+	case len(routable) == 0:
+		p.stepPerimeter(e, node, pkt, voids, pkt.Peri)
+	default:
+		p.enterPerimeter(e, node, pkt, voids)
+	}
+}

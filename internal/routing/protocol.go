@@ -1,0 +1,96 @@
+// Package routing implements the multicast routing protocols evaluated in
+// the paper: GMP and its GMPnr ablation (§4), and the baselines LGS and LGK
+// (Chen & Nahrstedt [5]), PBM (Mauve et al. [21]), GRD (independent greedy
+// geographic unicast, the per-destination lower bound), and SMT (centralized
+// Kou–Markowsky–Berman source routing [16]).
+//
+// Every protocol is a sim.Handler: the simulation engine calls Start at the
+// task's source and Receive at each node a packet copy arrives at; the
+// protocol answers by calling Engine.Send for each forwarded copy.
+package routing
+
+import (
+	"math"
+	"sort"
+
+	"gmp/internal/geom"
+	"gmp/internal/network"
+	"gmp/internal/sim"
+	"gmp/internal/steiner"
+)
+
+// Protocol is a named routing protocol usable by the experiment harness.
+type Protocol interface {
+	sim.Handler
+	// Name is the series label used in tables ("GMP", "LGS", …).
+	Name() string
+}
+
+// destsOf converts node IDs to the steiner package's destination records.
+func destsOf(nw *network.Network, ids []int) []steiner.Dest {
+	out := make([]steiner.Dest, len(ids))
+	for i, id := range ids {
+		out[i] = steiner.Dest{Pos: nw.Pos(id), Label: id}
+	}
+	return out
+}
+
+// positionsOf maps node IDs to their coordinates.
+func positionsOf(nw *network.Network, ids []int) []geom.Point {
+	out := make([]geom.Point, len(ids))
+	for i, id := range ids {
+		out[i] = nw.Pos(id)
+	}
+	return out
+}
+
+// sumDistTo returns Σ_{d∈dests} dist(p, pos(d)).
+func sumDistTo(nw *network.Network, p geom.Point, dests []int) float64 {
+	var total float64
+	for _, d := range dests {
+		total += p.Dist(nw.Pos(d))
+	}
+	return total
+}
+
+// groupNextHop implements GMP's next-hop selection (paper Figure 7 step 4):
+// among cur's neighbors, pick the one closest to the pivot location subject
+// to the loop-freedom constraint that its total distance to the group's
+// destinations is strictly below the current node's. Returns -1 when no
+// neighbor qualifies (a void for this group).
+func groupNextHop(nw *network.Network, cur int, pivot geom.Point, group []int) int {
+	curTotal := sumDistTo(nw, nw.Pos(cur), group)
+	best, bestD := -1, math.Inf(1)
+	for _, n := range nw.Neighbors(cur) {
+		np := nw.Pos(n)
+		if sumDistTo(nw, np, group) >= curTotal {
+			continue
+		}
+		if d := np.Dist(pivot); d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+// greedyNextHop returns the neighbor of cur closest to target, provided it
+// is strictly closer to target than cur itself; -1 otherwise. This is the
+// classical greedy geographic forwarding step used by GRD and LGS.
+func greedyNextHop(nw *network.Network, cur int, target geom.Point) int {
+	curD := nw.Pos(cur).Dist(target)
+	best, bestD := -1, curD
+	for _, n := range nw.Neighbors(cur) {
+		if d := nw.Pos(n).Dist(target); d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+// sortedCopy returns a sorted copy of ids (protocol output must not depend
+// on map iteration order anywhere).
+func sortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}

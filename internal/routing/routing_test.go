@@ -1,0 +1,219 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmp/internal/geom"
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/sim"
+)
+
+// testBed bundles a network with its planar graph and an engine.
+type testBed struct {
+	nw *network.Network
+	pg *planar.Graph
+	en *sim.Engine
+}
+
+func newBed(t *testing.T, nodes []network.Node, w, h, rng float64, maxHops int) *testBed {
+	t.Helper()
+	nw, err := network.New(nodes, w, h, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testBed{
+		nw: nw,
+		pg: planar.Planarize(nw, planar.Gabriel),
+		en: sim.NewEngine(nw, sim.DefaultRadioParams(), maxHops),
+	}
+}
+
+// denseBed returns a connected 1000-node uniform deployment (Table 1 scale).
+func denseBed(t *testing.T, seed int64, n int) *testBed {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 10; attempt++ {
+		nodes := network.DeployUniform(n, 1000, 1000, r)
+		nw, err := network.New(nodes, 1000, 1000, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nw.Connected() {
+			continue
+		}
+		return &testBed{
+			nw: nw,
+			pg: planar.Planarize(nw, planar.Gabriel),
+			en: sim.NewEngine(nw, sim.DefaultRadioParams(), 100),
+		}
+	}
+	t.Fatal("could not generate a connected deployment")
+	return nil
+}
+
+// pickTask returns a deterministic source and k distinct destinations.
+func pickTask(r *rand.Rand, n, k int) (src int, dests []int) {
+	src = r.Intn(n)
+	seen := map[int]bool{src: true}
+	for len(dests) < k {
+		d := r.Intn(n)
+		if !seen[d] {
+			seen[d] = true
+			dests = append(dests, d)
+		}
+	}
+	return src, dests
+}
+
+func (b *testBed) protocols() []Protocol {
+	return []Protocol{
+		NewGMP(b.nw, b.pg),
+		NewGMPnr(b.nw, b.pg),
+		NewLGS(b.nw),
+		NewLGK(b.nw, 2),
+		NewPBM(b.nw, b.pg, 0.3),
+		NewGRD(b.nw, b.pg),
+		NewSMT(b.nw),
+	}
+}
+
+func TestAllProtocolsDeliverOnDenseNetwork(t *testing.T) {
+	bed := denseBed(t, 101, 1000)
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		src, dests := pickTask(r, bed.nw.Len(), 8)
+		for _, p := range bed.protocols() {
+			m := bed.en.RunTask(p, src, dests)
+			if m.InvalidSends != 0 {
+				t.Fatalf("%s: %d invalid sends", p.Name(), m.InvalidSends)
+			}
+			if p.Name() == "LGS" || p.Name() == "LGK2" {
+				// LGT variants may legitimately fail on voids even in dense
+				// networks; only require no invalid behavior.
+				continue
+			}
+			if m.Failed() {
+				t.Fatalf("%s failed task %d: delivered %d of %d",
+					p.Name(), trial, len(m.Delivered), m.DestCount)
+			}
+		}
+	}
+}
+
+func TestProtocolsAreDeterministic(t *testing.T) {
+	bed := denseBed(t, 103, 600)
+	src, dests := pickTask(rand.New(rand.NewSource(7)), bed.nw.Len(), 10)
+	for _, p := range bed.protocols() {
+		a := bed.en.RunTask(p, src, dests)
+		b := bed.en.RunTask(p, src, dests)
+		if a.Transmissions != b.Transmissions || a.EnergyJ != b.EnergyJ ||
+			len(a.Delivered) != len(b.Delivered) {
+			t.Fatalf("%s nondeterministic: %+v vs %+v", p.Name(), a, b)
+		}
+		for d, h := range a.Delivered {
+			if b.Delivered[d] != h {
+				t.Fatalf("%s nondeterministic delivery for %d", p.Name(), d)
+			}
+		}
+	}
+}
+
+func TestMulticastSharingBeatsUnicastTotalHops(t *testing.T) {
+	// The whole point of multicasting: GMP's total transmissions over many
+	// tasks must undercut GRD's independent unicasts.
+	bed := denseBed(t, 107, 1000)
+	r := rand.New(rand.NewSource(11))
+	gmp := NewGMP(bed.nw, bed.pg)
+	grd := NewGRD(bed.nw, bed.pg)
+	var gmpTotal, grdTotal int
+	for trial := 0; trial < 10; trial++ {
+		src, dests := pickTask(r, bed.nw.Len(), 12)
+		gmpTotal += bed.en.RunTask(gmp, src, dests).Transmissions
+		grdTotal += bed.en.RunTask(grd, src, dests).Transmissions
+	}
+	if gmpTotal >= grdTotal {
+		t.Fatalf("GMP total hops %d not below GRD %d", gmpTotal, grdTotal)
+	}
+}
+
+func TestGRDPerDestNearOptimal(t *testing.T) {
+	// GRD per-destination hops must stay near the BFS shortest-path hops
+	// (greedy geographic routing on dense networks is near-optimal).
+	bed := denseBed(t, 109, 1000)
+	r := rand.New(rand.NewSource(13))
+	grd := NewGRD(bed.nw, bed.pg)
+	for trial := 0; trial < 5; trial++ {
+		src, dests := pickTask(r, bed.nw.Len(), 6)
+		m := bed.en.RunTask(grd, src, dests)
+		hop := bed.nw.HopDistances(src)
+		for _, d := range dests {
+			got, ok := m.Delivered[d]
+			if !ok {
+				t.Fatalf("GRD missed %d", d)
+			}
+			if got < hop[d] {
+				t.Fatalf("GRD beat BFS optimum: %d < %d", got, hop[d])
+			}
+			if got > hop[d]*3+2 {
+				t.Fatalf("GRD wildly suboptimal for %d: %d vs BFS %d", d, got, hop[d])
+			}
+		}
+	}
+}
+
+func TestEnergyProportionalToTransmissions(t *testing.T) {
+	// With the Table 1 model, each transmission costs at least the sender's
+	// TX energy, and at most TX + RX·(max degree).
+	bed := denseBed(t, 113, 800)
+	r := rand.New(rand.NewSource(17))
+	src, dests := pickTask(r, bed.nw.Len(), 10)
+	params := sim.DefaultRadioParams()
+	maxDeg := 0
+	for i := 0; i < bed.nw.Len(); i++ {
+		if d := bed.nw.Degree(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	for _, p := range bed.protocols() {
+		m := bed.en.RunTask(p, src, dests)
+		lo := float64(m.Transmissions) * params.TxEnergy(0)
+		hi := float64(m.Transmissions) * params.TxEnergy(maxDeg)
+		if m.EnergyJ < lo-1e-9 || m.EnergyJ > hi+1e-9 {
+			t.Fatalf("%s energy %v outside [%v, %v] for %d tx",
+				p.Name(), m.EnergyJ, lo, hi, m.Transmissions)
+		}
+	}
+}
+
+func TestHopBudgetEnforcedForAll(t *testing.T) {
+	// With a hop budget of 3 on a large field, distant destinations must
+	// fail rather than loop, for every protocol.
+	bed := denseBed(t, 127, 800)
+	short := sim.NewEngine(bed.nw, sim.DefaultRadioParams(), 3)
+	src := bed.nw.ClosestNode(geom.Pt(50, 50))
+	far := bed.nw.ClosestNode(geom.Pt(950, 950))
+	for _, p := range bed.protocols() {
+		m := short.RunTask(p, src, []int{far})
+		if !m.Failed() {
+			t.Fatalf("%s delivered across the field within 3 hops?", p.Name())
+		}
+		if m.Delivered[far] != 0 && m.Delivered[far] <= 3 {
+			t.Fatalf("%s recorded impossible delivery", p.Name())
+		}
+	}
+}
+
+func TestNamesAreStable(t *testing.T) {
+	bed := newBed(t, network.DeployGrid(3, 3, 100), 300, 300, 150, 0)
+	want := map[string]bool{
+		"GMP": true, "GMPnr": true, "LGS": true, "LGK2": true,
+		"PBM(λ=0.3)": true, "GRD": true, "SMT": true,
+	}
+	for _, p := range bed.protocols() {
+		if !want[p.Name()] {
+			t.Fatalf("unexpected protocol name %q", p.Name())
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	var s Scheduler
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, func() {})
+		if !s.Step() {
+			b.Fatal("no event")
+		}
+	}
+}
+
+func BenchmarkSchedulerDeepQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s Scheduler
+		for j := 0; j < 1024; j++ {
+			s.At(float64(1024-j), func() {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkTxEnergy(b *testing.B) {
+	p := DefaultRadioParams()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.TxEnergy(64)
+	}
+	_ = sink
+}

@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"sort"
+
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/wire"
+)
+
+// Packet is one multicast packet copy in flight. It carries exactly the
+// state the paper's protocols put on the wire: the remaining destination
+// list, the hop count, the PERIMODE flag with its perimeter-traversal state,
+// and — for the source-routed SMT baseline only — the embedded routing tree.
+type Packet struct {
+	// Dests are the node IDs this copy is still responsible for.
+	Dests []int
+	// Hops is the number of transmissions this copy has undergone.
+	Hops int
+	// Perimeter is the paper's PERIMODE flag.
+	Perimeter bool
+	// Peri is the face-traversal state, valid while Perimeter is set.
+	Peri planar.State
+	// Route, when non-nil, is a children adjacency (node → children) of a
+	// source-computed routing tree, used by SMT source routing.
+	Route map[int][]int
+	// Anchor is the node ID this copy is steered toward before the next
+	// re-partitioning, or -1 when unused. LGT protocols (LGS/LGK) only
+	// re-partition at subtree roots; relays in between forward greedily
+	// toward the anchor.
+	Anchor int
+	// Session indexes the concurrent session this copy belongs to (always
+	// 0 in single-task runs).
+	Session int
+}
+
+// Clone deep-copies the packet, so every transmitted copy owns its state.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Dests = append([]int(nil), p.Dests...)
+	// Route is immutable after the source builds it; sharing is safe.
+	return &q
+}
+
+// Handler is a routing protocol instance driving forwarding decisions.
+// Implementations live in the routing package.
+type Handler interface {
+	// Start kicks a multicast task off at the source node. The handler
+	// performs the source's local computation and calls Engine.Send for
+	// each first-hop copy.
+	Start(e *Engine, src int, dests []int)
+	// Receive handles a packet copy arriving at node. Destinations already
+	// delivered at this node have been stripped by the engine.
+	Receive(e *Engine, node int, pkt *Packet)
+}
+
+// TaskMetrics aggregates what the paper measures for one multicast task.
+type TaskMetrics struct {
+	// Transmissions is the total number of packet transmissions — the
+	// paper's "total number of hops" (Figure 11).
+	Transmissions int
+	// EnergyJ is the total energy in joules under the §5.3 model
+	// (Figure 14).
+	EnergyJ float64
+	// Delivered maps each reached destination to the hop count at which it
+	// was first reached (Figure 12 averages these).
+	Delivered map[int]int
+	// Drops counts packet copies dropped (hop budget exhausted or protocol
+	// gave up, e.g. LGS hitting a void).
+	Drops int
+	// InvalidSends counts attempted transmissions to nodes out of radio
+	// range. Always zero for correct protocols; tests assert it.
+	InvalidSends int
+	// DestCount is the size of the task's destination set.
+	DestCount int
+	// EnergyByNode, when per-node accounting is enabled via
+	// Engine.SetEnergyLedger, maps node IDs to joules drawn during the
+	// task (transmit energy at senders, receive energy at listeners).
+	EnergyByNode map[int]float64
+}
+
+// Failed reports whether the task missed at least one destination — the
+// paper's failure criterion for Figure 15.
+func (m *TaskMetrics) Failed() bool { return len(m.Delivered) < m.DestCount }
+
+// TotalHops is the paper's Figure 11 metric.
+func (m *TaskMetrics) TotalHops() int { return m.Transmissions }
+
+// AvgHopsPerDest is the paper's Figure 12 metric, averaged over *reached*
+// destinations. Returns 0 when nothing was delivered.
+func (m *TaskMetrics) AvgHopsPerDest() float64 {
+	if len(m.Delivered) == 0 {
+		return 0
+	}
+	var sum int
+	for _, h := range m.Delivered {
+		sum += h
+	}
+	return float64(sum) / float64(len(m.Delivered))
+}
+
+// Session describes one multicast job inside a concurrent script.
+type Session struct {
+	// Start is the virtual time the source begins its task.
+	Start float64
+	// Handler is the protocol instance driving this session. Sessions must
+	// not share stateful handler instances (construct one per session).
+	Handler Handler
+	// Src and Dests define the task.
+	Src   int
+	Dests []int
+}
+
+// SessionMetrics extends TaskMetrics with timing observed under concurrent
+// traffic.
+type SessionMetrics struct {
+	TaskMetrics
+	// StartTime echoes the session's start.
+	StartTime float64
+	// DeliveredAt maps each reached destination to its virtual delivery
+	// time (absolute; subtract StartTime for latency).
+	DeliveredAt map[int]float64
+}
+
+// MaxLatency returns the worst per-destination delivery latency, or 0 when
+// nothing was delivered.
+func (m *SessionMetrics) MaxLatency() float64 {
+	var worst float64
+	for _, at := range m.DeliveredAt {
+		if l := at - m.StartTime; l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// MeanLatency returns the mean per-destination delivery latency.
+func (m *SessionMetrics) MeanLatency() float64 {
+	if len(m.DeliveredAt) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, at := range m.DeliveredAt {
+		sum += at - m.StartTime
+	}
+	return sum / float64(len(m.DeliveredAt))
+}
+
+// TraceEvent describes one transmission for observability tooling (the
+// gmptrace CLI). Fields are snapshots taken at send time.
+type TraceEvent struct {
+	// Time is the virtual send time in seconds.
+	Time float64
+	// From and To are the transmitting and receiving node IDs.
+	From, To int
+	// Hops is the packet's hop count after this transmission.
+	Hops int
+	// Dests is the destination set carried by the copy.
+	Dests []int
+	// Perimeter reports whether the copy is in perimeter mode.
+	Perimeter bool
+}
+
+// TraceFunc observes every accepted transmission.
+type TraceFunc func(TraceEvent)
+
+// sessionState is the engine's per-session bookkeeping.
+type sessionState struct {
+	handler Handler
+	metrics SessionMetrics
+}
+
+// Engine runs multicast tasks over a network with a given radio model:
+// one at a time via RunTask (the experiment harness's mode) or many
+// overlapping in virtual time via RunScript. Transmissions from one node
+// serialize — a node's radio is half-duplex and sends one frame at a time —
+// which is what makes concurrent-load latency meaningful.
+type Engine struct {
+	net     *network.Network
+	radio   RadioParams
+	maxHops int
+
+	sched     *Scheduler
+	sessions  []sessionState
+	busyUntil []float64
+	cur       int // session whose handler is currently executing
+	tracer    TraceFunc
+	perNode   bool
+	dynFrame  bool
+}
+
+// NewEngine builds an engine over net. maxHops is the per-packet hop budget
+// (the paper uses 100 in §5.4); 0 disables the budget.
+func NewEngine(net *network.Network, radio RadioParams, maxHops int) *Engine {
+	return &Engine{net: net, radio: radio, maxHops: maxHops}
+}
+
+// Net returns the underlying network, for handlers that need neighborhoods.
+func (e *Engine) Net() *network.Network { return e.net }
+
+// Radio returns the radio parameters.
+func (e *Engine) Radio() RadioParams { return e.radio }
+
+// MaxHops returns the per-packet hop budget (0 = unlimited).
+func (e *Engine) MaxHops() int { return e.maxHops }
+
+// Now returns the current virtual time of the running task.
+func (e *Engine) Now() float64 { return e.sched.Now() }
+
+// SetTracer installs (or clears, with nil) a transmission observer. Tracing
+// does not affect simulation behavior.
+func (e *Engine) SetTracer(fn TraceFunc) { e.tracer = fn }
+
+// SetEnergyLedger toggles per-node energy accounting (TaskMetrics.
+// EnergyByNode). It costs one map update per listener per transmission, so
+// it is off by default; the lifetime experiment turns it on.
+func (e *Engine) SetEnergyLedger(on bool) { e.perNode = on }
+
+// SetDynamicFrames switches airtime and energy from the fixed Table 1
+// message size to each packet's actual on-air size: the application payload
+// (RadioParams.MessageBytes) plus the wire-format header carrying the
+// destination locations and perimeter state. The paper charges a flat
+// 128 B per transmission; this mode is the A-5 ablation quantifying what
+// that simplification hides.
+func (e *Engine) SetDynamicFrames(on bool) { e.dynFrame = on }
+
+// frameBytes returns the accounted on-air size of a packet.
+func (e *Engine) frameBytes(pkt *Packet) int {
+	if !e.dynFrame {
+		return e.radio.MessageBytes
+	}
+	return e.radio.MessageBytes + wire.HeaderSize(len(pkt.Dests), pkt.Perimeter)
+}
+
+// RunTask simulates one multicast task from src to dests using handler h
+// and returns its metrics. Destinations equal to src count as delivered at
+// hop 0.
+func (e *Engine) RunTask(h Handler, src int, dests []int) TaskMetrics {
+	res := e.RunScript([]Session{{Handler: h, Src: src, Dests: dests}})
+	return res[0].TaskMetrics
+}
+
+// RunScript simulates overlapping multicast sessions on the shared medium
+// and returns per-session metrics in input order.
+func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
+	e.sched = &Scheduler{}
+	e.busyUntil = make([]float64, e.net.Len())
+	e.sessions = make([]sessionState, len(sessions))
+
+	for i, s := range sessions {
+		i, s := i, s
+		st := &e.sessions[i]
+		st.handler = s.Handler
+		st.metrics = SessionMetrics{
+			TaskMetrics: TaskMetrics{
+				Delivered: make(map[int]int, len(s.Dests)),
+				DestCount: len(s.Dests),
+			},
+			StartTime:   s.Start,
+			DeliveredAt: make(map[int]float64, len(s.Dests)),
+		}
+		if e.perNode {
+			st.metrics.EnergyByNode = make(map[int]float64)
+		}
+		remaining := make([]int, 0, len(s.Dests))
+		for _, d := range s.Dests {
+			if d == s.Src {
+				st.metrics.Delivered[d] = 0
+				st.metrics.DeliveredAt[d] = s.Start
+				continue
+			}
+			remaining = append(remaining, d)
+		}
+		sort.Ints(remaining)
+		if len(remaining) > 0 {
+			e.sched.At(s.Start, func() {
+				e.cur = i
+				st.handler.Start(e, s.Src, remaining)
+			})
+		}
+	}
+	e.sched.Run()
+
+	out := make([]SessionMetrics, len(sessions))
+	for i := range e.sessions {
+		out[i] = e.sessions[i].metrics
+	}
+	return out
+}
+
+// Send transmits a copy of pkt from node `from` to its neighbor `to`. It
+// accounts the transmission and its energy against the packet's session,
+// enforces the hop budget, serializes with the sender's other transmissions
+// (half-duplex radio) and schedules the arrival. Destination bookkeeping
+// happens at arrival. Sends to out-of-range nodes are dropped and counted
+// in InvalidSends (they indicate a protocol bug; tests assert the counter
+// stays zero).
+func (e *Engine) Send(from, to int, pkt *Packet) {
+	// Packets are attributed to the session whose handler is executing;
+	// handlers never need to stamp session IDs themselves.
+	m := &e.sessions[e.cur].metrics
+	if from == to || !e.net.InRange(from, to) {
+		m.InvalidSends++
+		return
+	}
+	copyPkt := pkt.Clone()
+	copyPkt.Session = e.cur
+	copyPkt.Hops++
+	if e.maxHops > 0 && copyPkt.Hops > e.maxHops {
+		m.Drops++
+		return
+	}
+	frame := e.frameBytes(copyPkt)
+	airtime := e.radio.TxTimeBytes(frame)
+
+	txStart := e.sched.Now()
+	if e.busyUntil[from] > txStart {
+		txStart = e.busyUntil[from]
+	}
+	e.busyUntil[from] = txStart + airtime
+
+	m.Transmissions++
+	m.EnergyJ += e.radio.TxEnergyBytes(frame, e.net.Degree(from))
+	if e.perNode {
+		m.EnergyByNode[from] += e.radio.TxPowerW * airtime
+		for _, l := range e.net.Neighbors(from) {
+			m.EnergyByNode[l] += e.radio.RxPowerW * airtime
+		}
+	}
+	if e.tracer != nil {
+		e.tracer(TraceEvent{
+			Time:      txStart,
+			From:      from,
+			To:        to,
+			Hops:      copyPkt.Hops,
+			Dests:     append([]int(nil), copyPkt.Dests...),
+			Perimeter: copyPkt.Perimeter,
+		})
+	}
+	e.sched.At(txStart+airtime, func() { e.arrive(to, copyPkt) })
+}
+
+// Drop records that a protocol intentionally abandoned a packet copy (for
+// example LGS upon meeting a void destination).
+func (e *Engine) Drop(*Packet) { e.sessions[e.cur].metrics.Drops++ }
+
+// arrive records deliveries at the receiving node, strips it from the
+// destination list, and hands the packet to the protocol if work remains.
+func (e *Engine) arrive(node int, pkt *Packet) {
+	e.cur = pkt.Session
+	st := &e.sessions[pkt.Session]
+	kept := pkt.Dests[:0]
+	for _, d := range pkt.Dests {
+		if d == node {
+			if _, dup := st.metrics.Delivered[d]; !dup {
+				st.metrics.Delivered[d] = pkt.Hops
+				st.metrics.DeliveredAt[d] = e.sched.Now()
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+	pkt.Dests = kept
+	if len(pkt.Dests) == 0 {
+		return
+	}
+	st.handler.Receive(e, node, pkt)
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	var s Scheduler
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Fatalf("Processed = %d", s.Processed())
+	}
+}
+
+func TestSchedulerFIFOTieBreak(t *testing.T) {
+	var s Scheduler
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerAfterAndNesting(t *testing.T) {
+	var s Scheduler
+	var times []float64
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulerPastClamped(t *testing.T) {
+	var s Scheduler
+	fired := false
+	s.At(5, func() {
+		// Scheduling in the past must clamp to now, not rewind the clock.
+		s.At(1, func() {
+			fired = true
+			if s.Now() != 5 {
+				t.Errorf("clock rewound to %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("clamped event did not fire")
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	var s Scheduler
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		s.At(tm, func() { fired = append(fired, tm) })
+	}
+	s.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 2.5 {
+		t.Fatalf("Now = %v, want 2.5", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired = %v", fired)
+	}
+}
+
+func TestSchedulerStepEmpty(t *testing.T) {
+	var s Scheduler
+	if s.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}

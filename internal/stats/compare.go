@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PairedComparison summarizes paired per-task differences between two
+// protocols (A − B): the mean difference with a normal-approximation
+// confidence interval. With the harness's hundreds of paired tasks the
+// normal approximation is solid.
+type PairedComparison struct {
+	// MeanDiff is mean(A−B).
+	MeanDiff float64
+	// CILow and CIHigh bound the confidence interval for the mean
+	// difference.
+	CILow, CIHigh float64
+	// N is the number of pairs.
+	N int
+}
+
+// ErrTooFewPairs is returned when fewer than two pairs are supplied.
+var ErrTooFewPairs = errors.New("stats: need at least two pairs")
+
+// zFor maps common confidence levels to standard-normal quantiles.
+func zFor(confidence float64) float64 {
+	switch {
+	case confidence >= 0.99:
+		return 2.576
+	case confidence >= 0.95:
+		return 1.960
+	case confidence >= 0.90:
+		return 1.645
+	default:
+		return 1.960
+	}
+}
+
+// ComparePaired computes the confidence interval of mean(a−b) for paired
+// samples at the given confidence level (0.90, 0.95 or 0.99).
+func ComparePaired(a, b []float64, confidence float64) (PairedComparison, error) {
+	if len(a) != len(b) {
+		return PairedComparison{}, fmt.Errorf("stats: unpaired lengths %d vs %d", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return PairedComparison{}, ErrTooFewPairs
+	}
+	diffs := make([]float64, len(a))
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	mean := Mean(diffs)
+	se := StdDev(diffs) / math.Sqrt(float64(len(diffs)))
+	z := zFor(confidence)
+	return PairedComparison{
+		MeanDiff: mean,
+		CILow:    mean - z*se,
+		CIHigh:   mean + z*se,
+		N:        len(diffs),
+	}, nil
+}
+
+// Significant reports whether the confidence interval excludes zero — i.e.
+// the direction of the difference is statistically resolved.
+func (c PairedComparison) Significant() bool {
+	return c.CILow > 0 || c.CIHigh < 0
+}
+
+// String renders the comparison compactly.
+func (c PairedComparison) String() string {
+	verdict := "not significant"
+	if c.Significant() {
+		verdict = "significant"
+	}
+	return fmt.Sprintf("Δ=%.3f CI[%.3f, %.3f] n=%d (%s)",
+		c.MeanDiff, c.CILow, c.CIHigh, c.N, verdict)
+}

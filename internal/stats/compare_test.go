@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestComparePairedClearDifference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 500
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := r.Float64() * 50
+		a[i] = base + 5 + r.NormFloat64()
+		b[i] = base + r.NormFloat64()
+	}
+	c, err := ComparePaired(a, b, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Significant() {
+		t.Fatalf("clear +5 shift not significant: %v", c)
+	}
+	if c.MeanDiff < 4 || c.MeanDiff > 6 {
+		t.Fatalf("MeanDiff = %v", c.MeanDiff)
+	}
+	if c.CILow >= c.MeanDiff || c.CIHigh <= c.MeanDiff {
+		t.Fatalf("interval does not bracket the mean: %v", c)
+	}
+	if !strings.Contains(c.String(), "significant") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestComparePairedNoDifference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := 400
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	c, err := ComparePaired(a, b, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Significant() {
+		t.Fatalf("pure noise reported significant: %v", c)
+	}
+	if !strings.Contains(c.String(), "not significant") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestComparePairedErrors(t *testing.T) {
+	if _, err := ComparePaired([]float64{1}, []float64{1, 2}, 0.95); err == nil {
+		t.Fatal("unpaired lengths should error")
+	}
+	if _, err := ComparePaired([]float64{1}, []float64{2}, 0.95); !errors.Is(err, ErrTooFewPairs) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestComparePairedWiderAtHigherConfidence(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{0, 1, 2, 5, 4, 5, 8, 7}
+	c90, _ := ComparePaired(a, b, 0.90)
+	c99, _ := ComparePaired(a, b, 0.99)
+	if (c99.CIHigh - c99.CILow) <= (c90.CIHigh - c90.CILow) {
+		t.Fatal("99% interval should be wider than 90%")
+	}
+	// Unknown levels fall back to 95%.
+	c95, _ := ComparePaired(a, b, 0.95)
+	cOdd, _ := ComparePaired(a, b, 0.5)
+	if c95.CILow != cOdd.CILow || c95.CIHigh != cOdd.CIHigh {
+		t.Fatal("fallback confidence mismatch")
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// jsonTable is the stable serialized shape of a Table. Tags make the file
+// format an explicit contract independent of Go field names.
+type jsonTable struct {
+	Title   string       `json:"title"`
+	XLabel  string       `json:"xLabel"`
+	YLabel  string       `json:"yLabel"`
+	Xs      []float64    `json:"xs"`
+	Series  []jsonSeries `json:"series"`
+	Version int          `json:"version"`
+}
+
+type jsonSeries struct {
+	Label string    `json:"label"`
+	Y     []float64 `json:"y"`
+}
+
+// tableFormatVersion guards against future layout changes.
+const tableFormatVersion = 1
+
+// ErrBadTableJSON is returned for malformed or incompatible table files.
+var ErrBadTableJSON = errors.New("stats: bad table JSON")
+
+// MarshalJSON implements json.Marshaler with a stable, versioned layout.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := jsonTable{
+		Title:   t.Title,
+		XLabel:  t.XLabel,
+		YLabel:  t.YLabel,
+		Xs:      t.Xs,
+		Version: tableFormatVersion,
+	}
+	for _, s := range t.Series {
+		out.Series = append(out.Series, jsonSeries{Label: s.Label, Y: s.Y})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var in jsonTable
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTableJSON, err)
+	}
+	if in.Version != tableFormatVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadTableJSON, in.Version)
+	}
+	t.Title = in.Title
+	t.XLabel = in.XLabel
+	t.YLabel = in.YLabel
+	t.Xs = in.Xs
+	t.Series = nil
+	for _, s := range in.Series {
+		t.Series = append(t.Series, Series{Label: s.Label, Y: s.Y})
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	orig := newTestTable()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version":1`) {
+		t.Fatalf("missing version: %s", data)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != orig.Title || back.XLabel != orig.XLabel || back.YLabel != orig.YLabel {
+		t.Fatalf("headers lost: %+v", back)
+	}
+	if len(back.Series) != len(orig.Series) {
+		t.Fatalf("series = %d", len(back.Series))
+	}
+	for i := range orig.Series {
+		if back.Series[i].Label != orig.Series[i].Label {
+			t.Fatal("labels lost")
+		}
+		for j := range orig.Series[i].Y {
+			if back.Series[i].Y[j] != orig.Series[i].Y[j] {
+				t.Fatal("values lost")
+			}
+		}
+	}
+	// The rendered outputs agree too.
+	if back.CSV() != orig.CSV() {
+		t.Fatal("CSV mismatch after round trip")
+	}
+}
+
+func TestTableJSONBadInputs(t *testing.T) {
+	var tbl Table
+	// Syntactically invalid JSON is rejected by encoding/json itself before
+	// our UnmarshalJSON runs; structurally wrong JSON reaches it and gets
+	// the wrapped error.
+	if err := json.Unmarshal([]byte("{"), &tbl); err == nil {
+		t.Fatal("syntax error should fail")
+	}
+	if err := json.Unmarshal([]byte(`[1,2,3]`), &tbl); !errors.Is(err, ErrBadTableJSON) {
+		t.Fatalf("wrong shape: %v", err)
+	}
+	if err := json.Unmarshal([]byte(`{"version":99}`), &tbl); !errors.Is(err, ErrBadTableJSON) {
+		t.Fatalf("version: %v", err)
+	}
+}

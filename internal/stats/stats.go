@@ -1,0 +1,188 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to aggregate simulation results into the tables that mirror
+// the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs (0 for an empty slice).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for an empty slice).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation; 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Series is one labeled line of a result table: Y values indexed like the
+// table's Xs.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Table is a rectangular result set mirroring one paper figure: a swept
+// X axis and one series per protocol.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Series []Series
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%s (rows) vs %s\n", t.XLabel, t.YLabel)
+
+	headers := make([]string, 0, len(t.Series)+1)
+	headers = append(headers, t.XLabel)
+	for _, s := range t.Series {
+		headers = append(headers, s.Label)
+	}
+	rows := make([][]string, 0, len(t.Xs)+1)
+	rows = append(rows, headers)
+	for i, x := range t.Xs {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(x))
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.2f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			fmt.Fprintf(&b, "%*s", widths[c]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.Xs {
+		b.WriteString(trimFloat(x))
+		for _, s := range t.Series {
+			b.WriteByte(',')
+			if i < len(s.Y) {
+				b.WriteString(fmt.Sprintf("%g", s.Y[i]))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Get returns the series with the given label, or nil.
+func (t *Table) Get(label string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Label == label {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

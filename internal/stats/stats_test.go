@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev single")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max")
+	}
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func newTestTable() *Table {
+	return &Table{
+		Title:  "Figure X",
+		XLabel: "k",
+		YLabel: "hops",
+		Xs:     []float64{3, 5},
+		Series: []Series{
+			{Label: "GMP", Y: []float64{10, 20}},
+			{Label: "LGS", Y: []float64{12.5, 26}},
+		},
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	out := newTestTable().Render()
+	for _, want := range []string{"Figure X", "GMP", "LGS", "10.00", "26.00", "k"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	out := newTestTable().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "k,GMP,LGS" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "3,10,12.5" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestTableGet(t *testing.T) {
+	tbl := newTestTable()
+	if s := tbl.Get("GMP"); s == nil || s.Y[1] != 20 {
+		t.Fatal("Get GMP")
+	}
+	if tbl.Get("nope") != nil {
+		t.Fatal("Get unknown should be nil")
+	}
+}
+
+func TestTableRaggedSeries(t *testing.T) {
+	tbl := newTestTable()
+	tbl.Series[1].Y = tbl.Series[1].Y[:1]
+	out := tbl.Render()
+	if !strings.Contains(out, "-") {
+		t.Fatalf("ragged cell should render dash:\n%s", out)
+	}
+}

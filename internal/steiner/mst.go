@@ -1,0 +1,99 @@
+package steiner
+
+import (
+	"math"
+
+	"gmp/internal/geom"
+)
+
+// EuclideanMST builds the minimum spanning tree of {source} ∪ dests under
+// Euclidean distance, using Prim's algorithm seeded at the source. This is
+// the tree-construction step of the LGS baseline (Chen & Nahrstedt [5]): the
+// tree uses only the actual destination locations — no virtual points.
+//
+// Edge insertion order is Prim's growth order, which gives LastChild a
+// deterministic meaning for trees produced here as well.
+func EuclideanMST(source geom.Point, dests []Dest) *Tree {
+	tree := NewTree(source)
+	n := len(dests)
+	if n == 0 {
+		return tree
+	}
+	for _, d := range dests {
+		tree.AddTerminal(d.Pos, d.Label)
+	}
+
+	const unvisited = -1
+	inTree := make([]bool, n+1)
+	bestCost := make([]float64, n+1)
+	bestFrom := make([]int, n+1)
+	for i := range bestCost {
+		bestCost[i] = math.Inf(1)
+		bestFrom[i] = unvisited
+	}
+	inTree[0] = true
+	for i := 1; i <= n; i++ {
+		bestCost[i] = source.Dist(tree.Vertex(i).Pos)
+		bestFrom[i] = 0
+	}
+
+	for added := 0; added < n; added++ {
+		pick := unvisited
+		for i := 1; i <= n; i++ {
+			if !inTree[i] && (pick == unvisited || bestCost[i] < bestCost[pick]) {
+				pick = i
+			}
+		}
+		inTree[pick] = true
+		tree.AddEdge(bestFrom[pick], pick)
+		pickPos := tree.Vertex(pick).Pos
+		for i := 1; i <= n; i++ {
+			if inTree[i] {
+				continue
+			}
+			if d := pickPos.Dist(tree.Vertex(i).Pos); d < bestCost[i] {
+				bestCost[i] = d
+				bestFrom[i] = pick
+			}
+		}
+	}
+	return tree
+}
+
+// MSTLength returns the total Euclidean length of the minimum spanning tree
+// over pts. It is the classical 2-approximation reference used in tests to
+// sanity-check rrSTR tree lengths.
+func MSTLength(pts []geom.Point) float64 {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		best[i] = pts[0].Dist(pts[i])
+	}
+	var total float64
+	for added := 1; added < n; added++ {
+		pick := -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && (pick == -1 || best[i] < best[pick]) {
+				pick = i
+			}
+		}
+		total += best[pick]
+		inTree[pick] = true
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := pts[pick].Dist(pts[i]); d < best[i] {
+					best[i] = d
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+package steiner
+
+import (
+	"math"
+
+	"gmp/internal/geom"
+)
+
+// ReferenceLength returns a high-quality reference length for the Euclidean
+// Steiner minimal tree over the given terminals:
+//
+//   - exact for up to three terminals (the Fermat construction);
+//   - for four terminals, the best of the MST, all single-Steiner-point
+//     topologies and all three two-Steiner-point topologies, the latter
+//     solved by alternating Fermat iteration — optimal or within numerical
+//     tolerance of it for generic configurations;
+//   - the MST length for five or more terminals (a guaranteed upper bound).
+//
+// It exists as a quality oracle for rrSTR in tests and ablations, not as a
+// routing component.
+func ReferenceLength(terms []geom.Point) float64 {
+	switch len(terms) {
+	case 0, 1:
+		return 0
+	case 2:
+		return terms[0].Dist(terms[1])
+	case 3:
+		return geom.SteinerCost(terms[0], terms[1], terms[2])
+	case 4:
+		return reference4(terms)
+	default:
+		return MSTLength(terms)
+	}
+}
+
+// reference4 evaluates every Steiner topology class for four terminals.
+func reference4(t []geom.Point) float64 {
+	best := MSTLength(t)
+
+	// Single Steiner point joining a triple, fourth terminal attached to
+	// its nearest tree vertex.
+	for skip := 0; skip < 4; skip++ {
+		tri := make([]geom.Point, 0, 3)
+		for i, p := range t {
+			if i != skip {
+				tri = append(tri, p)
+			}
+		}
+		sp := geom.SteinerPoint(tri[0], tri[1], tri[2])
+		base := sp.Dist(tri[0]) + sp.Dist(tri[1]) + sp.Dist(tri[2])
+		attach := math.Min(
+			math.Min(t[skip].Dist(tri[0]), t[skip].Dist(tri[1])),
+			math.Min(t[skip].Dist(tri[2]), t[skip].Dist(sp)),
+		)
+		if l := base + attach; l < best {
+			best = l
+		}
+	}
+
+	// Two Steiner points: one per pair, connected to each other. Three
+	// distinct pairings.
+	pairings := [3][2][2]int{
+		{{0, 1}, {2, 3}},
+		{{0, 2}, {1, 3}},
+		{{0, 3}, {1, 2}},
+	}
+	for _, pr := range pairings {
+		a, b := t[pr[0][0]], t[pr[0][1]]
+		c, d := t[pr[1][0]], t[pr[1][1]]
+		s1 := geom.Midpoint(a, b)
+		s2 := geom.Midpoint(c, d)
+		for iter := 0; iter < 200; iter++ {
+			n1 := geom.SteinerPoint(a, b, s2)
+			n2 := geom.SteinerPoint(c, d, n1)
+			if n1.Dist(s1) <= geom.Eps && n2.Dist(s2) <= geom.Eps {
+				s1, s2 = n1, n2
+				break
+			}
+			s1, s2 = n1, n2
+		}
+		l := s1.Dist(a) + s1.Dist(b) + s1.Dist(s2) + s2.Dist(c) + s2.Dist(d)
+		if l < best {
+			best = l
+		}
+	}
+	return best
+}

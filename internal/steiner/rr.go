@@ -1,0 +1,32 @@
+package steiner
+
+import "gmp/internal/geom"
+
+// ReductionRatio computes the paper's §3.1 measure for a source s and a
+// destination pair (u, v):
+//
+//	RR(s, u, v) = 1 - (d(s,t) + d(t,u) + d(t,v)) / (d(s,u) + d(s,v))
+//
+// where t is the exact Euclidean Steiner (Fermat) point of {s, u, v}. The
+// ratio is the fractional tree-length saving obtained by letting u and v
+// share the subpath s→t instead of using two direct edges; it is always
+// below 1/2, grows with the distance of the pair from the source, and grows
+// as the angle ∠(u, s, v) shrinks — the two observations that guide rrSTR.
+//
+// Degenerate input (both destinations collocated with the source) yields 0.
+func ReductionRatio(s, u, v geom.Point) float64 {
+	rr, _ := ReductionRatioPoint(s, u, v)
+	return rr
+}
+
+// ReductionRatioPoint is ReductionRatio but also returns the Steiner point t,
+// so callers that need both avoid recomputing the Fermat construction.
+func ReductionRatioPoint(s, u, v geom.Point) (float64, geom.Point) {
+	direct := s.Dist(u) + s.Dist(v)
+	if direct <= geom.Eps {
+		return 0, s
+	}
+	t := geom.SteinerPoint(s, u, v)
+	through := s.Dist(t) + t.Dist(u) + t.Dist(v)
+	return 1 - through/direct, t
+}

@@ -1,0 +1,233 @@
+package steiner
+
+import (
+	"container/heap"
+	"sort"
+
+	"gmp/internal/geom"
+)
+
+// Dest is a multicast destination handed to a tree builder: a position plus
+// the caller's identifier (for example a network node ID).
+type Dest struct {
+	Pos   geom.Point
+	Label int
+}
+
+// Options configures the rrSTR construction (paper Figure 3 and §3.3).
+type Options struct {
+	// RadioRange is the transmission radius of the current node, used by the
+	// radio-range-aware special cases. It must be positive when RadioAware
+	// is set.
+	RadioRange float64
+	// RadioAware enables the §3.3 special cases that suppress virtual
+	// destinations which would only add hops. Disabling it yields GMPnr,
+	// the paper's ablation variant.
+	RadioAware bool
+	// OneInRangeProse selects the §3.3 prose behaviour for the
+	// "only one endpoint within radio range and the virtual point is not
+	// beneficial" case: attach both destinations directly to the source.
+	// The default (false) follows the normative Figure 3 pseudocode, which
+	// deactivates the pair instead. Kept as an option for the A-1 ablation.
+	OneInRangeProse bool
+}
+
+// pairItem is a candidate destination pair in the reduction-ratio queue.
+type pairItem struct {
+	u, v int // vertex IDs, u < v
+	rr   float64
+	t    geom.Point // Steiner point of {source, u, v}
+}
+
+// pairQueue is a max-heap of pairItems keyed by reduction ratio.
+type pairQueue []pairItem
+
+func (q pairQueue) Len() int { return len(q) }
+func (q pairQueue) Less(i, j int) bool {
+	// Deterministic tie-break on vertex IDs so identical inputs always
+	// produce identical trees.
+	if q[i].rr != q[j].rr {
+		return q[i].rr > q[j].rr
+	}
+	if q[i].u != q[j].u {
+		return q[i].u < q[j].u
+	}
+	return q[i].v < q[j].v
+}
+func (q pairQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pairQueue) Push(x interface{}) { *q = append(*q, x.(pairItem)) }
+func (q *pairQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Build runs the rrSTR heuristic (paper Figure 3): it constructs a virtual
+// Euclidean Steiner tree rooted at source and spanning all dests. The tree
+// may contain Virtual vertices at exact three-point Steiner locations.
+//
+// The returned tree always satisfies Validate: it is acyclic and every
+// terminal is connected to the source. Build never fails; degenerate inputs
+// (no destinations, collocated points) produce the obvious trees.
+func Build(source geom.Point, dests []Dest, opts Options) *Tree {
+	tree := NewTree(source)
+	n := len(dests)
+	if n == 0 {
+		return tree
+	}
+
+	active := make(map[int]bool, n)
+	for _, d := range dests {
+		id := tree.AddTerminal(d.Pos, d.Label)
+		active[id] = true
+	}
+
+	// Step 2 of Figure 3: reduction ratios and Steiner points for all pairs.
+	q := make(pairQueue, 0, n*(n-1)/2)
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			rr, t := ReductionRatioPoint(source, tree.Vertex(i).Pos, tree.Vertex(j).Pos)
+			q = append(q, pairItem{u: i, v: j, rr: rr, t: t})
+		}
+	}
+	heap.Init(&q)
+
+	deadPairs := make(map[[2]int]bool)
+
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pairItem)
+		if !active[it.u] || !active[it.v] || deadPairs[[2]int{it.u, it.v}] {
+			continue // lazily discarded stale entry
+		}
+		u, v, t := it.u, it.v, it.t
+		upos, vpos := tree.Vertex(u).Pos, tree.Vertex(v).Pos
+
+		switch {
+		case t.Eq(source):
+			// Steiner point collocated with the source: direct edges.
+			tree.AddEdge(0, u)
+			tree.AddEdge(0, v)
+			delete(active, u)
+			delete(active, v)
+
+		case t.Eq(upos):
+			// u acts as the Steiner point; u stays active so it can keep
+			// pairing with other destinations.
+			tree.AddEdge(u, v)
+			delete(active, v)
+
+		case t.Eq(vpos):
+			tree.AddEdge(u, v)
+			delete(active, u)
+
+		default:
+			if opts.RadioAware && applyRadioCases(tree, source, it, opts, active, deadPairs) {
+				continue
+			}
+			// Create a new virtual destination w at the Steiner point.
+			w := tree.AddVirtual(t)
+			tree.AddEdge(w, u)
+			tree.AddEdge(w, v)
+			delete(active, u)
+			delete(active, v)
+			active[w] = true
+			ids := make([]int, 0, len(active))
+			for id := range active {
+				if id != w {
+					ids = append(ids, id)
+				}
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				rr, st := ReductionRatioPoint(source, t, tree.Vertex(id).Pos)
+				a, b := w, id
+				if a > b {
+					a, b = b, a
+				}
+				heap.Push(&q, pairItem{u: a, v: b, rr: rr, t: st})
+			}
+		}
+	}
+
+	// Queue exhausted: every destination still active is covered by a direct
+	// edge from the source (the "(c, c) pair" of the paper's walk-through).
+	// Iterate in ID order for determinism.
+	for id := 1; id < tree.NumVertices(); id++ {
+		if active[id] {
+			tree.AddEdge(0, id)
+			delete(active, id)
+		}
+	}
+	return tree
+}
+
+// applyRadioCases implements the three §3.3 radio-range-aware special cases.
+// It reports whether the pair was fully handled (true) or whether the caller
+// should proceed to create a virtual destination (false).
+func applyRadioCases(tree *Tree, source geom.Point, it pairItem, opts Options, active map[int]bool, deadPairs map[[2]int]bool) bool {
+	u, v, t := it.u, it.v, it.t
+	upos, vpos := tree.Vertex(u).Pos, tree.Vertex(v).Pos
+	rr := opts.RadioRange
+	du, dv := source.Dist(upos), source.Dist(vpos)
+	key := [2]int{u, v}
+
+	// Cost comparison of §3.3: routing through the virtual destination costs
+	// one hop (rr) plus the residual legs; direct delivery costs du + dv.
+	viaVirtual := rr + t.Dist(upos) + t.Dist(vpos)
+	notBeneficial := viaVirtual > du+dv
+
+	switch {
+	case du < rr && dv < rr:
+		// Case 1: both are one hop away; a virtual destination could only
+		// add a hop to each. Deactivate the pair (not the nodes).
+		deadPairs[key] = true
+		return true
+
+	case du < rr:
+		// Case 3 with u in range.
+		if notBeneficial {
+			if opts.OneInRangeProse {
+				tree.AddEdge(0, u)
+				tree.AddEdge(0, v)
+				delete(active, u)
+				delete(active, v)
+			} else {
+				deadPairs[key] = true
+			}
+			return true
+		}
+		// u itself serves as the Steiner point.
+		tree.AddEdge(u, v)
+		delete(active, v)
+		return true
+
+	case dv < rr:
+		// Case 3 with v in range, symmetric.
+		if notBeneficial {
+			if opts.OneInRangeProse {
+				tree.AddEdge(0, u)
+				tree.AddEdge(0, v)
+				delete(active, u)
+				delete(active, v)
+			} else {
+				deadPairs[key] = true
+			}
+			return true
+		}
+		tree.AddEdge(u, v)
+		delete(active, u)
+		return true
+
+	case source.Dist(t) < rr && notBeneficial:
+		// Case 2: the Steiner point is within one hop but not worth the
+		// detour; the source serves as the Steiner point.
+		tree.AddEdge(0, u)
+		tree.AddEdge(0, v)
+		delete(active, u)
+		delete(active, v)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,355 @@
+// Package steiner implements the tree-construction heart of the GMP protocol
+// (Wu & Candan, ICDCS 2006): the reduction-ratio measure, the rrSTR heuristic
+// for virtual Euclidean Steiner trees (basic and radio-range-aware), a Prim
+// Euclidean minimum spanning tree used by the LGS baseline, and the
+// Kou–Markowsky–Berman graph Steiner heuristic used by the centralized SMT
+// baseline.
+package steiner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"gmp/internal/geom"
+)
+
+// VertexKind distinguishes the three vertex roles of an rrSTR tree.
+type VertexKind int
+
+const (
+	// Source is the root of the tree: the current transmitting node.
+	Source VertexKind = iota + 1
+	// Terminal is an actual multicast destination.
+	Terminal
+	// Virtual is a Steiner point introduced by the heuristic; it does not
+	// correspond to any physical node.
+	Virtual
+)
+
+// String implements fmt.Stringer.
+func (k VertexKind) String() string {
+	switch k {
+	case Source:
+		return "source"
+	case Terminal:
+		return "terminal"
+	case Virtual:
+		return "virtual"
+	default:
+		return fmt.Sprintf("VertexKind(%d)", int(k))
+	}
+}
+
+// Vertex is a node of a multicast tree. Label carries the caller's identifier
+// for terminals (for example a network node ID); it is -1 for the source and
+// for virtual vertices.
+type Vertex struct {
+	ID    int
+	Kind  VertexKind
+	Pos   geom.Point
+	Label int
+}
+
+// Edge is an undirected tree edge. Seq records the order in which edges were
+// inserted by the construction algorithm; the GMP group-splitting rule
+// (paper §4.1) depends on it to find the "last child" of a pivot.
+type Edge struct {
+	A, B int
+	Seq  int
+}
+
+// Tree is a multicast tree rooted at a source vertex (always ID 0). Trees are
+// mutable: the GMP routing layer removes and re-adds edges while splitting
+// destination groups around voids.
+type Tree struct {
+	verts   []Vertex
+	edges   []Edge
+	adj     map[int][]int // vertex ID -> indices into edges
+	nextSeq int
+}
+
+// NewTree returns a tree containing only the source vertex at pos.
+func NewTree(pos geom.Point) *Tree {
+	t := &Tree{adj: make(map[int][]int)}
+	t.verts = append(t.verts, Vertex{ID: 0, Kind: Source, Pos: pos, Label: -1})
+	return t
+}
+
+// AddTerminal appends a terminal vertex and returns its ID. Label is the
+// caller's identifier for the destination.
+func (t *Tree) AddTerminal(pos geom.Point, label int) int {
+	id := len(t.verts)
+	t.verts = append(t.verts, Vertex{ID: id, Kind: Terminal, Pos: pos, Label: label})
+	return id
+}
+
+// AddVirtual appends a virtual (Steiner-point) vertex and returns its ID.
+func (t *Tree) AddVirtual(pos geom.Point) int {
+	id := len(t.verts)
+	t.verts = append(t.verts, Vertex{ID: id, Kind: Virtual, Pos: pos, Label: -1})
+	return id
+}
+
+// Vertex returns the vertex with the given ID.
+func (t *Tree) Vertex(id int) Vertex { return t.verts[id] }
+
+// NumVertices returns the number of vertices, including source and virtuals.
+func (t *Tree) NumVertices() int { return len(t.verts) }
+
+// NumEdges returns the number of live edges.
+func (t *Tree) NumEdges() int { return len(t.edges) }
+
+// Vertices returns a copy of all vertices.
+func (t *Tree) Vertices() []Vertex {
+	out := make([]Vertex, len(t.verts))
+	copy(out, t.verts)
+	return out
+}
+
+// Edges returns a copy of all live edges.
+func (t *Tree) Edges() []Edge {
+	out := make([]Edge, len(t.edges))
+	copy(out, t.edges)
+	return out
+}
+
+// AddEdge inserts the undirected edge (a, b) and returns its insertion
+// sequence number.
+func (t *Tree) AddEdge(a, b int) int {
+	seq := t.nextSeq
+	t.nextSeq++
+	idx := len(t.edges)
+	t.edges = append(t.edges, Edge{A: a, B: b, Seq: seq})
+	t.adj[a] = append(t.adj[a], idx)
+	t.adj[b] = append(t.adj[b], idx)
+	return seq
+}
+
+// RemoveEdge deletes the undirected edge (a, b). It reports whether such an
+// edge existed.
+func (t *Tree) RemoveEdge(a, b int) bool {
+	for idx, e := range t.edges {
+		if e.A < 0 { // tombstone
+			continue
+		}
+		if (e.A == a && e.B == b) || (e.A == b && e.B == a) {
+			t.detachEdge(idx)
+			return true
+		}
+	}
+	return false
+}
+
+// detachEdge tombstones edges[idx] and compacts it away.
+func (t *Tree) detachEdge(idx int) {
+	e := t.edges[idx]
+	t.adj[e.A] = removeInt(t.adj[e.A], idx)
+	t.adj[e.B] = removeInt(t.adj[e.B], idx)
+	// Compact: move the last edge into idx and fix adjacency references.
+	last := len(t.edges) - 1
+	if idx != last {
+		moved := t.edges[last]
+		t.edges[idx] = moved
+		t.adj[moved.A] = replaceInt(t.adj[moved.A], last, idx)
+		t.adj[moved.B] = replaceInt(t.adj[moved.B], last, idx)
+	}
+	t.edges = t.edges[:last]
+}
+
+func removeInt(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+func replaceInt(s []int, old, new int) []int {
+	for i, x := range s {
+		if x == old {
+			s[i] = new
+		}
+	}
+	return s
+}
+
+// Neighbors returns the IDs adjacent to v, in no particular order.
+func (t *Tree) Neighbors(v int) []int {
+	idxs := t.adj[v]
+	out := make([]int, 0, len(idxs))
+	for _, i := range idxs {
+		e := t.edges[i]
+		if e.A == v {
+			out = append(out, e.B)
+		} else {
+			out = append(out, e.A)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of live edges incident to v.
+func (t *Tree) Degree(v int) int { return len(t.adj[v]) }
+
+// Children returns the children of v in the tree rooted at the source,
+// ordered by edge insertion sequence (oldest first). parent must be v's
+// parent ID, or -1 when v is the source.
+func (t *Tree) Children(v, parent int) []int {
+	type child struct {
+		id, seq int
+	}
+	var cs []child
+	for _, i := range t.adj[v] {
+		e := t.edges[i]
+		other := e.B
+		if e.A != v {
+			other = e.A
+		}
+		if other == parent {
+			continue
+		}
+		cs = append(cs, child{other, e.Seq})
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].seq < cs[j].seq })
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.id
+	}
+	return out
+}
+
+// LastChild returns the child of v (rooted at source, given parent) whose
+// connecting edge was inserted most recently, or -1 if v has no children.
+func (t *Tree) LastChild(v, parent int) int {
+	best, bestSeq := -1, -1
+	for _, i := range t.adj[v] {
+		e := t.edges[i]
+		other := e.B
+		if e.A != v {
+			other = e.A
+		}
+		if other == parent {
+			continue
+		}
+		if e.Seq > bestSeq {
+			best, bestSeq = other, e.Seq
+		}
+	}
+	return best
+}
+
+// Pivots returns the children of the source, ordered by insertion sequence.
+// In GMP terminology these are the subtree roots that partition the
+// destinations into groups (paper §4).
+func (t *Tree) Pivots() []int { return t.Children(0, -1) }
+
+// SubtreeTerminals returns the terminal vertex IDs in the subtree hanging off
+// root when the tree is rooted at the source and root's parent is parent. If
+// root itself is a terminal it is included.
+func (t *Tree) SubtreeTerminals(root, parent int) []int {
+	var out []int
+	t.walk(root, parent, func(v Vertex) {
+		if v.Kind == Terminal {
+			out = append(out, v.ID)
+		}
+	})
+	return out
+}
+
+// walk visits the subtree under root (excluding the parent side) in DFS
+// order.
+func (t *Tree) walk(root, parent int, visit func(Vertex)) {
+	visit(t.verts[root])
+	for _, c := range t.Children(root, parent) {
+		t.walk(c, root, visit)
+	}
+}
+
+// TotalLength returns the summed Euclidean length of all live edges.
+func (t *Tree) TotalLength() float64 {
+	var total float64
+	for _, e := range t.edges {
+		total += t.verts[e.A].Pos.Dist(t.verts[e.B].Pos)
+	}
+	return total
+}
+
+// TerminalIDs returns the IDs of all terminal vertices.
+func (t *Tree) TerminalIDs() []int {
+	var out []int
+	for _, v := range t.verts {
+		if v.Kind == Terminal {
+			out = append(out, v.ID)
+		}
+	}
+	return out
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrCycle        = errors.New("steiner: tree contains a cycle")
+	ErrDisconnected = errors.New("steiner: a terminal is not connected to the source")
+)
+
+// Validate checks the structural invariants the routing layer depends on:
+// the edge set is acyclic and every terminal is connected to the source.
+// Virtual vertices may be orphaned (they are simply unused).
+func (t *Tree) Validate() error {
+	seen := make(map[int]bool, len(t.verts))
+	// BFS from source, detecting cycles via a visited-edge count argument:
+	// in an acyclic graph, the number of edges reachable from the source is
+	// exactly the number of reachable vertices minus one.
+	queue := []int{0}
+	seen[0] = true
+	reachableEdges := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, i := range t.adj[v] {
+			e := t.edges[i]
+			other := e.B
+			if e.A != v {
+				other = e.A
+			}
+			reachableEdges++ // counted once per endpoint; halved below
+			if !seen[other] {
+				seen[other] = true
+				queue = append(queue, other)
+			}
+		}
+	}
+	reachableVerts := len(seen)
+	if reachableEdges/2 != reachableVerts-1 {
+		return ErrCycle
+	}
+	for _, v := range t.verts {
+		if v.Kind == Terminal && !seen[v.ID] {
+			return fmt.Errorf("%w: terminal %d (label %d)", ErrDisconnected, v.ID, v.Label)
+		}
+	}
+	return nil
+}
+
+// String renders the tree as an indented outline rooted at the source, for
+// debugging and the gmptree CLI.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.render(&b, 0, -1, 0)
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, v, parent, depth int) {
+	vert := t.verts[v]
+	fmt.Fprintf(b, "%s%s #%d %s", strings.Repeat("  ", depth), vert.Kind, vert.ID, vert.Pos)
+	if vert.Kind == Terminal {
+		fmt.Fprintf(b, " label=%d", vert.Label)
+	}
+	b.WriteByte('\n')
+	for _, c := range t.Children(v, parent) {
+		t.render(b, c, v, depth+1)
+	}
+}

@@ -1,0 +1,168 @@
+package steiner
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gmp/internal/geom"
+)
+
+func TestTreeBasics(t *testing.T) {
+	tr := NewTree(geom.Pt(0, 0))
+	if tr.NumVertices() != 1 || tr.NumEdges() != 0 {
+		t.Fatalf("fresh tree: %d verts %d edges", tr.NumVertices(), tr.NumEdges())
+	}
+	src := tr.Vertex(0)
+	if src.Kind != Source || src.Label != -1 {
+		t.Fatalf("source vertex = %+v", src)
+	}
+	a := tr.AddTerminal(geom.Pt(1, 0), 42)
+	b := tr.AddTerminal(geom.Pt(0, 1), 43)
+	w := tr.AddVirtual(geom.Pt(0.5, 0.5))
+	if tr.Vertex(a).Label != 42 || tr.Vertex(b).Label != 43 || tr.Vertex(w).Label != -1 {
+		t.Fatal("labels not preserved")
+	}
+	tr.AddEdge(0, w)
+	tr.AddEdge(w, a)
+	tr.AddEdge(w, b)
+	if tr.NumEdges() != 3 {
+		t.Fatalf("edges = %d", tr.NumEdges())
+	}
+	if got := tr.Degree(w); got != 3 {
+		t.Fatalf("degree(w) = %d", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	wantLen := geom.Pt(0.5, 0.5).Norm() * 3
+	if got := tr.TotalLength(); got < wantLen-1e-9 || got > wantLen+1e-9 {
+		t.Fatalf("TotalLength = %v, want %v", got, wantLen)
+	}
+}
+
+func TestTreeChildrenOrderAndLastChild(t *testing.T) {
+	tr := NewTree(geom.Pt(0, 0))
+	a := tr.AddTerminal(geom.Pt(1, 0), 1)
+	b := tr.AddTerminal(geom.Pt(2, 0), 2)
+	c := tr.AddTerminal(geom.Pt(3, 0), 3)
+	tr.AddEdge(0, b)
+	tr.AddEdge(0, a)
+	tr.AddEdge(0, c)
+	got := tr.Children(0, -1)
+	want := []int{b, a, c}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Children = %v, want %v (insertion order)", got, want)
+		}
+	}
+	if lc := tr.LastChild(0, -1); lc != c {
+		t.Fatalf("LastChild = %d, want %d", lc, c)
+	}
+	if lc := tr.LastChild(a, 0); lc != -1 {
+		t.Fatalf("leaf LastChild = %d, want -1", lc)
+	}
+}
+
+func TestTreeRemoveEdgeAndSplice(t *testing.T) {
+	tr := NewTree(geom.Pt(0, 0))
+	w := tr.AddVirtual(geom.Pt(1, 1))
+	a := tr.AddTerminal(geom.Pt(2, 2), 1)
+	b := tr.AddTerminal(geom.Pt(2, 0), 2)
+	tr.AddEdge(0, w)
+	tr.AddEdge(w, a)
+	tr.AddEdge(w, b)
+
+	// Splitting: detach b from w and attach it to the source, as the GMP
+	// void-handling rule does.
+	if !tr.RemoveEdge(w, b) {
+		t.Fatal("RemoveEdge should find (w,b)")
+	}
+	if tr.RemoveEdge(w, b) {
+		t.Fatal("edge already removed")
+	}
+	tr.AddEdge(0, b)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after splice: %v", err)
+	}
+	pivots := tr.Pivots()
+	if len(pivots) != 2 || pivots[0] != w || pivots[1] != b {
+		t.Fatalf("Pivots = %v, want [%d %d]", pivots, w, b)
+	}
+	// The newest pivot (b) is the last child of the source.
+	if lc := tr.LastChild(0, -1); lc != b {
+		t.Fatalf("LastChild = %d, want %d", lc, b)
+	}
+}
+
+func TestSubtreeTerminals(t *testing.T) {
+	tr := NewTree(geom.Pt(0, 0))
+	w1 := tr.AddVirtual(geom.Pt(1, 0))
+	w2 := tr.AddVirtual(geom.Pt(2, 0))
+	a := tr.AddTerminal(geom.Pt(3, 0), 10)
+	b := tr.AddTerminal(geom.Pt(3, 1), 11)
+	c := tr.AddTerminal(geom.Pt(0, 5), 12)
+	tr.AddEdge(0, w1)
+	tr.AddEdge(w1, w2)
+	tr.AddEdge(w2, a)
+	tr.AddEdge(w2, b)
+	tr.AddEdge(0, c)
+
+	got := tr.SubtreeTerminals(w1, 0)
+	if len(got) != 2 {
+		t.Fatalf("SubtreeTerminals(w1) = %v", got)
+	}
+	set := map[int]bool{got[0]: true, got[1]: true}
+	if !set[a] || !set[b] {
+		t.Fatalf("SubtreeTerminals(w1) = %v, want {%d,%d}", got, a, b)
+	}
+	if got := tr.SubtreeTerminals(c, 0); len(got) != 1 || got[0] != c {
+		t.Fatalf("SubtreeTerminals(c) = %v", got)
+	}
+	ids := tr.TerminalIDs()
+	if len(ids) != 3 {
+		t.Fatalf("TerminalIDs = %v", ids)
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	tr := NewTree(geom.Pt(0, 0))
+	a := tr.AddTerminal(geom.Pt(1, 0), 1)
+	b := tr.AddTerminal(geom.Pt(0, 1), 2)
+	tr.AddEdge(0, a)
+	tr.AddEdge(a, b)
+	tr.AddEdge(b, 0) // cycle
+	if err := tr.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Validate = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateDetectsDisconnected(t *testing.T) {
+	tr := NewTree(geom.Pt(0, 0))
+	a := tr.AddTerminal(geom.Pt(1, 0), 1)
+	tr.AddTerminal(geom.Pt(5, 5), 2) // never wired up
+	tr.AddEdge(0, a)
+	if err := tr.Validate(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("Validate = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	tr := NewTree(geom.Pt(0, 0))
+	a := tr.AddTerminal(geom.Pt(1, 0), 7)
+	tr.AddEdge(0, a)
+	s := tr.String()
+	if !strings.Contains(s, "source #0") || !strings.Contains(s, "terminal #1") ||
+		!strings.Contains(s, "label=7") {
+		t.Fatalf("String output missing parts:\n%s", s)
+	}
+}
+
+func TestVertexKindString(t *testing.T) {
+	if Source.String() != "source" || Terminal.String() != "terminal" || Virtual.String() != "virtual" {
+		t.Error("kind strings")
+	}
+	if got := VertexKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

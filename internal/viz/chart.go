@@ -1,0 +1,155 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gmp/internal/stats"
+)
+
+// chartPalette cycles across series, matching common plotting defaults.
+var chartPalette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+	"#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+}
+
+// ChartOptions tunes LineChart rendering.
+type ChartOptions struct {
+	// Width and Height are the full SVG dimensions in pixels.
+	Width, Height float64
+	// YZero forces the y axis to start at zero instead of the data minimum.
+	YZero bool
+}
+
+// DefaultChartOptions is a comfortable 4:3 canvas with a zero-based y axis.
+func DefaultChartOptions() ChartOptions {
+	return ChartOptions{Width: 640, Height: 420, YZero: true}
+}
+
+// LineChart renders a stats.Table as a standalone SVG line chart: one line
+// per series over the table's X values, with axes, tick labels and a
+// legend. It is the plotting backend of the gmpreport command.
+func LineChart(t *stats.Table, opts ChartOptions) string {
+	if opts.Width <= 0 || opts.Height <= 0 {
+		opts = DefaultChartOptions()
+	}
+	const (
+		marginL = 64.0
+		marginR = 150.0
+		marginT = 40.0
+		marginB = 48.0
+	)
+	plotW := opts.Width - marginL - marginR
+	plotH := opts.Height - marginT - marginB
+
+	xmin, xmax := minMax(t.Xs)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		lo, hi := minMax(s.Y)
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if len(t.Xs) == 0 || math.IsInf(ymin, 1) {
+		ymin, ymax, xmin, xmax = 0, 1, 0, 1
+	}
+	if opts.YZero && ymin > 0 {
+		ymin = 0
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="sans-serif">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%.0f" y="22" font-size="14" fill="#222">%s</text>`+"\n",
+		marginL, escape(t.Title))
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-size="11" fill="#444">%s</text>`+"\n",
+		marginL+plotW/2-20, opts.Height-10, escape(t.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.0f" font-size="11" fill="#444" transform="rotate(-90 14 %.0f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(t.YLabel))
+
+	// Gridlines and ticks.
+	for i := 0; i <= 5; i++ {
+		y := ymin + float64(i)/5*(ymax-ymin)
+		yy := py(y)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n",
+			marginL, yy, marginL+plotW, yy)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#666" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yy+3, tickLabel(y))
+	}
+	for _, x := range t.Xs {
+		xx := px(x)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n",
+			xx, marginT, xx, marginT+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#666" text-anchor="middle">%s</text>`+"\n",
+			xx, marginT+plotH+14, tickLabel(x))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+
+	// Series.
+	for si, s := range t.Series {
+		color := chartPalette[si%len(chartPalette)]
+		var path strings.Builder
+		for i := 0; i < len(s.Y) && i < len(t.Xs); i++ {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(t.Xs[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<path d=%q fill="none" stroke=%q stroke-width="2"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		for i := 0; i < len(s.Y) && i < len(t.Xs); i++ {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill=%q/>`+"\n",
+				px(t.Xs[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 8 + float64(si)*18
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke=%q stroke-width="2"/>`+"\n",
+			marginL+plotW+12, ly, marginL+plotW+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="#222">%s</text>`+"\n",
+			marginL+plotW+40, ly+4, escape(s.Label))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+func tickLabel(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

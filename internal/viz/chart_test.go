@@ -1,0 +1,87 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"gmp/internal/stats"
+)
+
+func chartTable() *stats.Table {
+	return &stats.Table{
+		Title:  "hops & <stuff>",
+		XLabel: "k",
+		YLabel: "hops",
+		Xs:     []float64{3, 5, 8, 12},
+		Series: []stats.Series{
+			{Label: "GMP", Y: []float64{9, 13, 18, 24}},
+			{Label: "GRD", Y: []float64{13, 21, 34, 50}},
+		},
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	out := LineChart(chartTable(), DefaultChartOptions())
+	for _, want := range []string{
+		"<svg", "</svg>", "hops &amp; &lt;stuff&gt;",
+		"GMP", "GRD", "<path", "stroke=\"#1f77b4\"", "stroke=\"#ff7f0e\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q", want)
+		}
+	}
+	// One polyline per series.
+	if got := strings.Count(out, "<path"); got != 2 {
+		t.Fatalf("paths = %d", got)
+	}
+	// Data point markers: 8 in total.
+	if got := strings.Count(out, `r="2.6"`); got != 8 {
+		t.Fatalf("markers = %d", got)
+	}
+}
+
+func TestLineChartZeroBaseline(t *testing.T) {
+	tbl := chartTable()
+	opts := DefaultChartOptions()
+	outZero := LineChart(tbl, opts)
+	opts.YZero = false
+	outTight := LineChart(tbl, opts)
+	if outZero == outTight {
+		t.Fatal("YZero must change the scale")
+	}
+	// With YZero the axis shows a 0 tick.
+	if !strings.Contains(outZero, ">0</text>") {
+		t.Fatal("zero tick missing")
+	}
+}
+
+func TestLineChartDegenerateInputs(t *testing.T) {
+	empty := &stats.Table{Title: "empty", XLabel: "x", YLabel: "y"}
+	out := LineChart(empty, DefaultChartOptions())
+	if !strings.Contains(out, "<svg") {
+		t.Fatal("empty table must still render a frame")
+	}
+	flat := &stats.Table{
+		Title: "flat", XLabel: "x", YLabel: "y",
+		Xs:     []float64{1, 1, 1},
+		Series: []stats.Series{{Label: "s", Y: []float64{5, 5, 5}}},
+	}
+	out = LineChart(flat, DefaultChartOptions())
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("degenerate ranges leaked NaN/Inf:\n%s", out)
+	}
+	// Bad options fall back to defaults.
+	out = LineChart(chartTable(), ChartOptions{})
+	if !strings.Contains(out, `width="640"`) {
+		t.Fatal("zero options should fall back to defaults")
+	}
+}
+
+func TestLineChartRaggedSeries(t *testing.T) {
+	tbl := chartTable()
+	tbl.Series[0].Y = tbl.Series[0].Y[:2]
+	out := LineChart(tbl, DefaultChartOptions())
+	if strings.Count(out, `r="2.6"`) != 6 {
+		t.Fatal("ragged series should plot only available points")
+	}
+}

@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode ensures the decoder never panics or over-reads on arbitrary
+// input, and that anything it accepts re-encodes to an equivalent frame.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid frames of each shape plus mutations.
+	for _, fr := range []*Frame{
+		sampleFrame(false, 0, 0),
+		sampleFrame(false, 5, 16),
+		sampleFrame(true, 3, 8),
+		sampleFrame(true, 0, 0),
+	} {
+		data, err := Encode(fr, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		if len(data) > 4 {
+			f.Add(data[:len(data)-3]) // truncated
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Magic, Version, 0xFF, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(fr, 0)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if back.Flags != fr.Flags || back.Hops != fr.Hops ||
+			len(back.Dests) != len(fr.Dests) || !bytes.Equal(back.Payload, fr.Payload) {
+			t.Fatal("round-trip mismatch")
+		}
+	})
+}

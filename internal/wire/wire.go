@@ -1,0 +1,191 @@
+// Package wire defines a binary on-air format for GMP packets, following the
+// paper's §2 addressing model: a node's location *is* its identifier and
+// network address, so the header carries coordinates rather than IDs —
+// the source location, the marked next-hop location ("each packet is marked
+// with the location of the next hop and the corresponding node picks up the
+// packet"), the PERIMODE flag with its traversal state, and the location of
+// every remaining destination.
+//
+// The format makes the paper's 128-byte message size concrete: Capacity
+// answers how many destinations fit a given message budget, and the encoder
+// refuses to overflow it.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"gmp/internal/geom"
+)
+
+// Format constants.
+const (
+	// Magic identifies GMP frames.
+	Magic = 0x47 // 'G'
+	// Version of the wire format.
+	Version = 1
+
+	// FlagPerimeter marks the paper's PERIMODE.
+	FlagPerimeter = 1 << 0
+
+	pointSize  = 8                                                                                                                             // two float32 coordinates
+	fixedSize  = 1 /*magic*/ + 1 /*version*/ + 1 /*flags*/ + 1 /*hops*/ + pointSize /*source*/ + pointSize /*next hop*/ + 1 /*dest count*/ + 2 /*payload len*/
+	periSize   = 3 * pointSize                                                                                                                 // target, entry, face-entry
+	maxDestCnt = 255
+)
+
+// Frame is the decoded representation of one on-air packet.
+type Frame struct {
+	// Flags carries FlagPerimeter et al.
+	Flags byte
+	// Hops is the hop count so far (saturates at 255).
+	Hops byte
+	// Source is the origin's location.
+	Source geom.Point
+	// NextHop is the marked receiver location (§2: the node at this
+	// location picks the packet up).
+	NextHop geom.Point
+	// Dests are the remaining destination locations.
+	Dests []geom.Point
+	// PeriTarget, PeriEntry and PeriFaceEntry carry the perimeter-mode
+	// traversal state; meaningful only when FlagPerimeter is set.
+	PeriTarget    geom.Point
+	PeriEntry     geom.Point
+	PeriFaceEntry geom.Point
+	// Payload is the application data.
+	Payload []byte
+}
+
+// Perimeter reports whether the PERIMODE flag is set.
+func (f *Frame) Perimeter() bool { return f.Flags&FlagPerimeter != 0 }
+
+// EncodedSize returns the exact on-air size of the frame in bytes.
+func (f *Frame) EncodedSize() int {
+	n := fixedSize + len(f.Dests)*pointSize + len(f.Payload)
+	if f.Perimeter() {
+		n += periSize
+	}
+	return n
+}
+
+// HeaderSize returns the on-air overhead in bytes of a frame carrying
+// ndests destination locations (and the perimeter state when perimeter is
+// set), excluding the application payload. The simulator's dynamic-frame
+// mode adds this to the payload size when computing airtime and energy.
+func HeaderSize(ndests int, perimeter bool) int {
+	n := fixedSize + ndests*pointSize
+	if perimeter {
+		n += periSize
+	}
+	return n
+}
+
+// Capacity returns the maximum number of destination locations that fit a
+// message of budget bytes with the given payload size, with (perimeter=true)
+// or without the perimeter state. It returns 0 when even an empty
+// destination list does not fit.
+func Capacity(budget, payloadLen int, perimeter bool) int {
+	n := budget - fixedSize - payloadLen
+	if perimeter {
+		n -= periSize
+	}
+	if n < 0 {
+		return 0
+	}
+	c := n / pointSize
+	if c > maxDestCnt {
+		return maxDestCnt
+	}
+	return c
+}
+
+// Encoding and decoding errors.
+var (
+	ErrTooManyDests = errors.New("wire: too many destinations")
+	ErrBudget       = errors.New("wire: frame exceeds message budget")
+	ErrShortFrame   = errors.New("wire: truncated frame")
+	ErrBadMagic     = errors.New("wire: bad magic")
+	ErrBadVersion   = errors.New("wire: unsupported version")
+)
+
+// Encode serializes the frame. budget, when positive, enforces a maximum
+// on-air size (the paper's Table 1 uses 128 bytes).
+func Encode(f *Frame, budget int) ([]byte, error) {
+	if len(f.Dests) > maxDestCnt {
+		return nil, fmt.Errorf("%w: %d", ErrTooManyDests, len(f.Dests))
+	}
+	size := f.EncodedSize()
+	if budget > 0 && size > budget {
+		return nil, fmt.Errorf("%w: %d > %d bytes", ErrBudget, size, budget)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, Magic, Version, f.Flags, f.Hops)
+	out = appendPoint(out, f.Source)
+	out = appendPoint(out, f.NextHop)
+	out = append(out, byte(len(f.Dests)))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(f.Payload)))
+	for _, d := range f.Dests {
+		out = appendPoint(out, d)
+	}
+	if f.Perimeter() {
+		out = appendPoint(out, f.PeriTarget)
+		out = appendPoint(out, f.PeriEntry)
+		out = appendPoint(out, f.PeriFaceEntry)
+	}
+	out = append(out, f.Payload...)
+	return out, nil
+}
+
+// Decode parses a frame produced by Encode.
+func Decode(data []byte) (*Frame, error) {
+	if len(data) < fixedSize {
+		return nil, ErrShortFrame
+	}
+	if data[0] != Magic {
+		return nil, ErrBadMagic
+	}
+	if data[1] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, data[1])
+	}
+	f := &Frame{Flags: data[2], Hops: data[3]}
+	off := 4
+	f.Source, off = readPoint(data, off)
+	f.NextHop, off = readPoint(data, off)
+	destCnt := int(data[off])
+	off++
+	payloadLen := int(binary.BigEndian.Uint16(data[off : off+2]))
+	off += 2
+
+	need := destCnt * pointSize
+	if f.Flags&FlagPerimeter != 0 {
+		need += periSize
+	}
+	if len(data) < off+need+payloadLen {
+		return nil, ErrShortFrame
+	}
+	f.Dests = make([]geom.Point, destCnt)
+	for i := range f.Dests {
+		f.Dests[i], off = readPoint(data, off)
+	}
+	if f.Perimeter() {
+		f.PeriTarget, off = readPoint(data, off)
+		f.PeriEntry, off = readPoint(data, off)
+		f.PeriFaceEntry, off = readPoint(data, off)
+	}
+	f.Payload = append([]byte(nil), data[off:off+payloadLen]...)
+	return f, nil
+}
+
+func appendPoint(b []byte, p geom.Point) []byte {
+	b = binary.BigEndian.AppendUint32(b, math.Float32bits(float32(p.X)))
+	b = binary.BigEndian.AppendUint32(b, math.Float32bits(float32(p.Y)))
+	return b
+}
+
+func readPoint(b []byte, off int) (geom.Point, int) {
+	x := math.Float32frombits(binary.BigEndian.Uint32(b[off:]))
+	y := math.Float32frombits(binary.BigEndian.Uint32(b[off+4:]))
+	return geom.Pt(float64(x), float64(y)), off + pointSize
+}

@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gmp/internal/geom"
+)
+
+func sampleFrame(perimeter bool, ndests, payload int) *Frame {
+	f := &Frame{
+		Hops:    7,
+		Source:  geom.Pt(12.5, 900.25),
+		NextHop: geom.Pt(130, 870.5),
+		Payload: make([]byte, payload),
+	}
+	for i := 0; i < ndests; i++ {
+		f.Dests = append(f.Dests, geom.Pt(float64(i)*10.5, float64(i)*7.25))
+	}
+	if perimeter {
+		f.Flags |= FlagPerimeter
+		f.PeriTarget = geom.Pt(500, 500)
+		f.PeriEntry = geom.Pt(100.5, 200.25)
+		f.PeriFaceEntry = geom.Pt(150.75, 250)
+	}
+	for i := range f.Payload {
+		f.Payload[i] = byte(i)
+	}
+	return f
+}
+
+func framesEqual(t *testing.T, a, b *Frame) {
+	t.Helper()
+	if a.Flags != b.Flags || a.Hops != b.Hops {
+		t.Fatalf("header mismatch: %+v vs %+v", a, b)
+	}
+	pts := func(p, q geom.Point) {
+		t.Helper()
+		// float32 quantization tolerance
+		if math.Abs(p.X-q.X) > 1e-3 || math.Abs(p.Y-q.Y) > 1e-3 {
+			t.Fatalf("point mismatch: %v vs %v", p, q)
+		}
+	}
+	pts(a.Source, b.Source)
+	pts(a.NextHop, b.NextHop)
+	if len(a.Dests) != len(b.Dests) {
+		t.Fatalf("dest count %d vs %d", len(a.Dests), len(b.Dests))
+	}
+	for i := range a.Dests {
+		pts(a.Dests[i], b.Dests[i])
+	}
+	if a.Perimeter() {
+		pts(a.PeriTarget, b.PeriTarget)
+		pts(a.PeriEntry, b.PeriEntry)
+		pts(a.PeriFaceEntry, b.PeriFaceEntry)
+	}
+	if len(a.Payload) != len(b.Payload) {
+		t.Fatalf("payload length %d vs %d", len(a.Payload), len(b.Payload))
+	}
+	for i := range a.Payload {
+		if a.Payload[i] != b.Payload[i] {
+			t.Fatal("payload corrupted")
+		}
+	}
+}
+
+func TestRoundTripGreedy(t *testing.T) {
+	f := sampleFrame(false, 5, 16)
+	data, err := Encode(f, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != f.EncodedSize() {
+		t.Fatalf("size %d != EncodedSize %d", len(data), f.EncodedSize())
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framesEqual(t, f, got)
+}
+
+func TestRoundTripPerimeter(t *testing.T) {
+	f := sampleFrame(true, 3, 8)
+	data, err := Encode(f, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Perimeter() {
+		t.Fatal("PERIMODE lost")
+	}
+	framesEqual(t, f, got)
+}
+
+func TestRoundTripRandomizedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		f := &Frame{
+			Hops:    byte(r.Intn(256)),
+			Source:  geom.Pt(r.Float64()*1000, r.Float64()*1000),
+			NextHop: geom.Pt(r.Float64()*1000, r.Float64()*1000),
+		}
+		if r.Intn(2) == 1 {
+			f.Flags |= FlagPerimeter
+			f.PeriTarget = geom.Pt(r.Float64()*1000, r.Float64()*1000)
+			f.PeriEntry = geom.Pt(r.Float64()*1000, r.Float64()*1000)
+			f.PeriFaceEntry = geom.Pt(r.Float64()*1000, r.Float64()*1000)
+		}
+		for i, n := 0, r.Intn(8); i < n; i++ {
+			f.Dests = append(f.Dests, geom.Pt(r.Float64()*1000, r.Float64()*1000))
+		}
+		f.Payload = make([]byte, r.Intn(30))
+		r.Read(f.Payload)
+
+		data, err := Encode(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framesEqual(t, f, got)
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	f := sampleFrame(false, 12, 20)
+	if _, err := Encode(f, 64); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Encode(f, 0); err != nil {
+		t.Fatalf("budget 0 should disable the check: %v", err)
+	}
+}
+
+func TestCapacityMatchesEncoder(t *testing.T) {
+	// Whatever Capacity promises must actually encode within budget, and
+	// one more destination must not.
+	for _, perimeter := range []bool{false, true} {
+		for _, payload := range []int{0, 16, 64} {
+			c := Capacity(128, payload, perimeter)
+			if c <= 0 {
+				continue
+			}
+			f := sampleFrame(perimeter, c, payload)
+			if _, err := Encode(f, 128); err != nil {
+				t.Fatalf("capacity %d (peri=%v payload=%d) does not fit: %v",
+					c, perimeter, payload, err)
+			}
+			f = sampleFrame(perimeter, c+1, payload)
+			if _, err := Encode(f, 128); err == nil {
+				t.Fatalf("capacity+1 fits (peri=%v payload=%d)", perimeter, payload)
+			}
+		}
+	}
+}
+
+func TestCapacityTable1Paper(t *testing.T) {
+	// With the paper's 128 B messages and no payload, a greedy frame holds
+	// 13 destinations — comfortably above the evaluated k ≤ 25 only when
+	// groups split, which is exactly what GMP's grouping does.
+	if got := Capacity(128, 0, false); got != 13 {
+		t.Fatalf("greedy capacity = %d", got)
+	}
+	if got := Capacity(128, 0, true); got != 10 {
+		t.Fatalf("perimeter capacity = %d", got)
+	}
+	if Capacity(10, 0, false) != 0 {
+		t.Fatal("tiny budget must hold zero dests")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("nil: %v", err)
+	}
+	f := sampleFrame(false, 2, 4)
+	data, err := Encode(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 0xFF
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("magic: %v", err)
+	}
+	bad = append([]byte(nil), data...)
+	bad[1] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+	if _, err := Decode(data[:len(data)-3]); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestTooManyDests(t *testing.T) {
+	f := sampleFrame(false, 0, 0)
+	f.Dests = make([]geom.Point, 300)
+	if _, err := Encode(f, 0); !errors.Is(err, ErrTooManyDests) {
+		t.Fatalf("err = %v", err)
+	}
+}

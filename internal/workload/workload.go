@@ -1,0 +1,109 @@
+// Package workload generates multicast tasks following the paper's §5
+// methodology: for each task a random source node and k distinct random
+// destination nodes are drawn from the deployed network.
+package workload
+
+import (
+	"errors"
+	"math/rand"
+
+	"gmp/internal/geom"
+)
+
+// Task is one multicast job: a source node and its destination set.
+type Task struct {
+	Source int
+	Dests  []int
+}
+
+// ErrTooManyDests is returned when k+1 exceeds the node count (a task needs
+// k destinations distinct from each other and from the source).
+var ErrTooManyDests = errors.New("workload: k+1 exceeds node count")
+
+// Generate draws one task over a network of numNodes nodes with k distinct
+// destinations, none equal to the source. The caller's generator makes runs
+// reproducible.
+func Generate(r *rand.Rand, numNodes, k int) (Task, error) {
+	if k+1 > numNodes {
+		return Task{}, ErrTooManyDests
+	}
+	src := r.Intn(numNodes)
+	seen := make(map[int]bool, k+1)
+	seen[src] = true
+	dests := make([]int, 0, k)
+	for len(dests) < k {
+		d := r.Intn(numNodes)
+		if !seen[d] {
+			seen[d] = true
+			dests = append(dests, d)
+		}
+	}
+	return Task{Source: src, Dests: dests}, nil
+}
+
+// GenerateBatch draws count independent tasks.
+func GenerateBatch(r *rand.Rand, numNodes, k, count int) ([]Task, error) {
+	tasks := make([]Task, count)
+	for i := range tasks {
+		t, err := Generate(r, numNodes, k)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	return tasks, nil
+}
+
+// Locator exposes the node geometry the clustered generator needs; the
+// network.Network type satisfies it.
+type Locator interface {
+	Len() int
+	Pos(id int) geom.Point
+	NodesInDisk(center geom.Point, radius float64) []int
+}
+
+// GenerateClustered draws a task whose destinations cluster geographically:
+// a random seed node is picked and the k destinations are the nodes nearest
+// to it within growing disks (spread controls the initial disk radius).
+// Clustered groups are the regime the paper's introduction motivates —
+// subscribers of a regional event share subpaths, so multicast gains
+// concentrate. The source is drawn uniformly and excluded from the group.
+func GenerateClustered(r *rand.Rand, nw Locator, k int, spread float64) (Task, error) {
+	n := nw.Len()
+	if k+1 > n {
+		return Task{}, ErrTooManyDests
+	}
+	seedNode := r.Intn(n)
+	center := nw.Pos(seedNode)
+
+	// Grow the disk until it holds enough candidates beyond the source.
+	radius := spread
+	var candidates []int
+	for len(candidates) < k+1 && radius < 1e7 {
+		candidates = nw.NodesInDisk(center, radius)
+		radius *= 1.5
+	}
+
+	src := r.Intn(n)
+	dests := make([]int, 0, k)
+	seen := map[int]bool{src: true}
+	for _, id := range candidates {
+		if len(dests) == k {
+			break
+		}
+		if !seen[id] {
+			seen[id] = true
+			dests = append(dests, id)
+		}
+	}
+	// Top up from the whole field in the (rare) case the disk around the
+	// seed could not provide k distinct non-source nodes.
+	for len(dests) < k {
+		d := r.Intn(n)
+		if !seen[d] {
+			seen[d] = true
+			dests = append(dests, d)
+		}
+	}
+	return Task{Source: src, Dests: dests}, nil
+}

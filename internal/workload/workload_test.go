@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gmp/internal/geom"
+)
+
+func TestGenerateDistinct(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		task, err := Generate(r, 50, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(task.Dests) != 12 {
+			t.Fatalf("dests = %d", len(task.Dests))
+		}
+		seen := map[int]bool{task.Source: true}
+		for _, d := range task.Dests {
+			if seen[d] {
+				t.Fatalf("duplicate or source destination %d in %v", d, task)
+			}
+			seen[d] = true
+			if d < 0 || d >= 50 {
+				t.Fatalf("destination %d out of range", d)
+			}
+		}
+	}
+}
+
+func TestGenerateTooMany(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if _, err := Generate(r, 5, 5); !errors.Is(err, ErrTooManyDests) {
+		t.Fatalf("err = %v", err)
+	}
+	// k = n-1 is the maximum feasible.
+	task, err := Generate(r, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Dests) != 4 {
+		t.Fatalf("dests = %v", task.Dests)
+	}
+}
+
+func TestGenerateBatchDeterministic(t *testing.T) {
+	a, err := GenerateBatch(rand.New(rand.NewSource(9)), 100, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateBatch(rand.New(rand.NewSource(9)), 100, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Source != b[i].Source {
+			t.Fatal("sources differ")
+		}
+		for j := range a[i].Dests {
+			if a[i].Dests[j] != b[i].Dests[j] {
+				t.Fatal("dests differ")
+			}
+		}
+	}
+}
+
+func TestGenerateBatchError(t *testing.T) {
+	if _, err := GenerateBatch(rand.New(rand.NewSource(3)), 3, 9, 2); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// gridLocator is a tiny Locator over a lattice for clustered-workload tests.
+type gridLocator struct {
+	pts []geom.Point
+}
+
+func newGridLocator(cols, rows int, spacing float64) *gridLocator {
+	g := &gridLocator{}
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			g.pts = append(g.pts, geom.Pt(float64(x)*spacing, float64(y)*spacing))
+		}
+	}
+	return g
+}
+
+func (g *gridLocator) Len() int              { return len(g.pts) }
+func (g *gridLocator) Pos(id int) geom.Point { return g.pts[id] }
+func (g *gridLocator) NodesInDisk(c geom.Point, radius float64) []int {
+	var out []int
+	for id, p := range g.pts {
+		if p.Dist(c) <= radius {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestGenerateClusteredCompact(t *testing.T) {
+	loc := newGridLocator(30, 30, 50) // 900 nodes over 1450x1450
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		task, err := GenerateClustered(r, loc, 8, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(task.Dests) != 8 {
+			t.Fatalf("dests = %d", len(task.Dests))
+		}
+		seen := map[int]bool{task.Source: true}
+		for _, d := range task.Dests {
+			if seen[d] {
+				t.Fatalf("duplicate/source dest in %v", task)
+			}
+			seen[d] = true
+		}
+		// Compactness: the destinations' bounding radius around their
+		// centroid is far below the field's (uniform k=8 would spread
+		// ~500+ m here).
+		var pts []geom.Point
+		for _, d := range task.Dests {
+			pts = append(pts, loc.Pos(d))
+		}
+		c := geom.Centroid(pts)
+		var worst float64
+		for _, p := range pts {
+			if d := p.Dist(c); d > worst {
+				worst = d
+			}
+		}
+		if worst > 400 {
+			t.Fatalf("trial %d: cluster radius %v too wide", trial, worst)
+		}
+	}
+}
+
+func TestGenerateClusteredTooMany(t *testing.T) {
+	loc := newGridLocator(2, 2, 10)
+	r := rand.New(rand.NewSource(9))
+	if _, err := GenerateClustered(r, loc, 4, 10); err == nil {
+		t.Fatal("k+1 > n should error")
+	}
+	// k = n-1 works (falls back to field-wide top-up if needed).
+	task, err := GenerateClustered(r, loc, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Dests) != 3 {
+		t.Fatalf("dests = %v", task.Dests)
+	}
+}
