@@ -8,12 +8,16 @@
 //	gmpsim -experiment perdest              # Figure 12
 //	gmpsim -experiment energy               # Figure 14
 //	gmpsim -experiment failures             # Figure 15
+//	gmpsim -experiment loss                 # Figure 15 under link loss, ± ARQ
 //	gmpsim -experiment lambda               # PBM λ ablation (A-3)
 //	gmpsim -experiment setup                # Table 1 parameters
 //	gmpsim -experiment all                  # everything
 //
 // The -quick flag runs a scaled-down campaign (seconds instead of minutes);
-// -csv switches output to CSV for plotting.
+// -csv switches output to CSV for plotting. The -loss, -edgeloss, -crash and
+// -arq flags inject faults (lossy links, node crashes, hop-by-hop ARQ) into
+// every engine any experiment builds; -experiment loss runs the dedicated
+// loss-rate sweep comparing all protocols with and without ARQ.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"strings"
 
 	"gmp/internal/experiment"
+	"gmp/internal/sim"
 	"gmp/internal/stats"
 )
 
@@ -40,7 +45,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|all")
+		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|all")
 		quick    = fs.Bool("quick", false, "scaled-down campaign for smoke runs")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut  = fs.Bool("json", false, "emit JSON instead of aligned tables")
@@ -55,6 +60,10 @@ func run(args []string, out io.Writer) error {
 		pair     = fs.String("pair", "GMP,LGS", "for -experiment compare: the two protocols, A,B")
 		kFlag    = fs.Int("k", 12, "for -experiment compare: destination count")
 		outDir   = fs.String("outdir", "", "also write each table as <outdir>/<slug>.json and .csv")
+		loss     = fs.Float64("loss", 0, "inject uniform per-link loss with this probability into every engine")
+		edgeLoss = fs.Float64("edgeloss", 0, "inject distance-dependent loss: this probability at full radio range, scaled (d/R)^2")
+		crash    = fs.Float64("crash", 0, "crash this fraction of nodes at random times early in each task")
+		arq      = fs.Bool("arq", false, "enable hop-by-hop ARQ (ACKs + retransmissions)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +100,20 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-ks: %w", err)
 		}
 		cfg.Ks = parsed
+	}
+	// Nonzero values pass through even when negative, so validation can
+	// reject them instead of the flag being silently ignored.
+	if *loss != 0 {
+		cfg.Faults.LossRate = *loss
+	}
+	if *edgeLoss != 0 {
+		cfg.Faults.EdgeLoss = *edgeLoss
+	}
+	if *crash != 0 {
+		cfg.CrashFraction = *crash
+	}
+	if *arq {
+		cfg.ARQ = sim.DefaultARQ()
 	}
 	protoList := experiment.AllProtocols()
 	if *protos != "" {
@@ -166,6 +189,24 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		emit(tbl)
+	case "loss":
+		lsc := experiment.DefaultLossConfig()
+		if *quick {
+			lsc = experiment.QuickLossConfig()
+		}
+		lsc.Base.Seed = cfg.Seed
+		if *arq {
+			lsc.ARQ = sim.DefaultARQ()
+		}
+		res, err := experiment.RunLoss(lsc, []string{
+			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS,
+		})
+		if err != nil {
+			return err
+		}
+		emit(res.Failures)
+		emit(res.Transmissions)
+		emit(res.Energy)
 	case "robustness":
 		rc := experiment.DefaultRobustnessConfig()
 		if *quick {

@@ -177,3 +177,47 @@ func TestParseInts(t *testing.T) {
 		t.Fatalf("parseInts = %v", got)
 	}
 }
+
+func TestLossExperimentQuick(t *testing.T) {
+	out := runCapture(t, "-experiment", "loss", "-quick")
+	for _, want := range []string{
+		"Figure 15 under loss", "loss rate", "GMP", "GMP+arq",
+		"mean transmissions/task", "mean energy/task (J)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("loss output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultFlagsOnMainExperiment(t *testing.T) {
+	out := runCapture(t, "-experiment", "totalhops", "-quick",
+		"-networks", "1", "-tasks", "2", "-ks", "4",
+		"-protocols", "GMP", "-loss", "0.2", "-crash", "0.05", "-arq")
+	if !strings.Contains(out, "Figure 11") {
+		t.Fatalf("missing table:\n%s", out)
+	}
+}
+
+func TestBadLossFlagRejected(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-experiment", "totalhops", "-quick",
+		"-networks", "1", "-tasks", "2", "-ks", "4",
+		"-protocols", "GMP", "-loss", "1.5"}, &b)
+	if err == nil {
+		t.Fatal("loss rate above 1 should error")
+	}
+}
+
+func TestNegativeFaultFlagsRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-loss", "-0.1"}, {"-edgeloss", "-0.2"}, {"-crash", "-0.3"},
+	} {
+		var b strings.Builder
+		full := append([]string{"-experiment", "totalhops", "-quick",
+			"-networks", "1", "-tasks", "2", "-ks", "4", "-protocols", "GMP"}, args...)
+		if err := run(full, &b); err == nil {
+			t.Fatalf("%v should error", args)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package gmp
 
 import (
+	"fmt"
 	"math/rand"
 
 	"gmp/internal/geom"
@@ -35,6 +36,13 @@ type (
 	RadioParams = sim.RadioParams
 	// TraceEvent describes one observed transmission.
 	TraceEvent = sim.TraceEvent
+	// FaultPlan describes injected link loss and node crashes (see
+	// WithFaults). The zero plan is the ideal collision-free MAC.
+	FaultPlan = sim.FaultPlan
+	// NodeCrash schedules one node's radio failure inside a FaultPlan.
+	NodeCrash = sim.Crash
+	// ARQConfig configures hop-by-hop acknowledged delivery (see WithARQ).
+	ARQConfig = sim.ARQConfig
 	// PlanarKind selects the perimeter-mode planarization rule.
 	PlanarKind = planar.Kind
 	// Region is a geocast target area (Disk, Rect, Polygon).
@@ -120,6 +128,8 @@ type systemConfig struct {
 	radio   RadioParams
 	maxHops int
 	kind    planar.Kind
+	faults  FaultPlan
+	arq     ARQConfig
 }
 
 // WithRadio overrides the radio/energy parameters.
@@ -130,10 +140,37 @@ func WithRadio(p RadioParams) SystemOption {
 // WithMaxHops sets the per-packet hop budget (0 = unlimited; the paper's
 // evaluation uses 100). Leaving the budget unlimited lets perimeter-mode
 // packets circulate indefinitely on unreachable targets, so keep a budget
-// for untrusted workloads.
+// for untrusted workloads. Negative budgets are a programming error and
+// panic rather than silently meaning "unlimited".
 func WithMaxHops(n int) SystemOption {
+	if n < 0 {
+		panic(fmt.Sprintf("gmp: WithMaxHops(%d): negative hop budget (use 0 for unlimited)", n))
+	}
 	return func(c *systemConfig) { c.maxHops = n }
 }
+
+// WithFaults injects a fault plan — per-link packet loss (uniform and/or
+// distance-dependent) and scheduled node crashes — into the system's
+// simulation engine. The plan's RNG is seeded deterministically, so runs
+// stay reproducible. The zero plan is a strict no-op (the ideal MAC).
+// Invalid plans (loss probabilities outside [0,1], crashes of unknown
+// nodes) panic at NewSystem.
+func WithFaults(p FaultPlan) SystemOption {
+	return func(c *systemConfig) { c.faults = p }
+}
+
+// WithARQ enables hop-by-hop acknowledged delivery: receivers ACK every
+// data frame (costing airtime and energy) and senders retransmit lost
+// frames with exponential backoff up to cfg.MaxRetries before giving up.
+// Use DefaultARQ() for the standard configuration. Invalid configurations
+// panic at NewSystem.
+func WithARQ(cfg ARQConfig) SystemOption {
+	return func(c *systemConfig) { c.arq = cfg }
+}
+
+// DefaultARQ returns the standard ARQ configuration (3 retries, 16-byte
+// ACKs, auto timeout, exponential backoff ×2).
+func DefaultARQ() ARQConfig { return sim.DefaultARQ() }
 
 // WithPlanarizer selects Gabriel (default) or RelativeNeighborhood for
 // perimeter routing.
@@ -152,10 +189,17 @@ func NewSystem(nw *Network, opts ...SystemOption) *System {
 		o(&cfg)
 	}
 	cfg.radio.RangeM = nw.Range()
+	en := sim.NewEngine(nw, cfg.radio, cfg.maxHops)
+	if err := en.SetFaults(cfg.faults); err != nil {
+		panic("gmp: WithFaults: " + err.Error())
+	}
+	if err := en.SetARQ(cfg.arq); err != nil {
+		panic("gmp: WithARQ: " + err.Error())
+	}
 	return &System{
 		nw:      nw,
 		pg:      planar.Planarize(nw, cfg.kind),
-		en:      sim.NewEngine(nw, cfg.radio, cfg.maxHops),
+		en:      en,
 		maxHops: cfg.maxHops,
 	}
 }
@@ -265,8 +309,13 @@ func (s *System) GeocastRegionDests(region Region) []int {
 type GroupService = groups.Service
 
 // Groups creates a membership service bound to this system's network, with
-// the system's hop budget for control messages.
+// the system's hop budget for control messages. A system with an unlimited
+// data-plane budget (WithMaxHops(0)) keeps the service's default control
+// budget, which must stay finite.
 func (s *System) Groups() *GroupService {
+	if s.maxHops <= 0 {
+		return groups.New(s.nw, s.pg)
+	}
 	return groups.New(s.nw, s.pg, groups.WithMaxHops(s.maxHops))
 }
 

@@ -1,0 +1,101 @@
+package gmp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeFaultsTotalLoss(t *testing.T) {
+	r := newTestSystem(t, 6, 600)
+	nw := r.Network()
+	sys := NewSystem(nw, WithFaults(FaultPlan{LossRate: 1}))
+	res := sys.Multicast(sys.GMP(), 0, []int{100, 200})
+	if !res.Failed() {
+		t.Fatal("total loss delivered")
+	}
+	if res.LossDrops == 0 {
+		t.Fatalf("no loss drops recorded: %+v", res)
+	}
+}
+
+func TestFacadeARQRecovers(t *testing.T) {
+	base := newTestSystem(t, 7, 600)
+	nw := base.Network()
+	plan := FaultPlan{LossRate: 0.2, Seed: 9}
+
+	plain := NewSystem(nw, WithFaults(plan))
+	lossy := plain.Multicast(plain.GMP(), 0, []int{100, 200, 300})
+
+	arq := NewSystem(nw, WithFaults(plan), WithARQ(DefaultARQ()))
+	acked := arq.Multicast(arq.GMP(), 0, []int{100, 200, 300})
+
+	if acked.Failed() {
+		t.Fatalf("ARQ run failed: %+v", acked)
+	}
+	if acked.Retransmissions == 0 || acked.Acks == 0 {
+		t.Fatalf("ARQ machinery idle: %+v", acked)
+	}
+	if acked.EnergyJ <= lossy.EnergyJ {
+		t.Fatalf("ARQ energy %v not above plain %v", acked.EnergyJ, lossy.EnergyJ)
+	}
+}
+
+func TestFacadeCrashedNodeSkipped(t *testing.T) {
+	base := newTestSystem(t, 8, 600)
+	nw := base.Network()
+	// Crash one destination permanently; the task must fail on exactly the
+	// crashed destination and still deliver the rest.
+	sys := NewSystem(nw, WithFaults(FaultPlan{Crashes: []NodeCrash{{Node: 100, At: 0}}}))
+	res := sys.Multicast(sys.GMP(), 0, []int{100, 200, 300})
+	if _, ok := res.Delivered[100]; ok {
+		t.Fatal("crashed destination delivered")
+	}
+	if _, ok := res.Delivered[200]; !ok {
+		t.Fatalf("live destination lost: %+v", res.Delivered)
+	}
+}
+
+func TestFacadeWithMaxHopsNegativePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("WithMaxHops(-1) must panic")
+		}
+		if !strings.Contains(r.(string), "negative hop budget") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	WithMaxHops(-1)
+}
+
+func TestFacadeWithFaultsInvalidPanics(t *testing.T) {
+	sys := newTestSystem(t, 9, 300)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid fault plan must panic at NewSystem")
+		}
+	}()
+	NewSystem(sys.Network(), WithFaults(FaultPlan{LossRate: 2}))
+}
+
+func TestFacadeWithARQInvalidPanics(t *testing.T) {
+	sys := newTestSystem(t, 10, 300)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid ARQ config must panic at NewSystem")
+		}
+	}()
+	NewSystem(sys.Network(), WithARQ(ARQConfig{Enabled: true, MaxRetries: -1}))
+}
+
+func TestFacadeZeroFaultPlanUnchanged(t *testing.T) {
+	base := newTestSystem(t, 11, 600)
+	ref := base.Multicast(base.GMP(), 0, []int{50, 150, 250})
+
+	sys := NewSystem(base.Network(), WithFaults(FaultPlan{}), WithARQ(ARQConfig{}))
+	got := sys.Multicast(sys.GMP(), 0, []int{50, 150, 250})
+	if got.Transmissions != ref.Transmissions || got.EnergyJ != ref.EnergyJ ||
+		len(got.Delivered) != len(ref.Delivered) {
+		t.Fatalf("zero plan changed results:\n ref %+v\n got %+v", ref, got)
+	}
+}

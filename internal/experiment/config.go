@@ -62,6 +62,16 @@ type Config struct {
 	Planarizer planar.Kind
 	// Radio carries the physical-layer constants (Table 1).
 	Radio sim.RadioParams
+	// Faults injects link loss into every engine the campaign builds. Its
+	// Seed is re-derived per task so tasks see independent loss patterns;
+	// leave it zero for the paper's ideal collision-free MAC.
+	Faults sim.FaultPlan
+	// CrashFraction, when positive, crashes that fraction of each
+	// deployment's nodes at random virtual times in the first 20 ms of
+	// every task (schedule derived deterministically from Seed).
+	CrashFraction float64
+	// ARQ enables hop-by-hop acknowledged delivery in every engine.
+	ARQ sim.ARQConfig
 }
 
 // Default returns the paper's Table 1 setup.
@@ -114,6 +124,15 @@ func (c Config) Validate(protos []string) error {
 	}
 	if c.TasksPerNet < 1 {
 		return ErrNoTasks
+	}
+	if err := c.Faults.Validate(c.Nodes); err != nil {
+		return err
+	}
+	if err := c.ARQ.Validate(); err != nil {
+		return err
+	}
+	if c.CrashFraction < 0 || c.CrashFraction >= 1 {
+		return fmt.Errorf("experiment: CrashFraction %v outside [0, 1)", c.CrashFraction)
 	}
 	for _, p := range protos {
 		switch p {

@@ -30,7 +30,9 @@ type FailureConfig struct {
 // zero failures — the ns-2 802.11 losses that drove part of its Figure 15
 // don't exist here — while geometric voids, the phenomenon §5.4 analyzes,
 // appear in force once average degree drops below ~15 (≲300 nodes). See
-// DESIGN.md §3.
+// DESIGN.md §3. RunLoss (loss.go) restores the missing loss axis directly:
+// it injects per-link Bernoulli loss at the paper's density and measures the
+// same failure metric, with and without hop-by-hop ARQ.
 func DefaultFailureConfig() FailureConfig {
 	return FailureConfig{
 		Base:       Default(),

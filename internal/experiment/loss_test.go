@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"testing"
+
+	"gmp/internal/sim"
+)
+
+// lossTestConfig is a minimal sweep: enough tasks to see the trend, small
+// enough to keep the race-enabled CI run fast.
+func lossTestConfig() LossConfig {
+	lc := QuickLossConfig()
+	lc.Base.Networks = 2
+	lc.Base.TasksPerNet = 6
+	lc.K = 5
+	return lc
+}
+
+func TestRunLossShape(t *testing.T) {
+	lc := lossTestConfig()
+	protos := []string{ProtoGMP, ProtoLGS}
+	res, err := RunLoss(lc, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures.Series) != 2*len(protos) {
+		t.Fatalf("series count %d, want %d", len(res.Failures.Series), 2*len(protos))
+	}
+	top := len(lc.LossRates) - 1
+	for _, proto := range protos {
+		plain := res.Failures.Get(proto)
+		arq := res.Failures.Get(proto + "+arq")
+		if plain == nil || arq == nil {
+			t.Fatalf("missing series for %s", proto)
+		}
+		// Loss-free runs at this scale do not fail; failures grow with loss.
+		if plain.Y[0] != 0 {
+			t.Fatalf("%s fails %v tasks at zero loss", proto, plain.Y[0])
+		}
+		if plain.Y[top] == 0 {
+			t.Fatalf("%s never fails at %v%% loss", proto, 100*lc.LossRates[top])
+		}
+		for i := 0; i+1 < len(plain.Y); i++ {
+			if plain.Y[i+1] < plain.Y[i] {
+				t.Fatalf("%s failures not monotone in loss: %v", proto, plain.Y)
+			}
+		}
+		// ARQ never hurts delivery, and strictly helps at the top rate …
+		for i := range arq.Y {
+			if arq.Y[i] > plain.Y[i] {
+				t.Fatalf("%s ARQ increased failures at rate %v: %v > %v",
+					proto, lc.LossRates[i], arq.Y[i], plain.Y[i])
+			}
+		}
+		if arq.Y[top] >= plain.Y[top] {
+			t.Fatalf("%s ARQ did not reduce failures at top rate: %v vs %v",
+				proto, arq.Y[top], plain.Y[top])
+		}
+		// … paid for in retransmissions and ACK energy.
+		ptx, atx := res.Transmissions.Get(proto), res.Transmissions.Get(proto+"+arq")
+		pe, ae := res.Energy.Get(proto), res.Energy.Get(proto+"+arq")
+		for i, rate := range lc.LossRates {
+			if rate == 0 {
+				continue
+			}
+			if atx.Y[i] <= ptx.Y[i] {
+				t.Fatalf("%s ARQ transmissions not higher at rate %v: %v vs %v",
+					proto, rate, atx.Y[i], ptx.Y[i])
+			}
+			if ae.Y[i] <= pe.Y[i] {
+				t.Fatalf("%s ARQ energy not higher at rate %v: %v vs %v",
+					proto, rate, ae.Y[i], pe.Y[i])
+			}
+		}
+	}
+}
+
+// TestRunLossDeterministic is the seed-regression guard: the same config must
+// render byte-identical tables on every run, fault injection included.
+func TestRunLossDeterministic(t *testing.T) {
+	lc := lossTestConfig()
+	protos := []string{ProtoGMP}
+	a, err := RunLoss(lc, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoss(lc, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]interface{ Render() string }{
+		{a.Failures, b.Failures},
+		{a.Transmissions, b.Transmissions},
+		{a.Energy, b.Energy},
+	} {
+		if pair[0].Render() != pair[1].Render() {
+			t.Fatalf("non-deterministic table:\n--- run 1\n%s\n--- run 2\n%s",
+				pair[0].Render(), pair[1].Render())
+		}
+	}
+}
+
+func TestRunLossRejectsBadConfig(t *testing.T) {
+	lc := lossTestConfig()
+	lc.Base.Faults.LossRate = 1.5
+	if _, err := RunLoss(lc, []string{ProtoGMP}); err == nil {
+		t.Fatal("invalid base fault plan must be rejected")
+	}
+}
+
+func TestConfigValidatesFaults(t *testing.T) {
+	cfg := Quick()
+	cfg.Faults.LossRate = -0.1
+	if err := cfg.Validate([]string{ProtoGMP}); err == nil {
+		t.Fatal("negative loss rate must be rejected")
+	}
+	cfg = Quick()
+	cfg.CrashFraction = 1
+	if err := cfg.Validate([]string{ProtoGMP}); err == nil {
+		t.Fatal("CrashFraction 1 must be rejected")
+	}
+	cfg = Quick()
+	cfg.ARQ = sim.ARQConfig{Enabled: true, MaxRetries: -1, AckBytes: 16}
+	if err := cfg.Validate([]string{ProtoGMP}); err == nil {
+		t.Fatal("invalid ARQ config must be rejected")
+	}
+}
+
+// TestApplyFaultsDerivesCrashes checks the CrashFraction → crash-schedule
+// wiring: the engine ends up with the requested number of distinct crashed
+// nodes, deterministically per network index.
+func TestApplyFaultsDerivesCrashes(t *testing.T) {
+	cfg := Quick()
+	cfg.CrashFraction = 0.1
+	b1, err := buildBench(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(float64(cfg.Nodes) * cfg.CrashFraction)
+	crashes := b1.en.Faults().Crashes
+	if len(crashes) != want {
+		t.Fatalf("crash count %d, want %d", len(crashes), want)
+	}
+	seen := make(map[int]bool)
+	for _, c := range crashes {
+		if seen[c.Node] {
+			t.Fatalf("node %d crashed twice", c.Node)
+		}
+		seen[c.Node] = true
+		if c.At < 0 || c.At >= 0.02 {
+			t.Fatalf("crash time %v outside the task window", c.At)
+		}
+	}
+	b2, err := buildBench(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range b2.en.Faults().Crashes {
+		if c != crashes[i] {
+			t.Fatal("crash schedule not deterministic per network")
+		}
+	}
+}

@@ -137,11 +137,43 @@ func buildBench(cfg Config, netIdx int) (*bench, error) {
 	}
 	radio := cfg.Radio
 	radio.RangeM = cfg.RadioRange
+	en := sim.NewEngine(nw, radio, cfg.MaxHops)
+	if err := applyFaults(cfg, netIdx, en); err != nil {
+		return nil, fmt.Errorf("network %d: %w", netIdx, err)
+	}
 	return &bench{
 		nw: nw,
 		pg: planar.Planarize(nw, cfg.Planarizer),
-		en: sim.NewEngine(nw, radio, cfg.MaxHops),
+		en: en,
 	}, nil
+}
+
+// applyFaults installs the campaign's fault plan and ARQ configuration on a
+// freshly built engine. The plan's RNG seed and the generated crash
+// schedule are derived from the campaign seed and the network index, so
+// every deployment faults differently but the whole campaign stays
+// reproducible.
+func applyFaults(cfg Config, netIdx int, en *sim.Engine) error {
+	plan := cfg.Faults
+	if plan.Active() || cfg.CrashFraction > 0 {
+		if plan.Seed == 0 {
+			plan.Seed = cfg.Seed + int64(netIdx)*7919 + 271829
+		}
+		if cfg.CrashFraction > 0 {
+			r := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919 + 314159))
+			count := int(float64(cfg.Nodes) * cfg.CrashFraction)
+			perm := r.Perm(cfg.Nodes)
+			crashes := make([]sim.Crash, 0, count)
+			for _, id := range perm[:count] {
+				crashes = append(crashes, sim.Crash{Node: id, At: r.Float64() * 0.02})
+			}
+			plan.Crashes = append(plan.Crashes, crashes...)
+		}
+		if err := en.SetFaults(plan); err != nil {
+			return err
+		}
+	}
+	return en.SetARQ(cfg.ARQ)
 }
 
 // runOneNetwork simulates all tasks of one deployment for every protocol.

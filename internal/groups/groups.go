@@ -51,7 +51,15 @@ type Service struct {
 type Option func(*Service)
 
 // WithMaxHops bounds each control message's route length (default 100).
-func WithMaxHops(n int) Option { return func(s *Service) { s.maxHops = n } }
+// Control messages must always have a finite budget — the routing loop in
+// route() is bounded by it — so non-positive values are a programming error
+// and panic rather than silently disabling the bound.
+func WithMaxHops(n int) Option {
+	if n <= 0 {
+		panic(fmt.Sprintf("groups: WithMaxHops(%d): hop budget must be positive", n))
+	}
+	return func(s *Service) { s.maxHops = n }
+}
 
 // WithLease makes memberships soft-state: a join is valid for the given
 // number of virtual seconds and must be refreshed (re-joined) before it

@@ -226,3 +226,16 @@ func TestRouteBudgetError(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestWithMaxHopsNonPositivePanics(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("WithMaxHops(%d) must panic", n)
+				}
+			}()
+			WithMaxHops(n)
+		}()
+	}
+}

@@ -73,7 +73,8 @@ func (g *Geocast) inRegion(node int) bool {
 // Start implements sim.Handler.
 func (g *Geocast) Start(e *sim.Engine, src int, dests []int) {
 	g.flooded = make(map[int]bool)
-	pkt := &sim.Packet{Dests: dests, Anchor: -1}
+	pkt := e.NewPacket(dests)
+	pkt.Anchor = -1
 	if g.inRegion(src) {
 		g.flood(e, src, pkt, -1)
 		return

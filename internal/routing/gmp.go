@@ -40,6 +40,10 @@ type GMP struct {
 	pg   *planar.Graph
 	opts GMPOptions
 	name string
+	// suspect holds neighbors that hop-by-hop ARQ reported unreachable
+	// (crashed or behind a hopeless link); next-hop selection avoids them.
+	// Populated only under ARQ via the Nack callback.
+	suspect map[int]bool
 }
 
 var _ Protocol = (*GMP)(nil)
@@ -75,7 +79,23 @@ func (g *GMP) steinerOpts() steiner.Options {
 // Start implements sim.Handler: the source runs the same procedure as every
 // forwarding node.
 func (g *GMP) Start(e *sim.Engine, src int, dests []int) {
-	g.process(e, src, &sim.Packet{Dests: dests})
+	g.process(e, src, e.NewPacket(dests))
+}
+
+// Nack implements sim.NackHandler: when ARQ gives up on a next hop, mark it
+// suspect and re-run the full grouping from the stranded node — the paper's
+// own group-split/perimeter machinery then re-selects among the remaining
+// neighbors or recovers around the dead node as around a void.
+func (g *GMP) Nack(e *sim.Engine, from, to int, pkt *sim.Packet) {
+	if g.suspect == nil {
+		g.suspect = make(map[int]bool)
+	}
+	g.suspect[to] = true
+	// A perimeter copy restarts recovery as a fresh greedy round: the face
+	// traversal cannot route around a dead planar edge, but re-grouping can
+	// (and residual voids re-enter perimeter mode from here anyway).
+	pkt.Perimeter = false
+	g.process(e, from, pkt)
 }
 
 // Receive implements sim.Handler.
@@ -124,7 +144,7 @@ func (g *GMP) forwardGroups(e *sim.Engine, node int, pkt *sim.Packet) (voids []i
 		worklist = worklist[1:]
 		for {
 			group := g.groupLabels(tree, p)
-			next := groupNextHop(g.nw, node, tree.Vertex(p).Pos, group)
+			next := groupNextHopSkip(g.nw, node, tree.Vertex(p).Pos, group, g.suspect)
 			if next != -1 {
 				if _, seen := batches[next]; !seen {
 					order = append(order, next)

@@ -15,6 +15,9 @@ import (
 type GRD struct {
 	nw *network.Network
 	pg *planar.Graph
+	// suspect holds neighbors reported unreachable by ARQ's Nack callback;
+	// greedy forwarding avoids them.
+	suspect map[int]bool
 }
 
 var _ Protocol = (*GRD)(nil)
@@ -30,8 +33,19 @@ func (g *GRD) Name() string { return "GRD" }
 // Start implements sim.Handler: one independent packet per destination.
 func (g *GRD) Start(e *sim.Engine, src int, dests []int) {
 	for _, d := range dests {
-		g.forward(e, src, &sim.Packet{Dests: []int{d}})
+		g.forward(e, src, e.NewPacket([]int{d}))
 	}
+}
+
+// Nack implements sim.NackHandler: mark the failed next hop suspect and
+// retry greedy forwarding (falling back to perimeter mode) from here.
+func (g *GRD) Nack(e *sim.Engine, from, to int, pkt *sim.Packet) {
+	if g.suspect == nil {
+		g.suspect = make(map[int]bool)
+	}
+	g.suspect[to] = true
+	pkt.Perimeter = false
+	g.forward(e, from, pkt)
 }
 
 // Receive implements sim.Handler.
@@ -65,7 +79,7 @@ func (g *GRD) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
 // forward takes one greedy step, entering perimeter mode at local minima.
 func (g *GRD) forward(e *sim.Engine, node int, pkt *sim.Packet) {
 	target := g.nw.Pos(pkt.Dests[0])
-	if next := greedyNextHop(g.nw, node, target); next != -1 {
+	if next := greedyNextHopSkip(g.nw, node, target, g.suspect); next != -1 {
 		copyPkt := pkt.Clone()
 		copyPkt.Perimeter = false
 		e.Send(node, next, copyPkt)

@@ -36,7 +36,9 @@ func (l *LGS) Name() string { return "LGS" }
 
 // Start implements sim.Handler.
 func (l *LGS) Start(e *sim.Engine, src int, dests []int) {
-	l.partition(e, src, &sim.Packet{Dests: dests, Anchor: -1})
+	pkt := e.NewPacket(dests)
+	pkt.Anchor = -1
+	l.partition(e, src, pkt)
 }
 
 // Receive implements sim.Handler. The engine has already stripped this node
@@ -101,7 +103,9 @@ func (l *LGK) Name() string { return fmt.Sprintf("LGK%d", l.k) }
 
 // Start implements sim.Handler.
 func (l *LGK) Start(e *sim.Engine, src int, dests []int) {
-	l.partition(e, src, &sim.Packet{Dests: dests, Anchor: -1})
+	pkt := e.NewPacket(dests)
+	pkt.Anchor = -1
+	l.partition(e, src, pkt)
 }
 
 // Receive implements sim.Handler.

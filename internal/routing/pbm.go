@@ -52,7 +52,7 @@ func (p *PBM) Lambda() float64 { return p.lambda }
 
 // Start implements sim.Handler.
 func (p *PBM) Start(e *sim.Engine, src int, dests []int) {
-	p.process(e, src, &sim.Packet{Dests: dests})
+	p.process(e, src, e.NewPacket(dests))
 }
 
 // Receive implements sim.Handler.

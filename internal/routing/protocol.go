@@ -59,9 +59,19 @@ func sumDistTo(nw *network.Network, p geom.Point, dests []int) float64 {
 // destinations is strictly below the current node's. Returns -1 when no
 // neighbor qualifies (a void for this group).
 func groupNextHop(nw *network.Network, cur int, pivot geom.Point, group []int) int {
+	return groupNextHopSkip(nw, cur, pivot, group, nil)
+}
+
+// groupNextHopSkip is groupNextHop with an exclusion set: neighbors in skip
+// are never selected. ARQ's NACK callback feeds suspected-dead neighbors in
+// here so GMP's re-selection avoids the failed link.
+func groupNextHopSkip(nw *network.Network, cur int, pivot geom.Point, group []int, skip map[int]bool) int {
 	curTotal := sumDistTo(nw, nw.Pos(cur), group)
 	best, bestD := -1, math.Inf(1)
 	for _, n := range nw.Neighbors(cur) {
+		if skip[n] {
+			continue
+		}
 		np := nw.Pos(n)
 		if sumDistTo(nw, np, group) >= curTotal {
 			continue
@@ -77,9 +87,18 @@ func groupNextHop(nw *network.Network, cur int, pivot geom.Point, group []int) i
 // is strictly closer to target than cur itself; -1 otherwise. This is the
 // classical greedy geographic forwarding step used by GRD and LGS.
 func greedyNextHop(nw *network.Network, cur int, target geom.Point) int {
+	return greedyNextHopSkip(nw, cur, target, nil)
+}
+
+// greedyNextHopSkip is greedyNextHop with an exclusion set for suspected-
+// dead neighbors.
+func greedyNextHopSkip(nw *network.Network, cur int, target geom.Point, skip map[int]bool) int {
 	curD := nw.Pos(cur).Dist(target)
 	best, bestD := -1, curD
 	for _, n := range nw.Neighbors(cur) {
+		if skip[n] {
+			continue
+		}
 		if d := nw.Pos(n).Dist(target); d < bestD {
 			best, bestD = n, d
 		}

@@ -52,11 +52,11 @@ func (s *SMT) Start(e *sim.Engine, src int, dests []int) {
 	if err != nil {
 		// Cannot happen for reachable terminals; fail the task loudly by
 		// dropping rather than panicking.
-		e.Drop(&sim.Packet{Dests: reachable})
+		e.Drop(e.NewPacket(reachable))
 		return
 	}
-	route := rootTree(edges, src)
-	pkt := &sim.Packet{Dests: reachable, Route: route}
+	pkt := e.NewPacket(reachable)
+	pkt.Route = rootTree(edges, src)
 	s.forwardChildren(e, src, pkt)
 }
 

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 
 	"gmp/internal/network"
@@ -68,6 +71,17 @@ type TaskMetrics struct {
 	// Drops counts packet copies dropped (hop budget exhausted or protocol
 	// gave up, e.g. LGS hitting a void).
 	Drops int
+	// Retransmissions counts data frames re-sent by hop-by-hop ARQ. Each is
+	// also counted in Transmissions.
+	Retransmissions int
+	// LossDrops counts packet copies lost to injected faults: frames lost
+	// on the air or addressed to a crashed node (without ARQ), or copies
+	// whose ARQ retries were exhausted.
+	LossDrops int
+	// Acks counts ACK frames sent by receivers under ARQ. ACK energy is in
+	// EnergyJ, but ACKs are not data transmissions and stay out of
+	// Transmissions (the paper's hop metric).
+	Acks int
 	// InvalidSends counts attempted transmissions to nodes out of radio
 	// range. Always zero for correct protocols; tests assert it.
 	InvalidSends int
@@ -187,13 +201,53 @@ type Engine struct {
 	tracer    TraceFunc
 	perNode   bool
 	dynFrame  bool
+
+	faults FaultPlan
+	arq    ARQConfig // normalized against radio when set
+	frand  *rand.Rand
+	dead   []bool // nil when the plan schedules no crashes
+	runSeq int64  // runs since SetFaults, for per-run fault seed derivation
 }
 
 // NewEngine builds an engine over net. maxHops is the per-packet hop budget
-// (the paper uses 100 in §5.4); 0 disables the budget.
+// (the paper uses 100 in §5.4); 0 disables the budget. Negative budgets are
+// a programming error and panic rather than silently meaning "unlimited".
 func NewEngine(net *network.Network, radio RadioParams, maxHops int) *Engine {
+	if maxHops < 0 {
+		panic(fmt.Sprintf("sim: negative hop budget %d (use 0 for unlimited)", maxHops))
+	}
 	return &Engine{net: net, radio: radio, maxHops: maxHops}
 }
+
+// SetFaults installs a fault-injection plan for subsequent runs. The zero
+// plan restores the ideal collision-free MAC exactly (a strict no-op).
+func (e *Engine) SetFaults(p FaultPlan) error {
+	if err := p.Validate(e.net.Len()); err != nil {
+		return err
+	}
+	e.faults = p
+	e.runSeq = 0
+	return nil
+}
+
+// Faults returns the installed fault plan.
+func (e *Engine) Faults() FaultPlan { return e.faults }
+
+// SetARQ configures hop-by-hop acknowledged delivery for subsequent runs.
+// The zero config disables ARQ.
+func (e *Engine) SetARQ(a ARQConfig) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if a.Enabled {
+		a = a.normalized(e.radio)
+	}
+	e.arq = a
+	return nil
+}
+
+// ARQ returns the installed (normalized) ARQ configuration.
+func (e *Engine) ARQ() ARQConfig { return e.arq }
 
 // Net returns the underlying network, for handlers that need neighborhoods.
 func (e *Engine) Net() *network.Network { return e.net }
@@ -246,6 +300,28 @@ func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
 	e.sched = &Scheduler{}
 	e.busyUntil = make([]float64, e.net.Len())
 	e.sessions = make([]sessionState, len(sessions))
+
+	// Fault randomness is deterministic but advances across runs: the Nth
+	// run after SetFaults draws from seed(plan)⊕f(N), so successive tasks
+	// in a batch see independent loss patterns while the whole batch stays
+	// a pure function of (network, plan, run order). Re-install the plan to
+	// rewind the stream.
+	e.frand = nil
+	if e.faults.Active() {
+		e.frand = rand.New(rand.NewSource(e.faults.seed() + e.runSeq*6364136223846793005))
+	}
+	e.runSeq++
+	e.dead = nil
+	if len(e.faults.Crashes) > 0 {
+		e.dead = make([]bool, e.net.Len())
+		for _, c := range e.faults.Crashes {
+			c := c
+			e.sched.At(c.At, func() { e.dead[c.Node] = true })
+			if c.RecoverAt > c.At {
+				e.sched.At(c.RecoverAt, func() { e.dead[c.Node] = false })
+			}
+		}
+	}
 
 	for i, s := range sessions {
 		i, s := i, s
@@ -310,7 +386,21 @@ func (e *Engine) Send(from, to int, pkt *Packet) {
 		m.Drops++
 		return
 	}
-	frame := e.frameBytes(copyPkt)
+	e.transmit(from, to, copyPkt, 0)
+}
+
+// transmit puts one data frame on the air (attempt 0 is the original send,
+// higher attempts are ARQ retransmissions). It charges airtime and energy,
+// serializes on the sender's half-duplex radio, draws the frame's fault
+// fate, and schedules the reception.
+func (e *Engine) transmit(from, to int, pkt *Packet, attempt int) {
+	m := &e.sessions[pkt.Session].metrics
+	if e.isDead(from) {
+		// The sender's radio died before this (re)transmission went out.
+		m.LossDrops++
+		return
+	}
+	frame := e.frameBytes(pkt)
 	airtime := e.radio.TxTimeBytes(frame)
 
 	txStart := e.sched.Now()
@@ -320,6 +410,9 @@ func (e *Engine) Send(from, to int, pkt *Packet) {
 	e.busyUntil[from] = txStart + airtime
 
 	m.Transmissions++
+	if attempt > 0 {
+		m.Retransmissions++
+	}
 	m.EnergyJ += e.radio.TxEnergyBytes(frame, e.net.Degree(from))
 	if e.perNode {
 		m.EnergyByNode[from] += e.radio.TxPowerW * airtime
@@ -332,20 +425,109 @@ func (e *Engine) Send(from, to int, pkt *Packet) {
 			Time:      txStart,
 			From:      from,
 			To:        to,
-			Hops:      copyPkt.Hops,
-			Dests:     append([]int(nil), copyPkt.Dests...),
-			Perimeter: copyPkt.Perimeter,
+			Hops:      pkt.Hops,
+			Dests:     append([]int(nil), pkt.Dests...),
+			Perimeter: pkt.Perimeter,
 		})
 	}
-	e.sched.At(txStart+airtime, func() { e.arrive(to, copyPkt) })
+	// The frame's on-air fate is drawn at send time (deterministically, in
+	// scheduler order); whether the receiver is alive is checked at arrival
+	// time, so a crash mid-flight loses the frame.
+	lost := e.linkLost(from, to)
+	e.sched.At(txStart+airtime, func() { e.receive(from, to, pkt, attempt, lost) })
+}
+
+// receive resolves one frame's fate at its arrival time: deliver (plus ACK
+// under ARQ), schedule a retransmission, or give up and NACK.
+func (e *Engine) receive(from, to int, pkt *Packet, attempt int, lost bool) {
+	m := &e.sessions[pkt.Session].metrics
+	if !lost && !e.isDead(to) {
+		if e.arq.Enabled {
+			e.sendAck(to, pkt)
+		}
+		e.arrive(to, pkt)
+		return
+	}
+	if !e.arq.Enabled {
+		// Without ARQ the sender never learns; the copy silently dies.
+		m.LossDrops++
+		return
+	}
+	if attempt >= e.arq.MaxRetries {
+		m.LossDrops++
+		e.nack(from, to, pkt)
+		return
+	}
+	rto := e.arq.Timeout * math.Pow(e.arq.Backoff, float64(attempt))
+	e.sched.After(rto, func() { e.transmit(from, to, pkt, attempt+1) })
+}
+
+// sendAck charges the receiver's ACK frame: airtime on its radio and energy
+// against the packet's session. ACKs are modeled loss-free (see ARQConfig).
+func (e *Engine) sendAck(node int, pkt *Packet) {
+	m := &e.sessions[pkt.Session].metrics
+	airtime := e.radio.TxTimeBytes(e.arq.AckBytes)
+	start := e.sched.Now()
+	if e.busyUntil[node] > start {
+		start = e.busyUntil[node]
+	}
+	e.busyUntil[node] = start + airtime
+	m.Acks++
+	m.EnergyJ += e.radio.TxEnergyBytes(e.arq.AckBytes, e.net.Degree(node))
+	if e.perNode {
+		m.EnergyByNode[node] += e.radio.TxPowerW * airtime
+		for _, l := range e.net.Neighbors(node) {
+			m.EnergyByNode[l] += e.radio.RxPowerW * airtime
+		}
+	}
+}
+
+// nack tells the packet's handler that ARQ gave up on the link from→to, if
+// the handler wants to know.
+func (e *Engine) nack(from, to int, pkt *Packet) {
+	nh, ok := e.sessions[pkt.Session].handler.(NackHandler)
+	if !ok {
+		return
+	}
+	e.cur = pkt.Session
+	nh.Nack(e, from, to, pkt)
+}
+
+// isDead reports whether node's radio is crashed at the current time.
+func (e *Engine) isDead(node int) bool { return e.dead != nil && e.dead[node] }
+
+// linkLost draws whether a frame on the link from→to is lost on the air.
+// The zero fault plan never touches the RNG, keeping fault-free runs
+// byte-identical to an engine without a plan.
+func (e *Engine) linkLost(from, to int) bool {
+	if e.frand == nil {
+		return false
+	}
+	p := e.faults.lossProb(e.net.Dist(from, to), e.net.Range())
+	if p <= 0 {
+		return false
+	}
+	return e.frand.Float64() < p
+}
+
+// NewPacket returns a fresh packet bound to the session whose handler is
+// currently executing. Handlers must create their Start-time packets
+// through it (clones inherit the stamp automatically) so that metrics
+// recorded against the packet — Engine.Drop in particular — are billed to
+// the right session even from deferred or cross-session contexts.
+func (e *Engine) NewPacket(dests []int) *Packet {
+	return &Packet{Dests: dests, Session: e.cur}
 }
 
 // Drop records that a protocol intentionally abandoned a packet copy (for
-// example LGS upon meeting a void destination).
-func (e *Engine) Drop(*Packet) { e.sessions[e.cur].metrics.Drops++ }
+// example LGS upon meeting a void destination). The drop is attributed to
+// the packet's own session, not whichever handler happens to be executing,
+// so deferred drops in concurrent scripts cannot be mis-billed.
+func (e *Engine) Drop(pkt *Packet) { e.sessions[pkt.Session].metrics.Drops++ }
 
 // arrive records deliveries at the receiving node, strips it from the
 // destination list, and hands the packet to the protocol if work remains.
+// Crashed nodes receive nothing: no delivery, no handler callback.
 func (e *Engine) arrive(node int, pkt *Packet) {
 	e.cur = pkt.Session
 	st := &e.sessions[pkt.Session]

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Crash schedules one node's radio failure: at virtual time At the node
+// stops sending, receiving, relaying and counting as delivered. When
+// RecoverAt > At, the radio comes back at that time (the node resumes with
+// whatever packets are subsequently sent to it; in-flight copies it missed
+// are gone for good unless ARQ retransmits them).
+type Crash struct {
+	// Node is the crashing node's ID.
+	Node int
+	// At is the crash time in virtual seconds.
+	At float64
+	// RecoverAt is the optional recovery time; zero (or any value ≤ At)
+	// means the node never recovers.
+	RecoverAt float64
+}
+
+// FaultPlan describes the faults injected into an engine run. The zero
+// value is the ideal-MAC baseline: no loss, no crashes, byte-identical
+// behavior to an engine without a plan (DESIGN.md §3 documents this strict
+// no-op guarantee).
+//
+// All randomness is drawn from a deterministic per-engine rand.Rand seeded
+// by Seed and the run index since SetFaults, so a batch of runs is a pure
+// function of (network, plan, run order) — same seed + same plan ⇒
+// byte-identical results — while successive tasks still see independent
+// loss patterns.
+type FaultPlan struct {
+	// LossRate is the uniform Bernoulli probability in [0, 1] that any one
+	// data-frame transmission is lost on the air.
+	LossRate float64
+	// EdgeLoss adds a distance-dependent component: a link of length d in a
+	// network with radio range R loses frames with additional probability
+	// EdgeLoss·(d/R)², modeling the SNR falloff near the range edge. The
+	// total per-link probability is capped at 1.
+	EdgeLoss float64
+	// Seed seeds the fault RNG; 0 selects 1 so the zero plan stays fully
+	// deterministic.
+	Seed int64
+	// Crashes is the node-failure schedule.
+	Crashes []Crash
+}
+
+// Active reports whether the plan injects any fault at all.
+func (p FaultPlan) Active() bool {
+	return p.LossRate > 0 || p.EdgeLoss > 0 || len(p.Crashes) > 0
+}
+
+// seed returns the effective RNG seed.
+func (p FaultPlan) seed() int64 {
+	if p.Seed == 0 {
+		return 1
+	}
+	return p.Seed
+}
+
+// Validate checks the plan against a network of n nodes.
+func (p FaultPlan) Validate(n int) error {
+	if p.LossRate < 0 || p.LossRate > 1 {
+		return fmt.Errorf("sim: FaultPlan.LossRate %v outside [0, 1]", p.LossRate)
+	}
+	if p.EdgeLoss < 0 || p.EdgeLoss > 1 {
+		return fmt.Errorf("sim: FaultPlan.EdgeLoss %v outside [0, 1]", p.EdgeLoss)
+	}
+	for _, c := range p.Crashes {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("sim: crash of unknown node %d (network has %d nodes)", c.Node, n)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("sim: crash of node %d at negative time %v", c.Node, c.At)
+		}
+	}
+	return nil
+}
+
+// lossProb returns the loss probability of a link of length d under radio
+// range rng.
+func (p FaultPlan) lossProb(d, rng float64) float64 {
+	pr := p.LossRate
+	if p.EdgeLoss > 0 && rng > 0 {
+		f := d / rng
+		pr += p.EdgeLoss * f * f
+	}
+	if pr > 1 {
+		return 1
+	}
+	return pr
+}
+
+// ARQConfig configures hop-by-hop acknowledged delivery. When enabled,
+// every data frame is acknowledged by the receiver with a short ACK frame
+// (charged airtime and energy); a sender that detects a lost frame — lost
+// on the air or addressed to a crashed node — retransmits after a timeout
+// that backs off exponentially, up to MaxRetries times. A copy whose
+// retries are exhausted is dropped, counted in TaskMetrics.LossDrops, and
+// reported to the routing handler through the NackHandler callback if it
+// implements one.
+//
+// ACK frames themselves are modeled as loss-free: they are an order of
+// magnitude shorter than data frames, and modeling their loss would require
+// per-link duplicate-suppression state in every protocol without changing
+// any measured trend (see DESIGN.md §3).
+type ARQConfig struct {
+	// Enabled turns the acknowledgement machinery on.
+	Enabled bool
+	// MaxRetries is the number of retransmissions after the first attempt
+	// (so a copy is transmitted at most 1+MaxRetries times).
+	MaxRetries int
+	// AckBytes is the on-air ACK frame size.
+	AckBytes int
+	// Timeout is the delay in virtual seconds after a frame's airtime
+	// before its first retransmission; ≤ 0 selects twice the radio's
+	// fixed-size frame airtime.
+	Timeout float64
+	// Backoff multiplies the timeout after every retry; values < 1 select
+	// the default factor 2.
+	Backoff float64
+}
+
+// DefaultARQ returns the standard ARQ configuration: 3 retries, 16-byte
+// ACKs, auto timeout, exponential backoff ×2.
+func DefaultARQ() ARQConfig {
+	return ARQConfig{Enabled: true, MaxRetries: 3, AckBytes: 16}
+}
+
+// Validate checks the configuration.
+func (a ARQConfig) Validate() error {
+	if !a.Enabled {
+		return nil
+	}
+	if a.MaxRetries < 0 {
+		return fmt.Errorf("sim: ARQConfig.MaxRetries %d negative", a.MaxRetries)
+	}
+	if a.AckBytes <= 0 {
+		return errors.New("sim: ARQConfig.AckBytes must be positive")
+	}
+	return nil
+}
+
+// normalized fills in the defaulted timeout and backoff for a radio.
+func (a ARQConfig) normalized(radio RadioParams) ARQConfig {
+	if a.Timeout <= 0 {
+		a.Timeout = 2 * radio.TxTime()
+	}
+	if a.Backoff < 1 {
+		a.Backoff = 2
+	}
+	return a
+}
+
+// NackHandler is implemented by routing handlers that want to learn when
+// hop-by-hop ARQ gave up on a link, so they can re-select among the
+// remaining neighbors (GMP re-runs its grouping with the dead neighbor
+// excluded; protocols without the callback simply lose the copy). The
+// packet passed in is the undelivered copy; from/to identify the failed
+// link. The callback runs with the packet's session current, so Engine.Send
+// from inside it is attributed correctly.
+type NackHandler interface {
+	Nack(e *Engine, from, to int, pkt *Packet)
+}
