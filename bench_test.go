@@ -7,6 +7,7 @@ package gmp
 // smoke reproduction. The full-scale campaign lives behind `gmpsim`.
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -44,6 +45,7 @@ func reportSeries(b *testing.B, tbl *stats.Table, unit string) {
 // BenchmarkTable1Setup measures the fixed cost of standing up one Table 1
 // deployment: uniform placement, adjacency, planarization.
 func BenchmarkTable1Setup(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiment.Default()
 	cfg.Ks = []int{3}
 	cfg.Networks = 1
@@ -57,6 +59,7 @@ func BenchmarkTable1Setup(b *testing.B) {
 
 // BenchmarkFig11TotalHops regenerates Figure 11 (total number of hops vs k).
 func BenchmarkFig11TotalHops(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	protos := experiment.AllProtocols()
 	var res *experiment.Results
@@ -73,6 +76,7 @@ func BenchmarkFig11TotalHops(b *testing.B) {
 // BenchmarkFig12PerDestHops regenerates Figure 12 (per-destination hop count
 // vs k).
 func BenchmarkFig12PerDestHops(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	protos := experiment.AllProtocols()
 	var res *experiment.Results
@@ -88,6 +92,7 @@ func BenchmarkFig12PerDestHops(b *testing.B) {
 
 // BenchmarkFig14Energy regenerates Figure 14 (total energy cost vs k).
 func BenchmarkFig14Energy(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	protos := experiment.AllProtocols()
 	var res *experiment.Results
@@ -103,6 +108,7 @@ func BenchmarkFig14Energy(b *testing.B) {
 
 // BenchmarkFig15Failures regenerates Figure 15 (failed tasks vs density).
 func BenchmarkFig15Failures(b *testing.B) {
+	b.ReportAllocs()
 	fc := experiment.DefaultFailureConfig()
 	fc.Base.Networks = 1
 	fc.Base.TasksPerNet = 20
@@ -355,6 +361,7 @@ func BenchmarkExtClustering(b *testing.B) {
 // multicast on a Table 1 scale network — the per-packet figure a deployment
 // would care about.
 func BenchmarkMulticastTask(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem(b)
 	dests := []int{100, 250, 400, 550, 700, 850, 950, 50, 300, 600, 750, 900}
 	proto := sys.GMP()
@@ -375,4 +382,72 @@ func benchSystem(b *testing.B) *System {
 		b.Fatal(err)
 	}
 	return NewSystem(nw)
+}
+
+// BenchmarkSingleRRSTRBuild isolates one rrSTR tree construction (the §3
+// algorithm itself, no simulation): source plus 12 destinations with the
+// full radio-aware heuristic, the hot inner call of every GMP forwarding
+// step.
+func BenchmarkSingleRRSTRBuild(b *testing.B) {
+	b.ReportAllocs()
+	nodes := DeployUniform(1000, 1000, 1000, newBenchRand())
+	nw, err := NewNetwork(nodes, 1000, 1000, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	destIDs := []int{100, 250, 400, 550, 700, 850, 950, 50, 300, 600, 750, 900}
+	dests := make([]Point, len(destIDs))
+	for i, d := range destIDs {
+		dests[i] = nw.Pos(d)
+	}
+	opts := SteinerOptions{RadioRange: nw.Range(), RadioAware: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tree := BuildSteinerTree(nw.Pos(0), dests, opts); tree == nil {
+			b.Fatal("nil tree")
+		}
+	}
+}
+
+// BenchmarkSingleGMPHop measures one GMP forwarding decision: a multicast
+// with a one-hop budget performs exactly the source's group-split and
+// next-hop selection, then stops.
+func BenchmarkSingleGMPHop(b *testing.B) {
+	b.ReportAllocs()
+	nodes := DeployUniform(1000, 1000, 1000, newBenchRand())
+	nw, err := NewNetwork(nodes, 1000, 1000, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := NewSystem(nw, WithMaxHops(1))
+	proto := sys.GMP()
+	dests := []int{100, 250, 400, 550, 700, 850, 950, 50, 300, 600, 750, 900}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Multicast(proto, 0, dests)
+	}
+}
+
+// BenchmarkFailureSweepWorkers runs a reduced Figure 15 sweep at several
+// worker-pool sizes — the campaign runner's headline scaling measurement.
+// On multi-core hardware wall-clock drops as workers grow; output is
+// byte-identical at every size (see TestWorkersDeterminism).
+func BenchmarkFailureSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			fc := experiment.DefaultFailureConfig()
+			fc.Base.Networks = 2
+			fc.Base.TasksPerNet = 10
+			fc.Base.Workers = w
+			fc.NodeCounts = []int{300, 500, 700, 900}
+			fc.K = 12
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunFailures(fc, []string{experiment.ProtoGMP}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -18,6 +18,11 @@
 // -arq flags inject faults (lossy links, node crashes, hop-by-hop ARQ) into
 // every engine any experiment builds; -experiment loss runs the dedicated
 // loss-rate sweep comparing all protocols with and without ARQ.
+//
+// Every experiment runs on the campaign runner's bounded worker pool;
+// -workers caps the pool (0 = one worker per CPU) and -progress renders a
+// live cells-completed counter on stderr. Output is byte-identical for any
+// worker count.
 package main
 
 import (
@@ -64,6 +69,8 @@ func run(args []string, out io.Writer) error {
 		edgeLoss = fs.Float64("edgeloss", 0, "inject distance-dependent loss: this probability at full radio range, scaled (d/R)^2")
 		crash    = fs.Float64("crash", 0, "crash this fraction of nodes at random times early in each task")
 		arq      = fs.Bool("arq", false, "enable hop-by-hop ARQ (ACKs + retransmissions)")
+		workers  = fs.Int("workers", 0, "max concurrent simulation cells (0 = one per CPU); output is identical for any value")
+		progress = fs.Bool("progress", false, "render a live cells-completed counter on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +121,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *arq {
 		cfg.ARQ = sim.DefaultARQ()
+	}
+	if *workers != 0 {
+		cfg.Workers = *workers
+	}
+	if *progress {
+		cfg.Progress = progressPrinter(os.Stderr)
 	}
 	protoList := experiment.AllProtocols()
 	if *protos != "" {
@@ -181,7 +194,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			fc = experiment.QuickFailureConfig()
 		}
-		fc.Base.Seed = cfg.Seed
+		inheritRun(&fc.Base, cfg)
 		tbl, err := experiment.RunFailures(fc, []string{
 			experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGMP,
 		})
@@ -194,7 +207,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			lsc = experiment.QuickLossConfig()
 		}
-		lsc.Base.Seed = cfg.Seed
+		inheritRun(&lsc.Base, cfg)
 		if *arq {
 			lsc.ARQ = sim.DefaultARQ()
 		}
@@ -212,7 +225,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			rc = experiment.QuickRobustnessConfig()
 		}
-		rc.Base.Seed = cfg.Seed
+		inheritRun(&rc.Base, cfg)
 		tbl, err := experiment.RunRobustness(rc, []string{
 			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
 		})
@@ -225,7 +238,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			lc = experiment.QuickLocalizationConfig()
 		}
-		lc.Base.Seed = cfg.Seed
+		inheritRun(&lc.Base, cfg)
 		res, err := experiment.RunLocalization(lc, []string{
 			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
 		})
@@ -239,7 +252,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			sc = experiment.QuickStalenessConfig()
 		}
-		sc.Base.Seed = cfg.Seed
+		inheritRun(&sc.Base, cfg)
 		tbl, err := experiment.RunStaleness(sc, []string{
 			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
 		})
@@ -252,7 +265,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			lt = experiment.QuickLifetimeConfig()
 		}
-		lt.Base.Seed = cfg.Seed
+		inheritRun(&lt.Base, cfg)
 		res, err := experiment.RunLifetime(lt, []string{
 			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
 		})
@@ -266,7 +279,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			ld = experiment.QuickLoadConfig()
 		}
-		ld.Base.Seed = cfg.Seed
+		inheritRun(&ld.Base, cfg)
 		tbl, err := experiment.RunLoad(ld, []string{
 			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoGRD,
 		})
@@ -279,7 +292,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			bcfg = experiment.QuickBeaconConfig()
 		}
-		bcfg.Base.Seed = cfg.Seed
+		inheritRun(&bcfg.Base, cfg)
 		res, err := experiment.RunBeaconing(bcfg)
 		if err != nil {
 			return err
@@ -292,7 +305,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			cc = experiment.QuickClusteringConfig()
 		}
-		cc.Base.Seed = cfg.Seed
+		inheritRun(&cc.Base, cfg)
 		tbl, err := experiment.RunClustering(cc, []string{
 			experiment.ProtoGMP, experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGRD,
 		})
@@ -335,7 +348,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			fc = experiment.QuickFailureConfig()
 		}
-		fc.Base.Seed = cfg.Seed
+		inheritRun(&fc.Base, cfg)
 		ftbl, err := experiment.RunFailures(fc, []string{
 			experiment.ProtoPBM, experiment.ProtoLGS, experiment.ProtoGMP,
 		})
@@ -347,6 +360,26 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	return nil
+}
+
+// inheritRun copies the run-level knobs — seed, worker cap and progress
+// sink — from the effective CLI config onto a sub-experiment's base config,
+// so every experiment honors -seed, -workers and -progress uniformly.
+func inheritRun(base *experiment.Config, cfg experiment.Config) {
+	base.Seed = cfg.Seed
+	base.Workers = cfg.Workers
+	base.Progress = cfg.Progress
+}
+
+// progressPrinter renders a live "done/total cells" counter on w, ending
+// the line when the campaign completes. The runner serializes calls.
+func progressPrinter(w io.Writer) experiment.ProgressFunc {
+	return func(done, total int) {
+		fmt.Fprintf(w, "\r%d/%d cells", done, total)
+		if done == total {
+			fmt.Fprintln(w)
+		}
+	}
 }
 
 func printSetup(out io.Writer, cfg experiment.Config) {

@@ -221,3 +221,32 @@ func TestNegativeFaultFlagsRejected(t *testing.T) {
 		}
 	}
 }
+
+func TestWorkersFlagDeterminism(t *testing.T) {
+	base := []string{"-experiment", "totalhops", "-quick",
+		"-networks", "2", "-tasks", "2", "-ks", "4", "-protocols", "GMP"}
+	serial := runCapture(t, append([]string{"-workers", "1"}, base...)...)
+	pooled := runCapture(t, append([]string{"-workers", "6"}, base...)...)
+	if serial != pooled {
+		t.Fatalf("-workers changed output:\n1 worker:\n%s\n6 workers:\n%s", serial, pooled)
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-experiment", "totalhops", "-quick", "-workers", "-2",
+		"-networks", "1", "-tasks", "2", "-ks", "4", "-protocols", "GMP"}, &b)
+	if err == nil {
+		t.Fatal("negative -workers should error")
+	}
+}
+
+func TestProgressPrinter(t *testing.T) {
+	var b strings.Builder
+	p := progressPrinter(&b)
+	p(1, 2)
+	p(2, 2)
+	if got := b.String(); got != "\r1/2 cells\r2/2 cells\n" {
+		t.Fatalf("progress output %q", got)
+	}
+}

@@ -1,9 +1,6 @@
 package experiment
 
 import (
-	"math/rand"
-	"sync"
-
 	"gmp/internal/beacon"
 	"gmp/internal/geom"
 	"gmp/internal/mobility"
@@ -64,7 +61,16 @@ type BeaconResult struct {
 	EnergyPerHour *stats.Table
 }
 
+// beaconCell is one network's per-period sample.
+type beaconCell struct {
+	posErr  float64
+	miss    float64
+	meanDeg float64
+}
+
 // RunBeaconing sweeps the beacon period and reports table quality and cost.
+// The mobility trajectory is shared across a network's sweep points, so the
+// unit of parallelism is the whole network (runNetworks).
 func RunBeaconing(bc BeaconConfig) (*BeaconResult, error) {
 	if err := bc.Mobility.Validate(); err != nil {
 		return nil, err
@@ -73,30 +79,12 @@ func RunBeaconing(bc BeaconConfig) (*BeaconResult, error) {
 		return nil, ErrNoNetworks
 	}
 
-	xs := append([]float64(nil), bc.PeriodsSec...)
-	type cell struct {
-		posErrSum  float64
-		missSum    float64
-		samples    int
-		meanDegSum float64
-	}
-	acc := make([]cell, len(xs))
-
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, bc.Base.Networks)
-
-	for netIdx := 0; netIdx < bc.Base.Networks; netIdx++ {
-		netIdx := netIdx
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-
-			seed := bc.Base.Seed + int64(netIdx)*7919
-			r := rand.New(rand.NewSource(seed))
+	s := bc.Base.seeds()
+	nets, err := runNetworks(newCampaign(bc.Base), bc.Base.Networks,
+		func(netIdx int) ([]beaconCell, error) {
+			// The deployment stream also drives the waypoint model, as in
+			// the staleness experiment.
+			r := s.deployment(netIdx)
 			nodes := network.DeployUniform(bc.Base.Nodes, bc.Base.Width, bc.Base.Height, r)
 			initial := make([]geom.Point, len(nodes))
 			for i, n := range nodes {
@@ -104,8 +92,7 @@ func RunBeaconing(bc BeaconConfig) (*BeaconResult, error) {
 			}
 			model, err := mobility.NewRandomWaypoint(initial, bc.Mobility, r)
 			if err != nil {
-				errs <- err
-				return
+				return nil, err
 			}
 			pos := beacon.Sampled(model, 0.25, bc.EvalAtSec+1)
 
@@ -113,47 +100,33 @@ func RunBeaconing(bc BeaconConfig) (*BeaconResult, error) {
 			snapshot := pos(bc.EvalAtSec)
 			nw, err := network.New(network.FromPoints(snapshot), bc.Base.Width, bc.Base.Height, bc.Base.RadioRange)
 			if err != nil {
-				errs <- err
-				return
+				return nil, err
 			}
 			meanDeg := nw.AvgDegree()
 
-			local := make([]cell, len(xs))
+			cells := make([]beaconCell, len(bc.PeriodsSec))
 			for pi, period := range bc.PeriodsSec {
 				cfg := bc.Beacon
 				cfg.PeriodSec = period
 				tables, err := beacon.Tables(cfg, bc.Base.Nodes, pos, bc.Base.RadioRange,
-					bc.EvalAtSec, rand.New(rand.NewSource(seed+int64(pi)*613)))
+					bc.EvalAtSec, s.beacon(netIdx, pi))
 				if err != nil {
-					errs <- err
-					return
+					return nil, err
 				}
 				a := beacon.Evaluate(tables, pos, bc.Base.RadioRange, bc.EvalAtSec)
-				local[pi].posErrSum = a.MeanPosErrM
+				cells[pi].posErr = a.MeanPosErrM
 				if a.TrueNeighbors > 0 {
-					local[pi].missSum = float64(a.Missing) / float64(a.TrueNeighbors)
+					cells[pi].miss = float64(a.Missing) / float64(a.TrueNeighbors)
 				}
-				local[pi].meanDegSum = meanDeg
-				local[pi].samples = 1
+				cells[pi].meanDeg = meanDeg
 			}
-			mu.Lock()
-			for pi := range xs {
-				acc[pi].posErrSum += local[pi].posErrSum
-				acc[pi].missSum += local[pi].missSum
-				acc[pi].meanDegSum += local[pi].meanDegSum
-				acc[pi].samples += local[pi].samples
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
+			return cells, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
+	xs := append([]float64(nil), bc.PeriodsSec...)
 	mk := func(title, ylabel string) *stats.Table {
 		return &stats.Table{Title: title, XLabel: "beacon period (s)", YLabel: ylabel, Xs: xs}
 	}
@@ -164,16 +137,19 @@ func RunBeaconing(bc BeaconConfig) (*BeaconResult, error) {
 	pe := make([]float64, len(xs))
 	ms := make([]float64, len(xs))
 	en := make([]float64, len(xs))
-	radio := bc.Base.Radio
+	n := float64(len(nets))
 	for pi := range xs {
-		if acc[pi].samples > 0 {
-			n := float64(acc[pi].samples)
-			pe[pi] = acc[pi].posErrSum / n
-			ms[pi] = acc[pi].missSum / n
-			cfg := bc.Beacon
-			cfg.PeriodSec = xs[pi]
-			en[pi] = beacon.EnergyPerNodePerHour(cfg, radio, acc[pi].meanDegSum/n)
+		var sum beaconCell
+		for _, local := range nets {
+			sum.posErr += local[pi].posErr
+			sum.miss += local[pi].miss
+			sum.meanDeg += local[pi].meanDeg
 		}
+		pe[pi] = sum.posErr / n
+		ms[pi] = sum.miss / n
+		cfg := bc.Beacon
+		cfg.PeriodSec = xs[pi]
+		en[pi] = beacon.EnergyPerNodePerHour(cfg, bc.Base.Radio, sum.meanDeg/n)
 	}
 	posErr.Series = []stats.Series{{Label: "position error", Y: pe}}
 	missing.Series = []stats.Series{{Label: "missing", Y: ms}}

@@ -1,9 +1,6 @@
 package experiment
 
 import (
-	"math/rand"
-	"sync"
-
 	"gmp/internal/routing"
 	"gmp/internal/stats"
 	"gmp/internal/workload"
@@ -47,109 +44,86 @@ func QuickClusteringConfig() ClusteringConfig {
 	return cc
 }
 
+// clusterCell accumulates one (protocol, spread) hop sum.
+type clusterCell struct {
+	hops  float64
+	tasks int
+}
+
 // RunClustering measures mean total hops per task against the destination
 // cluster spread (the last X, 0, denotes uniform drawing and is rendered as
-// the field diagonal for plotting sanity).
+// the field diagonal for plotting sanity). (network × spread) cells run on
+// the campaign runner's pool over shared deployments.
 func RunClustering(cc ClusteringConfig, protos []string) (*stats.Table, error) {
 	if err := cc.Base.Validate(protos); err != nil {
 		return nil, err
 	}
 
+	bs := newBenches(cc.Base)
+	s := cc.Base.seeds()
+	grid, err := runCells(newCampaign(cc.Base), cc.Base.Networks, len(cc.Spreads),
+		func(netIdx, si int) ([]clusterCell, error) {
+			b, err := bs.bench(netIdx)
+			if err != nil {
+				return nil, err
+			}
+			spread := cc.Spreads[si]
+			taskR := s.clusterTasks(netIdx, si)
+			cells := make([]clusterCell, len(protos))
+			for t := 0; t < cc.Base.TasksPerNet; t++ {
+				var task workload.Task
+				var err error
+				if spread <= 0 {
+					task, err = workload.Generate(taskR, cc.Base.Nodes, cc.K)
+				} else {
+					task, err = workload.GenerateClustered(taskR, b.nw, cc.K, spread)
+				}
+				if err != nil {
+					return nil, err
+				}
+				for pi, proto := range protos {
+					var p routing.Protocol
+					if proto == ProtoPBM {
+						p = routing.NewPBM(b.nw, b.pg, cc.PBMLambda)
+					} else {
+						p = b.protocol(proto)
+					}
+					m := b.en.RunTask(p, task.Source, task.Dests)
+					cells[pi].hops += float64(m.TotalHops())
+					cells[pi].tasks++
+				}
+			}
+			return cells, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	xs := make([]float64, len(cc.Spreads))
-	for i, s := range cc.Spreads {
-		if s <= 0 {
+	for i, spread := range cc.Spreads {
+		if spread <= 0 {
 			// Represent "uniform" by the field diagonal.
 			xs[i] = cc.Base.Width + cc.Base.Height
 		} else {
-			xs[i] = s
+			xs[i] = spread
 		}
 	}
-	type cell struct {
-		hops  float64
-		tasks int
-	}
-	acc := make([][]cell, len(protos))
-	for i := range acc {
-		acc[i] = make([]cell, len(xs))
-	}
-
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, cc.Base.Networks)
-
-	for netIdx := 0; netIdx < cc.Base.Networks; netIdx++ {
-		netIdx := netIdx
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-
-			b, err := buildBench(cc.Base, netIdx)
-			if err != nil {
-				errs <- err
-				return
-			}
-			local := make([][]cell, len(protos))
-			for pi := range local {
-				local[pi] = make([]cell, len(xs))
-			}
-			for si, spread := range cc.Spreads {
-				taskR := rand.New(rand.NewSource(cc.Base.Seed + int64(netIdx)*7919 + int64(si)*70001))
-				for t := 0; t < cc.Base.TasksPerNet; t++ {
-					var task workload.Task
-					var err error
-					if spread <= 0 {
-						task, err = workload.Generate(taskR, cc.Base.Nodes, cc.K)
-					} else {
-						task, err = workload.GenerateClustered(taskR, b.nw, cc.K, spread)
-					}
-					if err != nil {
-						errs <- err
-						return
-					}
-					for pi, proto := range protos {
-						var p routing.Protocol
-						if proto == ProtoPBM {
-							p = routing.NewPBM(b.nw, b.pg, cc.PBMLambda)
-						} else {
-							p = b.protocol(proto)
-						}
-						m := b.en.RunTask(p, task.Source, task.Dests)
-						local[pi][si].hops += float64(m.TotalHops())
-						local[pi][si].tasks++
-					}
-				}
-			}
-			mu.Lock()
-			for pi := range protos {
-				for si := range xs {
-					acc[pi][si].hops += local[pi][si].hops
-					acc[pi][si].tasks += local[pi][si].tasks
-				}
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	table := &stats.Table{
 		Title:  "E-X7: total hops vs destination cluster spread",
 		XLabel: "cluster spread (m)",
 		YLabel: "mean transmissions/task",
 		Xs:     xs,
+		Series: make([]stats.Series, 0, len(protos)),
 	}
 	for pi, proto := range protos {
 		ys := make([]float64, len(xs))
 		for si := range xs {
-			if c := acc[pi][si]; c.tasks > 0 {
+			var c clusterCell
+			for netIdx := range grid {
+				c.hops += grid[netIdx][si][pi].hops
+				c.tasks += grid[netIdx][si][pi].tasks
+			}
+			if c.tasks > 0 {
 				ys[si] = c.hops / float64(c.tasks)
 			}
 		}

@@ -2,8 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
-	"sync"
 
 	"gmp/internal/stats"
 	"gmp/internal/workload"
@@ -30,58 +28,50 @@ func (c *CompareResult) String() string {
 		c.TotalHops.String(), c.PerDest.String(), c.Energy.String())
 }
 
+// compareSample is one task's paired metrics: [0]=A, [1]=B.
+type compareSample struct{ hops, perDest, energy float64 }
+
 // CompareProtocols runs two protocols over the same task sets (fully
 // paired) and returns confidence intervals for their metric differences —
 // the statistical backing for "A beats B" claims in EXPERIMENTS.md.
+// Networks run on the campaign runner's pool and are concatenated in index
+// order.
 func CompareProtocols(cfg Config, protoA, protoB string, k int) (*CompareResult, error) {
 	if err := cfg.Validate([]string{protoA, protoB}); err != nil {
 		return nil, err
 	}
 
-	type sample struct{ hops, perDest, energy float64 }
-	perNet := make([][][2]sample, cfg.Networks) // [net][task][0=A,1=B]
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make([]error, cfg.Networks)
-
-	for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
-		netIdx := netIdx
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	s := cfg.seeds()
+	perNet, err := runNetworks(newCampaign(cfg), cfg.Networks,
+		func(netIdx int) ([][2]compareSample, error) {
 			b, err := buildBench(cfg, netIdx)
 			if err != nil {
-				errs[netIdx] = err
-				return
+				return nil, err
 			}
-			taskR := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919 + int64(k)*104729))
-			tasks, err := workload.GenerateBatch(taskR, cfg.Nodes, k, cfg.TasksPerNet)
+			tasks, err := workload.GenerateBatch(s.tasks(netIdx, k), cfg.Nodes, k, cfg.TasksPerNet)
 			if err != nil {
-				errs[netIdx] = err
-				return
+				return nil, err
 			}
-			rows := make([][2]sample, 0, len(tasks))
-			for _, task := range tasks {
-				var row [2]sample
+			rows := make([][2]compareSample, len(tasks))
+			for ti, task := range tasks {
 				for side, proto := range []string{protoA, protoB} {
 					tm := b.runTask(cfg, proto, task)
-					row[side] = sample{hops: tm.totalHops, perDest: tm.perDest, energy: tm.energy}
+					rows[ti][side] = compareSample{hops: tm.totalHops, perDest: tm.perDest, energy: tm.energy}
 				}
-				rows = append(rows, row)
 			}
-			perNet[netIdx] = rows
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+			return rows, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
-	var aHops, bHops, aPD, bPD, aE, bE []float64
+	n := cfg.Networks * cfg.TasksPerNet
+	aHops := make([]float64, 0, n)
+	bHops := make([]float64, 0, n)
+	aPD := make([]float64, 0, n)
+	bPD := make([]float64, 0, n)
+	aE := make([]float64, 0, n)
+	bE := make([]float64, 0, n)
 	for _, rows := range perNet {
 		for _, row := range rows {
 			aHops = append(aHops, row[0].hops)
@@ -93,7 +83,6 @@ func CompareProtocols(cfg Config, protoA, protoB string, k int) (*CompareResult,
 		}
 	}
 	out := &CompareResult{ProtoA: protoA, ProtoB: protoB, K: k}
-	var err error
 	if out.TotalHops, err = stats.ComparePaired(aHops, bHops, 0.95); err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"gmp/internal/planar"
 	"gmp/internal/sim"
@@ -72,6 +73,33 @@ type Config struct {
 	CrashFraction float64
 	// ARQ enables hop-by-hop acknowledged delivery in every engine.
 	ARQ sim.ARQConfig
+	// Workers bounds the campaign runner's worker pool — the maximum
+	// number of (network × sweep-point) cells simulated concurrently.
+	// Zero means runtime.NumCPU(); output is identical for any value.
+	Workers int `json:",omitempty"`
+	// Progress, when non-nil, observes campaign progress: the runner calls
+	// it after every completed cell with (completed, total). Calls are
+	// serialized. Not part of the JSON config surface.
+	Progress ProgressFunc `json:"-"`
+}
+
+// workerCount resolves the Workers knob to a concrete pool size.
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// engineRadio returns the radio parameters with the campaign's range
+// applied — the physics every engine the campaign builds runs under.
+func (c Config) engineRadio() sim.RadioParams {
+	r := c.Radio
+	r.RangeM = c.RadioRange
+	return r
 }
 
 // Default returns the paper's Table 1 setup.
@@ -112,6 +140,7 @@ var (
 	ErrNoTasks     = errors.New("experiment: need at least one task per network")
 	ErrNoLambdas   = errors.New("experiment: PBM requested with empty lambda sweep")
 	ErrBadProtocol = errors.New("experiment: unknown protocol")
+	ErrBadWorkers  = errors.New("experiment: negative worker count")
 )
 
 // Validate checks the configuration for the given protocol list.
@@ -124,6 +153,9 @@ func (c Config) Validate(protos []string) error {
 	}
 	if c.TasksPerNet < 1 {
 		return ErrNoTasks
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: %d", ErrBadWorkers, c.Workers)
 	}
 	if err := c.Faults.Validate(c.Nodes); err != nil {
 		return err

@@ -1,9 +1,6 @@
 package experiment
 
 import (
-	"math/rand"
-	"sync"
-
 	"gmp/internal/routing"
 	"gmp/internal/stats"
 	"gmp/internal/workload"
@@ -53,9 +50,40 @@ func QuickFailureConfig() FailureConfig {
 
 // RunFailures counts failed tasks per protocol at each density (Figure 15).
 // The reported value is the number of failed tasks out of all tasks run at
-// that density (Networks × TasksPerNet).
+// that density (Networks × TasksPerNet). (network × density) cells run on
+// the campaign runner's pool; each density deploys fresh networks under its
+// own sub-campaign seed.
 func RunFailures(fc FailureConfig, protos []string) (*stats.Table, error) {
 	if err := fc.Base.Validate(protos); err != nil {
+		return nil, err
+	}
+
+	grid, err := runCells(newCampaign(fc.Base), fc.Base.Networks, len(fc.NodeCounts),
+		func(netIdx, di int) ([]int, error) {
+			cfg := fc.Base
+			cfg.Nodes = fc.NodeCounts[di]
+			// Mix the density into the seed so each density sweeps fresh
+			// deployments, as the paper generates 10 networks per size.
+			cfg.Seed = fc.Base.seeds().density(di)
+			b, err := buildBench(cfg, netIdx)
+			if err != nil {
+				return nil, err
+			}
+			tasks, err := workload.GenerateBatch(cfg.seeds().tasks(netIdx, fc.K), cfg.Nodes, fc.K, cfg.TasksPerNet)
+			if err != nil {
+				return nil, err
+			}
+			failures := make([]int, len(protos))
+			for pi, proto := range protos {
+				for _, task := range tasks {
+					if m := b.en.RunTask(failureProtocol(b, proto, fc.PBMLambda), task.Source, task.Dests); m.Failed() {
+						failures[pi]++
+					}
+				}
+			}
+			return failures, nil
+		})
+	if err != nil {
 		return nil, err
 	}
 
@@ -68,79 +96,16 @@ func RunFailures(fc FailureConfig, protos []string) (*stats.Table, error) {
 		XLabel: "nodes",
 		YLabel: "failed tasks",
 		Xs:     xs,
+		Series: make([]stats.Series, 0, len(protos)),
 	}
-
-	// counts[protoIdx][densityIdx]
-	counts := make([][]int, len(protos))
-	for i := range counts {
-		counts[i] = make([]int, len(fc.NodeCounts))
-	}
-
-	type cell struct {
-		proto, density, failures int
-	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, len(fc.NodeCounts)*fc.Base.Networks)
-
-	for di, nodeCount := range fc.NodeCounts {
-		for netIdx := 0; netIdx < fc.Base.Networks; netIdx++ {
-			di, nodeCount, netIdx := di, nodeCount, netIdx
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-
-				cfg := fc.Base
-				cfg.Nodes = nodeCount
-				// Mix the density into the seed so each density sweeps
-				// fresh deployments, as the paper generates 10 networks per
-				// size.
-				cfg.Seed = fc.Base.Seed + int64(di)*1_000_003
-				b, err := buildBench(cfg, netIdx)
-				if err != nil {
-					errs <- err
-					return
-				}
-				taskR := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919 + int64(fc.K)*104729))
-				tasks, err := workload.GenerateBatch(taskR, cfg.Nodes, fc.K, cfg.TasksPerNet)
-				if err != nil {
-					errs <- err
-					return
-				}
-				local := make([]cell, 0, len(protos))
-				for pi, proto := range protos {
-					failures := 0
-					for _, task := range tasks {
-						var m = b.en.RunTask(failureProtocol(b, proto, fc.PBMLambda), task.Source, task.Dests)
-						if m.Failed() {
-							failures++
-						}
-					}
-					local = append(local, cell{proto: pi, density: di, failures: failures})
-				}
-				mu.Lock()
-				for _, c := range local {
-					counts[c.proto][c.density] += c.failures
-				}
-				mu.Unlock()
-			}()
-		}
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	for pi, proto := range protos {
 		ys := make([]float64, len(fc.NodeCounts))
 		for di := range fc.NodeCounts {
-			ys[di] = float64(counts[pi][di])
+			sum := 0
+			for netIdx := range grid {
+				sum += grid[netIdx][di][pi]
+			}
+			ys[di] = float64(sum)
 		}
 		table.Series = append(table.Series, stats.Series{Label: proto, Y: ys})
 	}
@@ -157,84 +122,73 @@ func failureProtocol(b *bench, name string, lambda float64) routing.Protocol {
 	return b.protocol(name)
 }
 
+// lambdaCell is one (network, λ) cell's raw samples.
+type lambdaCell struct {
+	totals, perDest []float64
+}
+
 // LambdaSweep reports PBM's mean total hops and per-destination hops for
 // each λ at a fixed k — the ablation behind the paper's §5.1/5.2 discussion
-// of the trade-off parameter.
+// of the trade-off parameter. (network × λ) cells run in parallel over
+// shared deployments.
 func LambdaSweep(cfg Config, k int) (*stats.Table, error) {
 	if err := cfg.Validate([]string{ProtoPBM}); err != nil {
 		return nil, err
 	}
+
+	bs := newBenches(cfg)
+	grid, err := runCells(newCampaign(cfg), cfg.Networks, len(cfg.Lambdas),
+		func(netIdx, li int) (lambdaCell, error) {
+			b, err := bs.bench(netIdx)
+			if err != nil {
+				return lambdaCell{}, err
+			}
+			tasks, err := workload.GenerateBatch(cfg.seeds().tasks(netIdx, k), cfg.Nodes, k, cfg.TasksPerNet)
+			if err != nil {
+				return lambdaCell{}, err
+			}
+			cell := lambdaCell{
+				totals:  make([]float64, len(tasks)),
+				perDest: make([]float64, len(tasks)),
+			}
+			p := routing.NewPBM(b.nw, b.pg, cfg.Lambdas[li])
+			for ti, task := range tasks {
+				m := b.en.RunTask(p, task.Source, task.Dests)
+				cell.totals[ti] = float64(m.TotalHops())
+				cell.perDest[ti] = m.AvgHopsPerDest()
+			}
+			return cell, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	xs := make([]float64, len(cfg.Lambdas))
 	for i, l := range cfg.Lambdas {
 		xs[i] = l
 	}
-	table := &stats.Table{
+	totalY := make([]float64, len(cfg.Lambdas))
+	pdY := make([]float64, len(cfg.Lambdas))
+	vals := make([]float64, 0, cfg.Networks*cfg.TasksPerNet)
+	reduce := func(li int, pick func(lambdaCell) []float64) float64 {
+		vals = vals[:0]
+		for netIdx := range grid {
+			vals = append(vals, pick(grid[netIdx][li])...)
+		}
+		return stats.Mean(vals)
+	}
+	for li := range cfg.Lambdas {
+		totalY[li] = reduce(li, func(c lambdaCell) []float64 { return c.totals })
+		pdY[li] = reduce(li, func(c lambdaCell) []float64 { return c.perDest })
+	}
+	return &stats.Table{
 		Title:  "Ablation A-3: PBM λ trade-off",
 		XLabel: "lambda",
 		YLabel: "mean hops",
 		Xs:     xs,
-	}
-
-	totals := make([][]float64, len(cfg.Lambdas))
-	perDest := make([][]float64, len(cfg.Lambdas))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, cfg.Networks)
-
-	for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
-		netIdx := netIdx
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			b, err := buildBench(cfg, netIdx)
-			if err != nil {
-				errs <- err
-				return
-			}
-			taskR := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919 + int64(k)*104729))
-			tasks, err := workload.GenerateBatch(taskR, cfg.Nodes, k, cfg.TasksPerNet)
-			if err != nil {
-				errs <- err
-				return
-			}
-			localT := make([][]float64, len(cfg.Lambdas))
-			localP := make([][]float64, len(cfg.Lambdas))
-			for li, lambda := range cfg.Lambdas {
-				p := routing.NewPBM(b.nw, b.pg, lambda)
-				for _, task := range tasks {
-					m := b.en.RunTask(p, task.Source, task.Dests)
-					localT[li] = append(localT[li], float64(m.TotalHops()))
-					localP[li] = append(localP[li], m.AvgHopsPerDest())
-				}
-			}
-			mu.Lock()
-			for li := range cfg.Lambdas {
-				totals[li] = append(totals[li], localT[li]...)
-				perDest[li] = append(perDest[li], localP[li]...)
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	totalY := make([]float64, len(cfg.Lambdas))
-	pdY := make([]float64, len(cfg.Lambdas))
-	for li := range cfg.Lambdas {
-		totalY[li] = stats.Mean(totals[li])
-		pdY[li] = stats.Mean(perDest[li])
-	}
-	table.Series = []stats.Series{
-		{Label: "total hops", Y: totalY},
-		{Label: "per-dest hops", Y: pdY},
-	}
-	return table, nil
+		Series: []stats.Series{
+			{Label: "total hops", Y: totalY},
+			{Label: "per-dest hops", Y: pdY},
+		},
+	}, nil
 }

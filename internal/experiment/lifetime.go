@@ -1,10 +1,6 @@
 package experiment
 
 import (
-	"math/rand"
-	"sync"
-
-	"gmp/internal/network"
 	"gmp/internal/planar"
 	"gmp/internal/routing"
 	"gmp/internal/sim"
@@ -65,73 +61,50 @@ type LifetimeResult struct {
 	FirstFailure *stats.Table
 }
 
+// lifeCell is one (battery, protocol) stream's outcome on one network.
+type lifeCell struct{ death, fail int }
+
 // RunLifetime measures network lifetime in tasks for each protocol and
-// battery budget, averaged over the campaign's deployments.
+// battery budget, averaged over the campaign's deployments. Each
+// (network × battery × protocol) stream is one cell on the campaign
+// runner's pool; streams on the same network share its deployment.
 func RunLifetime(lc LifetimeConfig, protos []string) (*LifetimeResult, error) {
 	if err := lc.Base.Validate(protos); err != nil {
 		return nil, err
 	}
 
-	xs := append([]float64(nil), lc.BatteriesJ...)
-	type cell struct {
-		deathSum, failSum float64
-		runs              int
-	}
-	acc := make([][]cell, len(protos))
-	for i := range acc {
-		acc[i] = make([]cell, len(xs))
-	}
-
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, lc.Base.Networks*len(xs)*len(protos))
-
-	for netIdx := 0; netIdx < lc.Base.Networks; netIdx++ {
-		for bi, battery := range lc.BatteriesJ {
-			for pi, proto := range protos {
-				netIdx, bi, pi := netIdx, bi, pi
-				battery, proto := battery, proto
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
-					death, fail, err := runLifetimeStream(lc, proto, battery, netIdx)
-					if err != nil {
-						errs <- err
-						return
-					}
-					mu.Lock()
-					acc[pi][bi].deathSum += float64(death)
-					acc[pi][bi].failSum += float64(fail)
-					acc[pi][bi].runs++
-					mu.Unlock()
-				}()
+	bs := newBenches(lc.Base)
+	points := len(lc.BatteriesJ) * len(protos)
+	grid, err := runCells(newCampaign(lc.Base), lc.Base.Networks, points,
+		func(netIdx, pt int) (lifeCell, error) {
+			bi, pi := pt/len(protos), pt%len(protos)
+			death, fail, err := runLifetimeStream(lc, bs, protos[pi], lc.BatteriesJ[bi], netIdx)
+			if err != nil {
+				return lifeCell{}, err
 			}
-		}
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
+			return lifeCell{death: death, fail: fail}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
-	mk := func(title string, pick func(cell) float64) *stats.Table {
+	xs := append([]float64(nil), lc.BatteriesJ...)
+	mk := func(title string, pick func(lifeCell) int) *stats.Table {
 		t := &stats.Table{
 			Title:  title,
 			XLabel: "battery (J)",
 			YLabel: "tasks",
 			Xs:     xs,
+			Series: make([]stats.Series, 0, len(protos)),
 		}
 		for pi, proto := range protos {
 			ys := make([]float64, len(xs))
 			for bi := range xs {
-				if c := acc[pi][bi]; c.runs > 0 {
-					ys[bi] = pick(c) / float64(c.runs)
+				sum := 0
+				for netIdx := range grid {
+					sum += pick(grid[netIdx][bi*len(protos)+pi])
 				}
+				ys[bi] = float64(sum) / float64(lc.Base.Networks)
 			}
 			t.Series = append(t.Series, stats.Series{Label: proto, Y: ys})
 		}
@@ -139,25 +112,22 @@ func RunLifetime(lc LifetimeConfig, protos []string) (*LifetimeResult, error) {
 	}
 	return &LifetimeResult{
 		FirstDeath: mk("E-X4: tasks until first node death",
-			func(c cell) float64 { return c.deathSum }),
+			func(c lifeCell) int { return c.death }),
 		FirstFailure: mk("E-X4: tasks until first delivery failure",
-			func(c cell) float64 { return c.failSum }),
+			func(c lifeCell) int { return c.fail }),
 	}, nil
 }
 
 // runLifetimeStream drives one protocol's task stream on one deployment
 // until the first delivery failure (or MaxTasks) and reports when the first
 // node died and when the first task failed.
-func runLifetimeStream(lc LifetimeConfig, proto string, batteryJ float64, netIdx int) (firstDeath, firstFailure int, err error) {
-	seed := lc.Base.Seed + int64(netIdx)*7919
-	r := rand.New(rand.NewSource(seed))
-	nodes := network.DeployUniform(lc.Base.Nodes, lc.Base.Width, lc.Base.Height, r)
-	base, err := network.New(nodes, lc.Base.Width, lc.Base.Height, lc.Base.RadioRange)
+func runLifetimeStream(lc LifetimeConfig, bs *benches, proto string, batteryJ float64, netIdx int) (firstDeath, firstFailure int, err error) {
+	d, err := bs.deployment(netIdx)
 	if err != nil {
 		return 0, 0, err
 	}
-	radio := lc.Base.Radio
-	radio.RangeM = lc.Base.RadioRange
+	base := d.nw
+	radio := lc.Base.engineRadio()
 
 	remaining := make([]float64, lc.Base.Nodes)
 	for i := range remaining {
@@ -165,12 +135,12 @@ func runLifetimeStream(lc LifetimeConfig, proto string, batteryJ float64, netIdx
 	}
 
 	nw := base
-	pg := planar.Planarize(nw, lc.Base.Planarizer)
+	pg := d.pg
 	en := sim.NewEngine(nw, radio, lc.Base.MaxHops)
 	en.SetEnergyLedger(true)
 	var dead []int
 
-	taskR := rand.New(rand.NewSource(seed + 77))
+	taskR := lc.Base.seeds().lifetimeTasks(netIdx)
 	firstDeath, firstFailure = lc.MaxTasks, lc.MaxTasks
 	for taskNo := 1; taskNo <= lc.MaxTasks; taskNo++ {
 		alive := nw.AliveIDs()

@@ -2,8 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
-	"sync"
 
 	"gmp/internal/routing"
 	"gmp/internal/sim"
@@ -67,7 +65,10 @@ var ErrBadSessionCount = errBadSessionCount
 var errBadSessionCount = fmt.Errorf("experiment: session count must divide TotalSessions")
 
 // RunLoad measures the mean per-destination delivery latency (milliseconds)
-// against the number of concurrent sessions.
+// against the number of concurrent sessions. (network × session-count)
+// cells run on the campaign runner's pool over shared deployments; each
+// cell replays the network's fixed task population and start offsets, so
+// sweep points differ only in overlap.
 func RunLoad(lc LoadConfig, protos []string) (*stats.Table, error) {
 	if err := lc.Base.Validate(protos); err != nil {
 		return nil, err
@@ -78,104 +79,79 @@ func RunLoad(lc LoadConfig, protos []string) (*stats.Table, error) {
 		}
 	}
 
-	xs := make([]float64, len(lc.SessionCounts))
-	for i, n := range lc.SessionCounts {
-		xs[i] = float64(n)
-	}
-	// Per-session mean latencies, kept raw so both mean and p95 can be
-	// reported.
-	acc := make([][][]float64, len(protos))
-	for i := range acc {
-		acc[i] = make([][]float64, len(xs))
-	}
-
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, lc.Base.Networks)
-
-	for netIdx := 0; netIdx < lc.Base.Networks; netIdx++ {
-		netIdx := netIdx
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-
-			b, err := buildBench(lc.Base, netIdx)
+	bs := newBenches(lc.Base)
+	s := lc.Base.seeds()
+	grid, err := runCells(newCampaign(lc.Base), lc.Base.Networks, len(lc.SessionCounts),
+		func(netIdx, si int) ([][]float64, error) {
+			b, err := bs.bench(netIdx)
 			if err != nil {
-				errs <- err
-				return
+				return nil, err
 			}
-			r := rand.New(rand.NewSource(lc.Base.Seed + int64(netIdx)*7919 + 99991))
-			// One task population and one start-offset stream, replayed at
-			// every sweep point: only the overlap changes.
+			// One task population and one start-offset stream per network,
+			// regenerated identically at every sweep point: only the overlap
+			// changes.
+			r := s.load(netIdx)
 			tasks, err := workload.GenerateBatch(r, lc.Base.Nodes, lc.K, lc.TotalSessions)
 			if err != nil {
-				errs <- err
-				return
+				return nil, err
 			}
 			starts := make([]float64, lc.TotalSessions)
 			for i := range starts {
 				starts[i] = r.Float64() * lc.WindowSec
 			}
-			local := make([][][]float64, len(protos))
-			for pi := range local {
-				local[pi] = make([][]float64, len(xs))
-			}
-			for si, count := range lc.SessionCounts {
-				for pi, proto := range protos {
-					for chunk := 0; chunk < lc.TotalSessions; chunk += count {
-						sessions := make([]sim.Session, count)
-						for i := 0; i < count; i++ {
-							task := tasks[chunk+i]
-							sessions[i] = sim.Session{
-								Start:   starts[chunk+i],
-								Handler: loadProtocol(b, proto, lc.PBMLambda),
-								Src:     task.Source,
-								Dests:   task.Dests,
-							}
+			count := lc.SessionCounts[si]
+			samples := make([][]float64, len(protos))
+			for pi, proto := range protos {
+				samples[pi] = make([]float64, 0, lc.TotalSessions)
+				for chunk := 0; chunk < lc.TotalSessions; chunk += count {
+					sessions := make([]sim.Session, count)
+					for i := 0; i < count; i++ {
+						task := tasks[chunk+i]
+						sessions[i] = sim.Session{
+							Start:   starts[chunk+i],
+							Handler: loadProtocol(b, proto, lc.PBMLambda),
+							Src:     task.Source,
+							Dests:   task.Dests,
 						}
-						res := b.en.RunScript(sessions)
-						for _, m := range res {
-							if len(m.DeliveredAt) == 0 {
-								continue
-							}
-							local[pi][si] = append(local[pi][si], m.MeanLatency())
+					}
+					res := b.en.RunScript(sessions)
+					for _, m := range res {
+						if len(m.DeliveredAt) == 0 {
+							continue
 						}
+						samples[pi] = append(samples[pi], m.MeanLatency())
 					}
 				}
 			}
-			mu.Lock()
-			for pi := range protos {
-				for si := range xs {
-					acc[pi][si] = append(acc[pi][si], local[pi][si]...)
-				}
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
+			return samples, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
+	xs := make([]float64, len(lc.SessionCounts))
+	for i, n := range lc.SessionCounts {
+		xs[i] = float64(n)
+	}
 	table := &stats.Table{
 		Title:  "E-X5: delivery latency under concurrent load",
 		XLabel: "concurrent sessions",
 		YLabel: "mean latency (ms)",
 		Xs:     xs,
+		Series: make([]stats.Series, 0, 2*len(protos)),
 	}
+	vals := make([]float64, 0, lc.Base.Networks*lc.TotalSessions)
 	for pi, proto := range protos {
 		mean := make([]float64, len(xs))
 		p95 := make([]float64, len(xs))
 		for si := range xs {
-			if samples := acc[pi][si]; len(samples) > 0 {
-				mean[si] = stats.Mean(samples) * 1000
-				p95[si] = stats.Percentile(samples, 0.95) * 1000
+			vals = vals[:0]
+			for netIdx := range grid {
+				vals = append(vals, grid[netIdx][si][pi]...)
+			}
+			if len(vals) > 0 {
+				mean[si] = stats.Mean(vals) * 1000
+				p95[si] = stats.Percentile(vals, 0.95) * 1000
 			}
 		}
 		table.Series = append(table.Series,

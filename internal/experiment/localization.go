@@ -1,9 +1,6 @@
 package experiment
 
 import (
-	"math/rand"
-	"sync"
-
 	"gmp/internal/planar"
 	"gmp/internal/routing"
 	"gmp/internal/sim"
@@ -58,109 +55,92 @@ type LocalizationResult struct {
 	TotalHops *stats.Table
 }
 
+// locCell accumulates one (protocol, σ) count set.
+type locCell struct {
+	delivered, total int
+	hops             int
+	tasks            int
+}
+
 // RunLocalization measures protocol behavior under position noise.
+// (network × σ) cells run on the campaign runner's pool; each cell perturbs
+// the shared deployment's reported positions under its own noise stream and
+// replans over the noisy planar graph.
 func RunLocalization(lc LocalizationConfig, protos []string) (*LocalizationResult, error) {
 	if err := lc.Base.Validate(protos); err != nil {
 		return nil, err
 	}
 
+	bs := newBenches(lc.Base)
+	s := lc.Base.seeds()
+	grid, err := runCells(newCampaign(lc.Base), lc.Base.Networks, len(lc.Sigmas),
+		func(netIdx, si int) ([]locCell, error) {
+			d, err := bs.deployment(netIdx)
+			if err != nil {
+				return nil, err
+			}
+			// One stream drives both the noise draw and the task batch, in
+			// that order.
+			r := s.noise(netIdx, si)
+			noisy := d.nw.WithPositionNoise(lc.Sigmas[si], r)
+			pg := planar.Planarize(noisy, lc.Base.Planarizer)
+			en := sim.NewEngine(noisy, lc.Base.engineRadio(), lc.Base.MaxHops)
+
+			tasks, err := workload.GenerateBatch(r, lc.Base.Nodes, lc.K, lc.Base.TasksPerNet)
+			if err != nil {
+				return nil, err
+			}
+			cells := make([]locCell, len(protos))
+			for _, task := range tasks {
+				for pi, proto := range protos {
+					var p routing.Protocol
+					if proto == ProtoPBM {
+						p = routing.NewPBM(noisy, pg, lc.PBMLambda)
+					} else {
+						nb := &bench{nw: noisy, pg: pg, en: en}
+						p = nb.protocol(proto)
+					}
+					m := en.RunTask(p, task.Source, task.Dests)
+					cells[pi].delivered += len(m.Delivered)
+					cells[pi].total += m.DestCount
+					cells[pi].hops += m.Transmissions
+					cells[pi].tasks++
+				}
+			}
+			return cells, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	xs := make([]float64, len(lc.Sigmas))
 	copy(xs, lc.Sigmas)
-
-	type cell struct {
-		delivered, total int
-		hops             int
-		tasks            int
-	}
-	acc := make([][]cell, len(protos))
-	for i := range acc {
-		acc[i] = make([]cell, len(lc.Sigmas))
-	}
-
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, lc.Base.Networks*len(lc.Sigmas))
-
-	for netIdx := 0; netIdx < lc.Base.Networks; netIdx++ {
-		for si, sigma := range lc.Sigmas {
-			netIdx, si, sigma := netIdx, si, sigma
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-
-				b, err := buildBench(lc.Base, netIdx)
-				if err != nil {
-					errs <- err
-					return
-				}
-				r := rand.New(rand.NewSource(lc.Base.Seed + int64(netIdx)*7919 + int64(si)*52627))
-				noisy := b.nw.WithPositionNoise(sigma, r)
-				pg := planar.Planarize(noisy, lc.Base.Planarizer)
-				radio := lc.Base.Radio
-				radio.RangeM = lc.Base.RadioRange
-				en := sim.NewEngine(noisy, radio, lc.Base.MaxHops)
-
-				tasks, err := workload.GenerateBatch(r, lc.Base.Nodes, lc.K, lc.Base.TasksPerNet)
-				if err != nil {
-					errs <- err
-					return
-				}
-				local := make([]cell, len(protos))
-				for _, task := range tasks {
-					for pi, proto := range protos {
-						var p routing.Protocol
-						if proto == ProtoPBM {
-							p = routing.NewPBM(noisy, pg, lc.PBMLambda)
-						} else {
-							nb := &bench{nw: noisy, pg: pg, en: en}
-							p = nb.protocol(proto)
-						}
-						m := en.RunTask(p, task.Source, task.Dests)
-						local[pi].delivered += len(m.Delivered)
-						local[pi].total += m.DestCount
-						local[pi].hops += m.Transmissions
-						local[pi].tasks++
-					}
-				}
-				mu.Lock()
-				for pi := range protos {
-					acc[pi][si].delivered += local[pi].delivered
-					acc[pi][si].total += local[pi].total
-					acc[pi][si].hops += local[pi].hops
-					acc[pi][si].tasks += local[pi].tasks
-				}
-				mu.Unlock()
-			}()
-		}
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	delivery := &stats.Table{
 		Title:  "E-X2: delivery ratio under localization error",
 		XLabel: "sigma (m)",
 		YLabel: "delivered destinations fraction",
 		Xs:     xs,
+		Series: make([]stats.Series, 0, len(protos)),
 	}
 	hops := &stats.Table{
 		Title:  "E-X2: total hops under localization error",
 		XLabel: "sigma (m)",
 		YLabel: "mean transmissions/task",
 		Xs:     xs,
+		Series: make([]stats.Series, 0, len(protos)),
 	}
 	for pi, proto := range protos {
 		dy := make([]float64, len(lc.Sigmas))
 		hy := make([]float64, len(lc.Sigmas))
 		for si := range lc.Sigmas {
-			c := acc[pi][si]
+			var c locCell
+			for netIdx := range grid {
+				g := grid[netIdx][si][pi]
+				c.delivered += g.delivered
+				c.total += g.total
+				c.hops += g.hops
+				c.tasks += g.tasks
+			}
 			if c.total > 0 {
 				dy[si] = float64(c.delivered) / float64(c.total)
 			}

@@ -1,9 +1,6 @@
 package experiment
 
 import (
-	"math/rand"
-	"sync"
-
 	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/stats"
@@ -76,11 +73,63 @@ type lossCell struct {
 
 // RunLoss sweeps per-link loss rates and measures failed tasks,
 // transmissions and energy for every protocol with and without ARQ.
-// Networks × rates run in parallel; accumulation is order-independent
-// (integer and float sums over disjoint task sets), so output is
-// deterministic for a given config.
+// (network × rate) cells run on the campaign runner's pool over shared
+// deployments; reduction is in network index order, so output is
+// deterministic for a given config regardless of worker count.
 func RunLoss(lc LossConfig, protos []string) (*LossResults, error) {
 	if err := lc.Base.Validate(protos); err != nil {
+		return nil, err
+	}
+
+	// Series order is plain then +arq per protocol.
+	nSeries := 2 * len(protos)
+	bs := newBenches(lc.Base)
+	s := lc.Base.seeds()
+	grid, err := runCells(newCampaign(lc.Base), lc.Base.Networks, len(lc.LossRates),
+		func(netIdx, ri int) ([]lossCell, error) {
+			b, err := bs.bench(netIdx)
+			if err != nil {
+				return nil, err
+			}
+			tasks, err := workload.GenerateBatch(s.tasks(netIdx, lc.K), lc.Base.Nodes, lc.K, lc.Base.TasksPerNet)
+			if err != nil {
+				return nil, err
+			}
+			plan := sim.FaultPlan{
+				LossRate: lc.LossRates[ri],
+				Seed:     s.lossFault(netIdx, ri),
+			}
+			cells := make([]lossCell, nSeries)
+			for arm := 0; arm < 2; arm++ {
+				arq := sim.ARQConfig{}
+				if arm == 1 {
+					arq = lc.ARQ
+					arq.Enabled = true
+				}
+				if err := b.en.SetARQ(arq); err != nil {
+					return nil, err
+				}
+				for pi, proto := range protos {
+					// Re-install the plan so both arms and all protocols
+					// face the identical fault stream.
+					if err := b.en.SetFaults(plan); err != nil {
+						return nil, err
+					}
+					c := &cells[2*pi+arm]
+					for _, task := range tasks {
+						m := b.en.RunTask(lossProtocol(b, proto, lc.PBMLambda), task.Source, task.Dests)
+						if m.Failed() {
+							c.failures++
+						}
+						c.tx += float64(m.Transmissions)
+						c.energy += m.EnergyJ
+						c.tasks++
+					}
+				}
+			}
+			return cells, nil
+		})
+	if err != nil {
 		return nil, err
 	}
 
@@ -89,103 +138,14 @@ func RunLoss(lc LossConfig, protos []string) (*LossResults, error) {
 		xs[i] = r
 	}
 	mkTable := func(title, ylabel string) *stats.Table {
-		return &stats.Table{Title: title, XLabel: "loss rate", YLabel: ylabel, Xs: xs}
+		return &stats.Table{Title: title, XLabel: "loss rate", YLabel: ylabel, Xs: xs,
+			Series: make([]stats.Series, 0, nSeries)}
 	}
 	res := &LossResults{
 		Failures:      mkTable("Figure 15 under loss: failed tasks vs per-link loss rate", "failed tasks"),
 		Transmissions: mkTable("Loss sweep: mean transmissions per task", "mean transmissions/task"),
 		Energy:        mkTable("Loss sweep: mean energy per task", "mean energy/task (J)"),
 	}
-
-	// acc[seriesIdx][rateIdx]; series order is plain then +arq per protocol.
-	nSeries := 2 * len(protos)
-	acc := make([][]lossCell, nSeries)
-	for i := range acc {
-		acc[i] = make([]lossCell, len(lc.LossRates))
-	}
-
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, lc.Base.Networks*len(lc.LossRates))
-
-	for ri, rate := range lc.LossRates {
-		for netIdx := 0; netIdx < lc.Base.Networks; netIdx++ {
-			ri, rate, netIdx := ri, rate, netIdx
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-
-				b, err := buildBench(lc.Base, netIdx)
-				if err != nil {
-					errs <- err
-					return
-				}
-				taskR := rand.New(rand.NewSource(lc.Base.Seed + int64(netIdx)*7919 + int64(lc.K)*104729))
-				tasks, err := workload.GenerateBatch(taskR, lc.Base.Nodes, lc.K, lc.Base.TasksPerNet)
-				if err != nil {
-					errs <- err
-					return
-				}
-				plan := sim.FaultPlan{
-					LossRate: rate,
-					Seed:     lc.Base.Seed + int64(netIdx)*7919 + int64(ri)*999983 + 1,
-				}
-				local := make([][]lossCell, nSeries)
-				for i := range local {
-					local[i] = make([]lossCell, 1)
-				}
-				for arm := 0; arm < 2; arm++ {
-					arq := sim.ARQConfig{}
-					if arm == 1 {
-						arq = lc.ARQ
-						arq.Enabled = true
-					}
-					if err := b.en.SetARQ(arq); err != nil {
-						errs <- err
-						return
-					}
-					for pi, proto := range protos {
-						// Re-install the plan so both arms and all protocols
-						// face the identical fault stream.
-						if err := b.en.SetFaults(plan); err != nil {
-							errs <- err
-							return
-						}
-						c := &local[2*pi+arm][0]
-						for _, task := range tasks {
-							m := b.en.RunTask(lossProtocol(b, proto, lc.PBMLambda), task.Source, task.Dests)
-							if m.Failed() {
-								c.failures++
-							}
-							c.tx += float64(m.Transmissions)
-							c.energy += m.EnergyJ
-							c.tasks++
-						}
-					}
-				}
-				mu.Lock()
-				for si := range acc {
-					cell := &acc[si][ri]
-					cell.failures += local[si][0].failures
-					cell.tx += local[si][0].tx
-					cell.energy += local[si][0].energy
-					cell.tasks += local[si][0].tasks
-				}
-				mu.Unlock()
-			}()
-		}
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	for pi, proto := range protos {
 		for arm, suffix := range []string{"", "+arq"} {
 			si := 2*pi + arm
@@ -193,11 +153,18 @@ func RunLoss(lc LossConfig, protos []string) (*LossResults, error) {
 			tx := make([]float64, len(lc.LossRates))
 			energy := make([]float64, len(lc.LossRates))
 			for ri := range lc.LossRates {
-				c := acc[si][ri]
-				fail[ri] = float64(c.failures)
-				if c.tasks > 0 {
-					tx[ri] = c.tx / float64(c.tasks)
-					energy[ri] = c.energy / float64(c.tasks)
+				var sum lossCell
+				for netIdx := range grid {
+					c := grid[netIdx][ri][si]
+					sum.failures += c.failures
+					sum.tx += c.tx
+					sum.energy += c.energy
+					sum.tasks += c.tasks
+				}
+				fail[ri] = float64(sum.failures)
+				if sum.tasks > 0 {
+					tx[ri] = sum.tx / float64(sum.tasks)
+					energy[ri] = sum.energy / float64(sum.tasks)
 				}
 			}
 			label := proto + suffix

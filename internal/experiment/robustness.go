@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"math/rand"
-	"sync"
 
 	"gmp/internal/planar"
 	"gmp/internal/routing"
@@ -53,11 +52,54 @@ func QuickRobustnessConfig() RobustnessConfig {
 	return rc
 }
 
+// robustCell accumulates one (protocol, fraction) delivery count.
+type robustCell struct{ delivered, total int }
+
 // RunRobustness measures the mean per-destination delivery ratio under each
 // failure fraction. Sources and destinations are drawn from the surviving
 // nodes, so the metric isolates routing resilience from dead endpoints.
+// (network × fraction) cells run on the campaign runner's pool; each cell
+// degrades the shared deployment under its own failure-pick stream.
 func RunRobustness(rc RobustnessConfig, protos []string) (*stats.Table, error) {
 	if err := rc.Base.Validate(protos); err != nil {
+		return nil, err
+	}
+
+	bs := newBenches(rc.Base)
+	s := rc.Base.seeds()
+	grid, err := runCells(newCampaign(rc.Base), rc.Base.Networks, len(rc.FailFractions),
+		func(netIdx, fi int) ([]robustCell, error) {
+			d, err := bs.deployment(netIdx)
+			if err != nil {
+				return nil, err
+			}
+			// One stream drives the failure pick and then the task draws.
+			r := s.failures(netIdx, fi)
+			failed := pickFailures(r, rc.Base.Nodes, rc.FailFractions[fi])
+			degraded := d.nw.WithFailures(failed)
+			pg := planar.Planarize(degraded, rc.Base.Planarizer)
+			en := sim.NewEngine(degraded, rc.Base.engineRadio(), rc.Base.MaxHops)
+
+			alive := degraded.AliveIDs()
+			cells := make([]robustCell, len(protos))
+			for t := 0; t < rc.Base.TasksPerNet; t++ {
+				src, dests := pickAliveTask(r, alive, rc.K)
+				for pi, proto := range protos {
+					var p routing.Protocol
+					if proto == ProtoPBM {
+						p = routing.NewPBM(degraded, pg, rc.PBMLambda)
+					} else {
+						db := &bench{nw: degraded, pg: pg, en: en}
+						p = db.protocol(proto)
+					}
+					m := en.RunTask(p, src, dests)
+					cells[pi].delivered += len(m.Delivered)
+					cells[pi].total += m.DestCount
+				}
+			}
+			return cells, nil
+		})
+	if err != nil {
 		return nil, err
 	}
 
@@ -70,80 +112,16 @@ func RunRobustness(rc RobustnessConfig, protos []string) (*stats.Table, error) {
 		XLabel: "failed fraction",
 		YLabel: "delivered destinations fraction",
 		Xs:     xs,
+		Series: make([]stats.Series, 0, len(protos)),
 	}
-
-	// ratios[protoIdx][fracIdx] accumulates delivered and total counts.
-	type counter struct{ delivered, total int }
-	acc := make([][]counter, len(protos))
-	for i := range acc {
-		acc[i] = make([]counter, len(rc.FailFractions))
-	}
-
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, rc.Base.Networks*len(rc.FailFractions))
-
-	for netIdx := 0; netIdx < rc.Base.Networks; netIdx++ {
-		for fi, frac := range rc.FailFractions {
-			netIdx, fi, frac := netIdx, fi, frac
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-
-				b, err := buildBench(rc.Base, netIdx)
-				if err != nil {
-					errs <- err
-					return
-				}
-				r := rand.New(rand.NewSource(rc.Base.Seed + int64(netIdx)*7919 + int64(fi)*31337))
-				failed := pickFailures(r, rc.Base.Nodes, frac)
-				degraded := b.nw.WithFailures(failed)
-				pg := planar.Planarize(degraded, rc.Base.Planarizer)
-				radio := rc.Base.Radio
-				radio.RangeM = rc.Base.RadioRange
-				en := sim.NewEngine(degraded, radio, rc.Base.MaxHops)
-
-				alive := degraded.AliveIDs()
-				local := make([]counter, len(protos))
-				for t := 0; t < rc.Base.TasksPerNet; t++ {
-					src, dests := pickAliveTask(r, alive, rc.K)
-					for pi, proto := range protos {
-						var p routing.Protocol
-						if proto == ProtoPBM {
-							p = routing.NewPBM(degraded, pg, rc.PBMLambda)
-						} else {
-							db := &bench{nw: degraded, pg: pg, en: en}
-							p = db.protocol(proto)
-						}
-						m := en.RunTask(p, src, dests)
-						local[pi].delivered += len(m.Delivered)
-						local[pi].total += m.DestCount
-					}
-				}
-				mu.Lock()
-				for pi := range protos {
-					acc[pi][fi].delivered += local[pi].delivered
-					acc[pi][fi].total += local[pi].total
-				}
-				mu.Unlock()
-			}()
-		}
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	for pi, proto := range protos {
 		ys := make([]float64, len(rc.FailFractions))
 		for fi := range rc.FailFractions {
-			c := acc[pi][fi]
+			var c robustCell
+			for netIdx := range grid {
+				c.delivered += grid[netIdx][fi][pi].delivered
+				c.total += grid[netIdx][fi][pi].total
+			}
 			if c.total > 0 {
 				ys[fi] = float64(c.delivered) / float64(c.total)
 			}

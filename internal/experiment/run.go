@@ -2,9 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
-	"runtime"
-	"sync"
 
 	"gmp/internal/network"
 	"gmp/internal/planar"
@@ -36,54 +33,61 @@ type taskMetrics struct {
 	failed    bool
 }
 
-// netResult collects one network's samples: [proto][kIdx][task].
-type netResult [][][]taskMetrics
+// mainCell is one (network, k) cell's samples: [proto][task].
+type mainCell [][]taskMetrics
 
 // RunMain executes the main campaign (the shared workload behind Figures 11,
 // 12 and 14) for the given protocols and returns the three result tables.
-// Networks run in parallel; results are reduced in network order, so output
-// is fully deterministic for a given Config.
+// (network × k) cells run in parallel on the campaign runner's pool;
+// results are reduced in index order, so output is fully deterministic for
+// a given Config, independent of Config.Workers.
 func RunMain(cfg Config, protos []string) (*Results, error) {
 	if err := cfg.Validate(protos); err != nil {
 		return nil, err
 	}
 
-	perNet := make([]netResult, cfg.Networks)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make([]error, cfg.Networks)
-	for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
-		netIdx := netIdx
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := runOneNetwork(cfg, protos, netIdx)
-			perNet[netIdx] = res
-			errs[netIdx] = err
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	bs := newBenches(cfg)
+	grid, err := runCells(newCampaign(cfg), cfg.Networks, len(cfg.Ks),
+		func(netIdx, ki int) (mainCell, error) {
+			b, err := bs.bench(netIdx)
+			if err != nil {
+				return nil, err
+			}
+			k := cfg.Ks[ki]
+			tasks, err := workload.GenerateBatch(cfg.seeds().tasks(netIdx, k), cfg.Nodes, k, cfg.TasksPerNet)
+			if err != nil {
+				return nil, err
+			}
+			cell := make(mainCell, len(protos))
+			for pi, proto := range protos {
+				samples := make([]taskMetrics, len(tasks))
+				for ti, task := range tasks {
+					samples[ti] = b.runTask(cfg, proto, task)
+				}
+				cell[pi] = samples
+			}
+			return cell, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
-	// Reduce: mean over all tasks of all networks, per protocol and k.
+	// Reduce: mean over all tasks of all networks, per protocol and k,
+	// always in (network, task) index order.
 	xs := make([]float64, len(cfg.Ks))
 	for i, k := range cfg.Ks {
 		xs[i] = float64(k)
 	}
+	vals := make([]float64, 0, cfg.Networks*cfg.TasksPerNet)
 	mk := func(title, ylabel string, pick func(taskMetrics) float64) *stats.Table {
-		t := &stats.Table{Title: title, XLabel: "k", YLabel: ylabel, Xs: xs}
+		t := &stats.Table{Title: title, XLabel: "k", YLabel: ylabel, Xs: xs,
+			Series: make([]stats.Series, 0, len(protos))}
 		for pi, proto := range protos {
 			ys := make([]float64, len(cfg.Ks))
 			for ki := range cfg.Ks {
-				var vals []float64
-				for _, nr := range perNet {
-					for _, tm := range nr[pi][ki] {
+				vals = vals[:0]
+				for netIdx := range grid {
+					for _, tm := range grid[netIdx][ki][pi] {
 						vals = append(vals, pick(tm))
 					}
 				}
@@ -111,15 +115,6 @@ func RunMain(cfg Config, protos []string) (*Results, error) {
 	}, nil
 }
 
-// maxParallel bounds worker goroutines to the machine's CPUs.
-func maxParallel() int {
-	n := runtime.NumCPU()
-	if n < 1 {
-		return 1
-	}
-	return n
-}
-
 // bench holds one deployed network with its engine and planar graph.
 type bench struct {
 	nw *network.Network
@@ -127,25 +122,19 @@ type bench struct {
 	en *sim.Engine
 }
 
-// buildBench deploys network netIdx of the campaign.
+// buildBench deploys network netIdx of the campaign with a private engine.
+// Drivers that run many cells per network should prefer benches, which
+// shares the deployment and builds only the engine per cell.
 func buildBench(cfg Config, netIdx int) (*bench, error) {
-	r := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919))
-	nodes := network.DeployUniform(cfg.Nodes, cfg.Width, cfg.Height, r)
-	nw, err := network.New(nodes, cfg.Width, cfg.Height, cfg.RadioRange)
+	d, err := buildDeployment(cfg, netIdx)
 	if err != nil {
-		return nil, fmt.Errorf("network %d: %w", netIdx, err)
+		return nil, err
 	}
-	radio := cfg.Radio
-	radio.RangeM = cfg.RadioRange
-	en := sim.NewEngine(nw, radio, cfg.MaxHops)
+	en := sim.NewEngine(d.nw, cfg.engineRadio(), cfg.MaxHops)
 	if err := applyFaults(cfg, netIdx, en); err != nil {
 		return nil, fmt.Errorf("network %d: %w", netIdx, err)
 	}
-	return &bench{
-		nw: nw,
-		pg: planar.Planarize(nw, cfg.Planarizer),
-		en: en,
-	}, nil
+	return &bench{nw: d.nw, pg: d.pg, en: en}, nil
 }
 
 // applyFaults installs the campaign's fault plan and ARQ configuration on a
@@ -157,10 +146,10 @@ func applyFaults(cfg Config, netIdx int, en *sim.Engine) error {
 	plan := cfg.Faults
 	if plan.Active() || cfg.CrashFraction > 0 {
 		if plan.Seed == 0 {
-			plan.Seed = cfg.Seed + int64(netIdx)*7919 + 271829
+			plan.Seed = cfg.seeds().faultPlan(netIdx)
 		}
 		if cfg.CrashFraction > 0 {
-			r := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919 + 314159))
+			r := cfg.seeds().crashes(netIdx)
 			count := int(float64(cfg.Nodes) * cfg.CrashFraction)
 			perm := r.Perm(cfg.Nodes)
 			crashes := make([]sim.Crash, 0, count)
@@ -174,35 +163,6 @@ func applyFaults(cfg Config, netIdx int, en *sim.Engine) error {
 		}
 	}
 	return en.SetARQ(cfg.ARQ)
-}
-
-// runOneNetwork simulates all tasks of one deployment for every protocol.
-func runOneNetwork(cfg Config, protos []string, netIdx int) (netResult, error) {
-	b, err := buildBench(cfg, netIdx)
-	if err != nil {
-		return nil, err
-	}
-
-	res := make(netResult, len(protos))
-	for pi := range protos {
-		res[pi] = make([][]taskMetrics, len(cfg.Ks))
-	}
-
-	for ki, k := range cfg.Ks {
-		taskR := rand.New(rand.NewSource(cfg.Seed + int64(netIdx)*7919 + int64(k)*104729))
-		tasks, err := workload.GenerateBatch(taskR, cfg.Nodes, k, cfg.TasksPerNet)
-		if err != nil {
-			return nil, err
-		}
-		for pi, proto := range protos {
-			samples := make([]taskMetrics, 0, len(tasks))
-			for _, task := range tasks {
-				samples = append(samples, b.runTask(cfg, proto, task))
-			}
-			res[pi][ki] = samples
-		}
-	}
-	return res, nil
 }
 
 // runTask executes one task under the named protocol, applying the paper's

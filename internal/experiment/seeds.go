@@ -1,0 +1,118 @@
+package experiment
+
+import "math/rand"
+
+// This file is the single home of every random-stream derivation in the
+// experiment layer. A campaign owns one base seed; every deployment, task
+// batch, fault plan and sweep-point perturbation draws from a stream derived
+// here, so (a) streams stay disjoint across axes, and (b) the strides that
+// keep them disjoint exist in exactly one place. Drivers never mix seeds by
+// hand.
+//
+// The strides are arbitrary primes (except the documented offsets); they
+// are load-bearing only in that changing any of them changes every table a
+// campaign renders, so treat them as frozen.
+const (
+	// netStride separates per-network streams: every derivation below
+	// starts from base + netIdx*netStride.
+	netStride = 7919
+	// taskStride separates per-k task-generation streams within a network.
+	taskStride = 104729
+	// faultOffset marks a network's fault-plan stream.
+	faultOffset = 271829
+	// crashOffset marks a network's crash-schedule stream.
+	crashOffset = 314159
+	// densityStride separates the failure sweep's per-density
+	// sub-campaigns, so each density deploys fresh networks.
+	densityStride = 1_000_003
+	// lossStride separates the loss sweep's per-rate fault plans (the +1
+	// in lossFault keeps rate 0 distinct from the plain fault stream).
+	lossStride = 999983
+	// loadOffset marks the load experiment's task + start-offset stream.
+	loadOffset = 99991
+	// noiseStride separates the localization sweep's per-σ noise streams.
+	noiseStride = 52627
+	// failStride separates the robustness sweep's per-fraction failure
+	// picks.
+	failStride = 31337
+	// staleStride separates the staleness sweep's per-point task batches.
+	staleStride = 40009
+	// spreadStride separates the clustering sweep's per-spread task
+	// batches.
+	spreadStride = 70001
+	// beaconStride separates the beaconing sweep's per-period jitter
+	// streams.
+	beaconStride = 613
+	// lifetimeOffset marks the lifetime experiment's task stream.
+	lifetimeOffset = 77
+)
+
+// seeds derives every RNG stream of one campaign from its base seed.
+type seeds struct{ base int64 }
+
+// seeds returns the campaign's stream deriver.
+func (c Config) seeds() seeds { return seeds{base: c.Seed} }
+
+// rng is shorthand for a fresh seeded source.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// net is the root of network netIdx's stream family.
+func (s seeds) net(netIdx int) int64 { return s.base + int64(netIdx)*netStride }
+
+// deployment draws node placement (and, where a driver needs more site
+// randomness, its follow-on draws: mobility waypoints, beacon trajectories).
+func (s seeds) deployment(netIdx int) *rand.Rand { return rng(s.net(netIdx)) }
+
+// tasks draws the task batch for destination count k on network netIdx.
+func (s seeds) tasks(netIdx, k int) *rand.Rand {
+	return rng(s.net(netIdx) + int64(k)*taskStride)
+}
+
+// faultPlan is the seed a network's fault plan defaults to.
+func (s seeds) faultPlan(netIdx int) int64 { return s.net(netIdx) + faultOffset }
+
+// crashes draws the CrashFraction schedule for network netIdx.
+func (s seeds) crashes(netIdx int) *rand.Rand { return rng(s.net(netIdx) + crashOffset) }
+
+// density is the sub-campaign base seed for density point di of the failure
+// sweep.
+func (s seeds) density(di int) int64 { return s.base + int64(di)*densityStride }
+
+// lossFault is the fault-plan seed for loss-rate point ri on network netIdx.
+func (s seeds) lossFault(netIdx, ri int) int64 {
+	return s.net(netIdx) + int64(ri)*lossStride + 1
+}
+
+// load draws the load experiment's task population and session starts.
+func (s seeds) load(netIdx int) *rand.Rand { return rng(s.net(netIdx) + loadOffset) }
+
+// noise draws position noise (then tasks) for σ point si on network netIdx.
+func (s seeds) noise(netIdx, si int) *rand.Rand {
+	return rng(s.net(netIdx) + int64(si)*noiseStride)
+}
+
+// failures draws the robustness sweep's failed-node pick (then tasks) for
+// fraction point fi.
+func (s seeds) failures(netIdx, fi int) *rand.Rand {
+	return rng(s.net(netIdx) + int64(fi)*failStride)
+}
+
+// staleTasks draws the staleness sweep's task batch for sweep point si.
+func (s seeds) staleTasks(netIdx, si int) *rand.Rand {
+	return rng(s.net(netIdx) + int64(si)*staleStride)
+}
+
+// clusterTasks draws the clustering sweep's task batch for spread point si.
+func (s seeds) clusterTasks(netIdx, si int) *rand.Rand {
+	return rng(s.net(netIdx) + int64(si)*spreadStride)
+}
+
+// beacon draws HELLO jitter for period point pi on network netIdx.
+func (s seeds) beacon(netIdx, pi int) *rand.Rand {
+	return rng(s.net(netIdx) + int64(pi)*beaconStride)
+}
+
+// lifetimeTasks draws the lifetime experiment's task stream.
+func (s seeds) lifetimeTasks(netIdx int) *rand.Rand {
+	return rng(s.net(netIdx) + lifetimeOffset)
+}

@@ -2,8 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
-	"sync"
 
 	"gmp/internal/geom"
 	"gmp/internal/mobility"
@@ -59,7 +57,10 @@ func QuickStalenessConfig() StalenessConfig {
 }
 
 // RunStaleness measures per-destination delivery ratio against coordinate
-// age for the given protocols.
+// age for the given protocols. The mobility model advances cumulatively
+// across sweep points, so the unit of parallelism is the whole network:
+// networks run on the campaign runner's pool via runNetworks and are
+// reduced in index order.
 func RunStaleness(sc StalenessConfig, protos []string) (*stats.Table, error) {
 	if err := sc.Base.Validate(protos); err != nil {
 		return nil, err
@@ -68,58 +69,31 @@ func RunStaleness(sc StalenessConfig, protos []string) (*stats.Table, error) {
 		return nil, err
 	}
 
+	nets, err := runNetworks(newCampaign(sc.Base), sc.Base.Networks,
+		func(netIdx int) ([][]stalenessCell, error) {
+			return runStalenessNetwork(sc, protos, netIdx)
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	xs := append([]float64(nil), sc.StalenessSec...)
-	type cell struct{ delivered, total int }
-	acc := make([][]cell, len(protos))
-	for i := range acc {
-		acc[i] = make([]cell, len(xs))
-	}
-
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	errs := make(chan error, sc.Base.Networks)
-
-	for netIdx := 0; netIdx < sc.Base.Networks; netIdx++ {
-		netIdx := netIdx
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			local, err := runStalenessNetwork(sc, protos, netIdx)
-			if err != nil {
-				errs <- err
-				return
-			}
-			mu.Lock()
-			for pi := range protos {
-				for si := range xs {
-					acc[pi][si].delivered += local[pi][si].delivered
-					acc[pi][si].total += local[pi][si].total
-				}
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	table := &stats.Table{
 		Title:  "E-X3: delivery ratio vs destination-coordinate staleness",
 		XLabel: "staleness (s)",
 		YLabel: "delivered destinations fraction",
 		Xs:     xs,
+		Series: make([]stats.Series, 0, len(protos)),
 	}
 	for pi, proto := range protos {
 		ys := make([]float64, len(xs))
 		for si := range xs {
-			if c := acc[pi][si]; c.total > 0 {
+			var c stalenessCell
+			for _, local := range nets {
+				c.delivered += local[pi][si].delivered
+				c.total += local[pi][si].total
+			}
+			if c.total > 0 {
 				ys[si] = float64(c.delivered) / float64(c.total)
 			}
 		}
@@ -132,8 +106,8 @@ func RunStaleness(sc StalenessConfig, protos []string) (*stats.Table, error) {
 type stalenessCell struct{ delivered, total int }
 
 func runStalenessNetwork(sc StalenessConfig, protos []string, netIdx int) ([][]stalenessCell, error) {
-	seed := sc.Base.Seed + int64(netIdx)*7919
-	r := rand.New(rand.NewSource(seed))
+	s := sc.Base.seeds()
+	r := s.deployment(netIdx)
 	initial := network.DeployUniform(sc.Base.Nodes, sc.Base.Width, sc.Base.Height, r)
 	initPts := make([]geom.Point, len(initial))
 	for i, n := range initial {
@@ -164,11 +138,9 @@ func runStalenessNetwork(sc StalenessConfig, protos []string, netIdx int) ([][]s
 			return nil, fmt.Errorf("staleness network: %w", err)
 		}
 		pg := planar.Planarize(nw, sc.Base.Planarizer)
-		radio := sc.Base.Radio
-		radio.RangeM = sc.Base.RadioRange
+		radio := sc.Base.engineRadio()
 
-		taskR := rand.New(rand.NewSource(seed + int64(si)*40009))
-		tasks, err := workload.GenerateBatch(taskR, sc.Base.Nodes, sc.K, sc.Base.TasksPerNet)
+		tasks, err := workload.GenerateBatch(s.staleTasks(netIdx, si), sc.Base.Nodes, sc.K, sc.Base.TasksPerNet)
 		if err != nil {
 			return nil, err
 		}
