@@ -25,6 +25,7 @@ import (
 	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/steiner"
+	"gmp/internal/view"
 	"gmp/internal/viz"
 	"gmp/internal/workload"
 )
@@ -85,21 +86,22 @@ func renderSim(protoName string, nodes, k int, seed int64, lambda float64) (stri
 	}
 	pg := planar.Planarize(nw, planar.Gabriel)
 	en := sim.NewEngine(nw, sim.DefaultRadioParams(), 100)
+	en.SetViews(view.NewOracle(nw, pg))
 
 	var proto gmp.Protocol
 	switch strings.ToUpper(protoName) {
 	case "GMP":
-		proto = routing.NewGMP(nw, pg)
+		proto = routing.NewGMP()
 	case "GMPNR":
-		proto = routing.NewGMPnr(nw, pg)
+		proto = routing.NewGMPnr()
 	case "LGS":
-		proto = routing.NewLGS(nw)
+		proto = routing.NewLGS()
 	case "LGK":
-		proto = routing.NewLGK(nw, 2)
+		proto = routing.NewLGK(2)
 	case "PBM":
-		proto = routing.NewPBM(nw, pg, lambda)
+		proto = routing.NewPBM(lambda)
 	case "GRD":
-		proto = routing.NewGRD(nw, pg)
+		proto = routing.NewGRD()
 	case "SMT":
 		proto = routing.NewSMT(nw)
 	default:

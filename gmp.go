@@ -12,6 +12,7 @@ import (
 	"gmp/internal/sim"
 	"gmp/internal/steiner"
 	"gmp/internal/trace"
+	"gmp/internal/view"
 	"gmp/internal/viz"
 )
 
@@ -196,9 +197,11 @@ func NewSystem(nw *Network, opts ...SystemOption) *System {
 	if err := en.SetARQ(cfg.arq); err != nil {
 		panic("gmp: WithARQ: " + err.Error())
 	}
+	pg := planar.Planarize(nw, cfg.kind)
+	en.SetViews(view.NewOracle(nw, pg))
 	return &System{
 		nw:      nw,
-		pg:      planar.Planarize(nw, cfg.kind),
+		pg:      pg,
 		en:      en,
 		maxHops: cfg.maxHops,
 	}
@@ -208,22 +211,22 @@ func NewSystem(nw *Network, opts ...SystemOption) *System {
 func (s *System) Network() *Network { return s.nw }
 
 // GMP returns the paper's protocol (radio-range aware).
-func (s *System) GMP() Protocol { return routing.NewGMP(s.nw, s.pg) }
+func (s *System) GMP() Protocol { return routing.NewGMP() }
 
 // GMPnr returns GMP without radio-range awareness (ablation).
-func (s *System) GMPnr() Protocol { return routing.NewGMPnr(s.nw, s.pg) }
+func (s *System) GMPnr() Protocol { return routing.NewGMPnr() }
 
 // LGS returns the location-guided Steiner (MST) baseline.
-func (s *System) LGS() Protocol { return routing.NewLGS(s.nw) }
+func (s *System) LGS() Protocol { return routing.NewLGS() }
 
 // LGK returns the location-guided k-ary tree baseline.
-func (s *System) LGK(k int) Protocol { return routing.NewLGK(s.nw, k) }
+func (s *System) LGK(k int) Protocol { return routing.NewLGK(k) }
 
 // PBM returns the position-based multicast baseline with trade-off λ.
-func (s *System) PBM(lambda float64) Protocol { return routing.NewPBM(s.nw, s.pg, lambda) }
+func (s *System) PBM(lambda float64) Protocol { return routing.NewPBM(lambda) }
 
 // GRD returns the per-destination greedy unicast baseline.
-func (s *System) GRD() Protocol { return routing.NewGRD(s.nw, s.pg) }
+func (s *System) GRD() Protocol { return routing.NewGRD() }
 
 // SMT returns the centralized KMB source-routing baseline.
 func (s *System) SMT() Protocol { return routing.NewSMT(s.nw) }
@@ -285,24 +288,24 @@ func (s *System) RenderSVG(events []TraceEvent, src int, dests []int) string {
 // Geocast returns a protocol delivering to every node within radius of
 // center; pair it with GeocastDests for delivery accounting.
 func (s *System) Geocast(center Point, radius float64) Protocol {
-	return routing.NewGeocast(s.nw, s.pg, center, radius)
+	return routing.NewGeocast(center, radius)
 }
 
 // GeocastDests returns the IDs of the nodes inside the given disk — the
 // destination set to pass to Multicast alongside the Geocast protocol.
 func (s *System) GeocastDests(center Point, radius float64) []int {
-	return routing.GeocastDests(s.nw, center, radius)
+	return network.NodesInDisk(s.nw, center, radius)
 }
 
 // GeocastRegion returns a protocol delivering to every node inside an
 // arbitrary region.
 func (s *System) GeocastRegion(region Region) Protocol {
-	return routing.NewGeocastRegion(s.nw, s.pg, region)
+	return routing.NewGeocastRegion(region)
 }
 
 // GeocastRegionDests returns the IDs of the nodes inside region.
 func (s *System) GeocastRegionDests(region Region) []int {
-	return routing.GeocastRegionDests(s.nw, region)
+	return network.NodesInRegion(s.nw, region)
 }
 
 // GroupService is the GHT-style distributed group-membership service.

@@ -1,0 +1,28 @@
+package beacon
+
+import (
+	"gmp/internal/geom"
+	"gmp/internal/planar"
+	"gmp/internal/view"
+)
+
+// Views converts neighbor-table snapshots (as built by Tables) into a
+// view.Provider the engine can route from: node i's view is its own true
+// position plus exactly the neighbors its table holds, at whatever advertised
+// positions the last heard beacons carried. Staleness, missing entries and
+// ghost entries all flow straight into forwarding decisions — this is the
+// live counterpart of the ideal oracle view.
+//
+// Each node's perimeter substrate is derived locally from its own table with
+// the given planarization rule, as a real node would compute it.
+func Views(selfPos []geom.Point, tables [][]Entry, radioRange float64, kind planar.Kind) view.Provider {
+	vt := make([][]view.Neighbor, len(tables))
+	for i, tbl := range tables {
+		nbrs := make([]view.Neighbor, len(tbl))
+		for j, e := range tbl {
+			nbrs[j] = view.Neighbor{ID: e.ID, Pos: e.Pos}
+		}
+		vt[i] = nbrs
+	}
+	return view.NewLive(selfPos, vt, view.LiveConfig{RadioRange: radioRange, Planarizer: kind})
+}

@@ -84,7 +84,7 @@ func RunClustering(cc ClusteringConfig, protos []string) (*stats.Table, error) {
 				for pi, proto := range protos {
 					var p routing.Protocol
 					if proto == ProtoPBM {
-						p = routing.NewPBM(b.nw, b.pg, cc.PBMLambda)
+						p = routing.NewPBM(cc.PBMLambda)
 					} else {
 						p = b.protocol(proto)
 					}

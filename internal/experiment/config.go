@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"runtime"
 
+	"gmp/internal/network"
 	"gmp/internal/planar"
 	"gmp/internal/sim"
+	"gmp/internal/view"
 )
 
 // Protocol identifiers accepted by the harness.
@@ -81,6 +83,22 @@ type Config struct {
 	// it after every completed cell with (completed, total). Calls are
 	// serialized. Not part of the JSON config surface.
 	Progress ProgressFunc `json:"-"`
+	// Views, when non-nil, builds the per-node view provider handed to the
+	// forwarding decisions of every engine the campaign constructs, from the
+	// engine's network (whose positions may be overlaid with reported or
+	// noisy ones) and the perimeter substrate. Nil selects the ideal oracle.
+	// Each engine gets its own provider — providers are not safe to share
+	// across the runner's parallel cells. Not part of the JSON config
+	// surface.
+	Views func(nw *network.Network, pg *planar.Graph) view.Provider `json:"-"`
+}
+
+// views resolves the Views knob for one engine's network and substrate.
+func (c Config) views(nw *network.Network, pg *planar.Graph) view.Provider {
+	if c.Views != nil {
+		return c.Views(nw, pg)
+	}
+	return view.NewOracle(nw, pg)
 }
 
 // workerCount resolves the Workers knob to a concrete pool size.

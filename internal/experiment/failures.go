@@ -117,7 +117,7 @@ func RunFailures(fc FailureConfig, protos []string) (*stats.Table, error) {
 // picks).
 func failureProtocol(b *bench, name string, lambda float64) routing.Protocol {
 	if name == ProtoPBM {
-		return routing.NewPBM(b.nw, b.pg, lambda)
+		return routing.NewPBM(lambda)
 	}
 	return b.protocol(name)
 }
@@ -151,7 +151,7 @@ func LambdaSweep(cfg Config, k int) (*stats.Table, error) {
 				totals:  make([]float64, len(tasks)),
 				perDest: make([]float64, len(tasks)),
 			}
-			p := routing.NewPBM(b.nw, b.pg, cfg.Lambdas[li])
+			p := routing.NewPBM(cfg.Lambdas[li])
 			for ti, task := range tasks {
 				m := b.en.RunTask(p, task.Source, task.Dests)
 				cell.totals[ti] = float64(m.TotalHops())

@@ -137,6 +137,7 @@ func runLifetimeStream(lc LifetimeConfig, bs *benches, proto string, batteryJ fl
 	nw := base
 	pg := d.pg
 	en := sim.NewEngine(nw, radio, lc.Base.MaxHops)
+	en.SetViews(lc.Base.views(nw, pg))
 	en.SetEnergyLedger(true)
 	var dead []int
 
@@ -153,7 +154,7 @@ func runLifetimeStream(lc LifetimeConfig, bs *benches, proto string, batteryJ fl
 		src, dests := pickAliveTask(taskR, alive, lc.K)
 		var p routing.Protocol
 		if proto == ProtoPBM {
-			p = routing.NewPBM(nw, pg, lc.PBMLambda)
+			p = routing.NewPBM(lc.PBMLambda)
 		} else {
 			b := &bench{nw: nw, pg: pg, en: en}
 			p = b.protocol(proto)
@@ -182,6 +183,7 @@ func runLifetimeStream(lc LifetimeConfig, bs *benches, proto string, batteryJ fl
 			nw = base.WithFailures(dead)
 			pg = planar.Planarize(nw, lc.Base.Planarizer)
 			en = sim.NewEngine(nw, radio, lc.Base.MaxHops)
+			en.SetViews(lc.Base.views(nw, pg))
 			en.SetEnergyLedger(true)
 		}
 	}

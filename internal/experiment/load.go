@@ -165,7 +165,7 @@ func RunLoad(lc LoadConfig, protos []string) (*stats.Table, error) {
 // stateful handlers).
 func loadProtocol(b *bench, proto string, lambda float64) routing.Protocol {
 	if proto == ProtoPBM {
-		return routing.NewPBM(b.nw, b.pg, lambda)
+		return routing.NewPBM(lambda)
 	}
 	return b.protocol(proto)
 }

@@ -85,6 +85,7 @@ func RunLocalization(lc LocalizationConfig, protos []string) (*LocalizationResul
 			noisy := d.nw.WithPositionNoise(lc.Sigmas[si], r)
 			pg := planar.Planarize(noisy, lc.Base.Planarizer)
 			en := sim.NewEngine(noisy, lc.Base.engineRadio(), lc.Base.MaxHops)
+			en.SetViews(lc.Base.views(noisy, pg))
 
 			tasks, err := workload.GenerateBatch(r, lc.Base.Nodes, lc.K, lc.Base.TasksPerNet)
 			if err != nil {
@@ -95,7 +96,7 @@ func RunLocalization(lc LocalizationConfig, protos []string) (*LocalizationResul
 				for pi, proto := range protos {
 					var p routing.Protocol
 					if proto == ProtoPBM {
-						p = routing.NewPBM(noisy, pg, lc.PBMLambda)
+						p = routing.NewPBM(lc.PBMLambda)
 					} else {
 						nb := &bench{nw: noisy, pg: pg, en: en}
 						p = nb.protocol(proto)

@@ -182,7 +182,7 @@ func RunLoss(lc LossConfig, protos []string) (*LossResults, error) {
 // leaking across tasks.
 func lossProtocol(b *bench, name string, lambda float64) routing.Protocol {
 	if name == ProtoPBM {
-		return routing.NewPBM(b.nw, b.pg, lambda)
+		return routing.NewPBM(lambda)
 	}
 	return b.protocol(name)
 }

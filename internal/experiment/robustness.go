@@ -79,6 +79,7 @@ func RunRobustness(rc RobustnessConfig, protos []string) (*stats.Table, error) {
 			degraded := d.nw.WithFailures(failed)
 			pg := planar.Planarize(degraded, rc.Base.Planarizer)
 			en := sim.NewEngine(degraded, rc.Base.engineRadio(), rc.Base.MaxHops)
+			en.SetViews(rc.Base.views(degraded, pg))
 
 			alive := degraded.AliveIDs()
 			cells := make([]robustCell, len(protos))
@@ -87,7 +88,7 @@ func RunRobustness(rc RobustnessConfig, protos []string) (*stats.Table, error) {
 				for pi, proto := range protos {
 					var p routing.Protocol
 					if proto == ProtoPBM {
-						p = routing.NewPBM(degraded, pg, rc.PBMLambda)
+						p = routing.NewPBM(rc.PBMLambda)
 					} else {
 						db := &bench{nw: degraded, pg: pg, en: en}
 						p = db.protocol(proto)

@@ -131,6 +131,7 @@ func buildBench(cfg Config, netIdx int) (*bench, error) {
 		return nil, err
 	}
 	en := sim.NewEngine(d.nw, cfg.engineRadio(), cfg.MaxHops)
+	en.SetViews(cfg.views(d.nw, d.pg))
 	if err := applyFaults(cfg, netIdx, en); err != nil {
 		return nil, fmt.Errorf("network %d: %w", netIdx, err)
 	}
@@ -172,7 +173,7 @@ func (b *bench) runTask(cfg Config, proto string, task workload.Task) taskMetric
 	case ProtoPBM:
 		best := taskMetrics{totalHops: -1}
 		for _, lambda := range cfg.Lambdas {
-			m := b.en.RunTask(routing.NewPBM(b.nw, b.pg, lambda), task.Source, task.Dests)
+			m := b.en.RunTask(routing.NewPBM(lambda), task.Source, task.Dests)
 			tm := toTaskMetrics(m)
 			// §5.1: keep the λ minimizing total hops; prefer non-failed
 			// runs over failed ones at equal hop counts.
@@ -186,27 +187,27 @@ func (b *bench) runTask(cfg Config, proto string, task workload.Task) taskMetric
 	}
 }
 
-// protocol instantiates the named protocol over this bench's network.
+// protocol instantiates the named protocol. Only the centralized SMT
+// baseline gets the bench's network; every distributed protocol routes from
+// per-node views alone.
 func (b *bench) protocol(name string) routing.Protocol {
 	switch name {
 	case ProtoGMP:
-		return routing.NewGMP(b.nw, b.pg)
+		return routing.NewGMP()
 	case ProtoGMPnr:
-		return routing.NewGMPnr(b.nw, b.pg)
+		return routing.NewGMPnr()
 	case ProtoGMPmst:
-		return routing.NewGMPWithOptions(b.nw, b.pg,
-			routing.GMPOptions{MSTGrouping: true}, ProtoGMPmst)
+		return routing.NewGMPWithOptions(routing.GMPOptions{MSTGrouping: true}, ProtoGMPmst)
 	case ProtoGMPsmst:
-		return routing.NewGMPWithOptions(b.nw, b.pg,
-			routing.GMPOptions{SteinerizedGrouping: true}, ProtoGMPsmst)
+		return routing.NewGMPWithOptions(routing.GMPOptions{SteinerizedGrouping: true}, ProtoGMPsmst)
 	case ProtoLGS:
-		return routing.NewLGS(b.nw)
+		return routing.NewLGS()
 	case ProtoLGK:
-		return routing.NewLGK(b.nw, 2)
+		return routing.NewLGK(2)
 	case ProtoSMT:
 		return routing.NewSMT(b.nw)
 	case ProtoGRD:
-		return routing.NewGRD(b.nw, b.pg)
+		return routing.NewGRD()
 	default:
 		// Validate rejects unknown names before any run starts.
 		panic("experiment: unvalidated protocol " + name)

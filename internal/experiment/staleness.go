@@ -151,13 +151,14 @@ func runStalenessNetwork(sc StalenessConfig, protos []string, netIdx int) ([][]s
 			for _, d := range task.Dests {
 				overrides[d] = initPts[d]
 			}
-			view := nw.WithReportedPositions(overrides)
-			en := sim.NewEngine(view, radio, sc.Base.MaxHops)
+			overlay := nw.WithReportedPositions(overrides)
+			en := sim.NewEngine(overlay, radio, sc.Base.MaxHops)
+			en.SetViews(sc.Base.views(overlay, pg))
 			for pi, proto := range protos {
 				var p routing.Protocol
-				vb := &bench{nw: view, pg: pg, en: en}
+				vb := &bench{nw: overlay, pg: pg, en: en}
 				if proto == ProtoPBM {
-					p = routing.NewPBM(view, pg, 0.3)
+					p = routing.NewPBM(0.3)
 				} else {
 					p = vb.protocol(proto)
 				}

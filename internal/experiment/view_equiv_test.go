@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gmp/internal/beacon"
+	"gmp/internal/geom"
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/view"
+)
+
+// TestFreshBeaconViewMatchesOracle is the locality-model regression gate: a
+// full Quick campaign routed from beacon-built neighbor tables — static
+// deployment, every beacon heard, zero staleness — must be byte-identical to
+// the same campaign under the ideal oracle view. Any divergence means a
+// protocol decision consumed knowledge the §2 model does not grant (or that
+// the live view's local planarization disagrees with the global one).
+func TestFreshBeaconViewMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Quick campaign twice")
+	}
+	protos := AllProtocols()
+
+	oracle, err := RunMain(Quick(), protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := Quick()
+	live.Views = func(nw *network.Network, pg *planar.Graph) view.Provider {
+		pts := make([]geom.Point, nw.Len())
+		for i := range pts {
+			pts[i] = nw.Pos(i)
+		}
+		bc := beacon.DefaultConfig()
+		// Sample the tables two beacon periods in: every node has beaconed,
+		// nothing has expired, and the static deployment makes every
+		// advertised position exact.
+		tables, terr := beacon.Tables(bc, nw.Len(), beacon.Static(pts), nw.Range(),
+			2*bc.PeriodSec, rand.New(rand.NewSource(42)))
+		if terr != nil {
+			panic(fmt.Sprintf("beacon tables: %v", terr))
+		}
+		return beacon.Views(pts, tables, nw.Range(), live.Planarizer)
+	}
+	got, err := RunMain(live, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(oracle, got) {
+		t.Fatal("beacon-view campaign diverged from the oracle view")
+	}
+	// Belt and braces: the rendered reports are byte-identical too.
+	pairs := [][2]string{
+		{oracle.TotalHops.Render(), got.TotalHops.Render()},
+		{oracle.PerDestHops.Render(), got.PerDestHops.Render()},
+		{oracle.Energy.Render(), got.Energy.Render()},
+		{oracle.FailureRate.Render(), got.FailureRate.Render()},
+	}
+	for i, p := range pairs {
+		if p[0] != p[1] {
+			t.Fatalf("table %d rendering differs:\n%s\nvs\n%s", i, p[0], p[1])
+		}
+	}
+}

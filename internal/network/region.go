@@ -1,0 +1,22 @@
+package network
+
+import "gmp/internal/geom"
+
+// NodesInDisk returns the IDs of the nodes inside the disk at center with
+// the given radius, sorted ascending. Geocast tasks use this as the
+// destination set handed to the engine for delivery accounting.
+func NodesInDisk(nw *Network, center geom.Point, radius float64) []int {
+	return NodesInRegion(nw, geom.Disk{C: center, R: radius})
+}
+
+// NodesInRegion returns the IDs of the nodes inside an arbitrary region,
+// sorted ascending.
+func NodesInRegion(nw *Network, region geom.Region) []int {
+	var out []int
+	for id := 0; id < nw.Len(); id++ {
+		if region.Contains(nw.Pos(id)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

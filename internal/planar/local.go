@@ -1,0 +1,126 @@
+package planar
+
+import (
+	"sort"
+
+	"gmp/internal/geom"
+)
+
+// LocalAdjacency computes one node's planar (GG/RNG) adjacency from purely
+// local data: its own position and its 1-hop neighbors with their positions.
+// Both rules' witnesses for an edge (u,v) lie within d(u,v) ≤ radio range of
+// u, so the neighbor table alone decides every edge — this is the per-node
+// computation a real node runs, and Planarize applies it to every node.
+//
+// The result is sorted counter-clockwise by bearing from upos (ties broken
+// by ID), the order the right-hand rule consumes.
+func LocalAdjacency(upos geom.Point, nbrs []int, pos func(int) geom.Point, kind Kind) []int {
+	var kept []int
+	for _, v := range nbrs {
+		vpos := pos(v)
+		witnessed := false
+		for _, w := range nbrs {
+			if w == v {
+				continue
+			}
+			wpos := pos(w)
+			switch kind {
+			case RelativeNeighborhood:
+				witnessed = geom.InLune(upos, vpos, wpos)
+			default:
+				witnessed = geom.InDisk(upos, vpos, wpos)
+			}
+			if witnessed {
+				break
+			}
+		}
+		if !witnessed {
+			kept = append(kept, v)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		bi := geom.Bearing(upos, pos(kept[i]))
+		bj := geom.Bearing(upos, pos(kept[j]))
+		if bi != bj {
+			return bi < bj
+		}
+		return kept[i] < kept[j]
+	})
+	return kept
+}
+
+// NextHopLocal advances the right-hand-rule traversal one step using only
+// node-local data: the current node's ID and substrate position, its planar
+// adjacency in CCW order with a position oracle covering those neighbors
+// (and st.Prev, which is always a planar neighbor of cur), and optionally
+// the precomputed bearings to each planar neighbor (parallel to nbrs; pass
+// nil to compute them on the fly).
+//
+// This is the traversal core behind NextHop; see NextHop for the rule.
+func NextHopLocal(cur int, pos geom.Point, nbrs []int, nbrPos func(int) geom.Point, bearings []float64, st State) (next int, out State, ok bool) {
+	if len(nbrs) == 0 {
+		return -1, st, false
+	}
+
+	var ref float64
+	if st.Prev == -1 {
+		ref = geom.Bearing(pos, st.Target)
+	} else {
+		ref = geom.Bearing(pos, nbrPos(st.Prev))
+	}
+
+	// Order neighbors counter-clockwise starting just after ref. The
+	// incoming edge itself sorts last (delta 0 → 2π) so a dead end bounces
+	// the packet back, as the right-hand rule requires.
+	type cand struct {
+		id    int
+		delta float64
+	}
+	cands := make([]cand, 0, len(nbrs))
+	for i, n := range nbrs {
+		var b float64
+		if bearings != nil {
+			b = bearings[i]
+		} else {
+			b = geom.Bearing(pos, nbrPos(n))
+		}
+		d := geom.CCWDelta(ref, b)
+		if n == st.Prev || d < 1e-12 {
+			d = 2 * 3.141592653589793
+		}
+		cands = append(cands, cand{n, d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].delta != cands[j].delta {
+			return cands[i].delta < cands[j].delta
+		}
+		return cands[i].id < cands[j].id
+	})
+
+	// Face-change sweep.
+	idx := 0
+	for sweep := 0; sweep < len(cands); sweep++ {
+		n := cands[idx].id
+		edge := geom.Seg(pos, nbrPos(n))
+		lfd := geom.Seg(st.FaceEntry, st.Target)
+		if edge.ProperlyIntersects(lfd) {
+			if cross, okc := edge.CrossingPoint(lfd); okc &&
+				cross.Dist(st.Target) < st.FaceEntry.Dist(st.Target)-geom.Eps {
+				st.FaceEntry = cross
+				idx = (idx + 1) % len(cands)
+				continue
+			}
+		}
+		break
+	}
+	chosen := cands[idx].id
+	st.Prev = cur
+	return chosen, st, true
+}
+
+// EnterAt returns the initial perimeter state for a packet entering
+// perimeter mode at substrate position pos aiming at target — the
+// local-data form of Enter.
+func EnterAt(pos geom.Point, target geom.Point) State {
+	return State{Target: target, Entry: pos, FaceEntry: pos, Prev: -1}
+}

@@ -9,7 +9,6 @@ package planar
 
 import (
 	"fmt"
-	"sort"
 
 	"gmp/internal/geom"
 	"gmp/internal/network"
@@ -56,39 +55,7 @@ type Graph struct {
 func Planarize(nw *network.Network, kind Kind) *Graph {
 	g := &Graph{nw: nw, adj: make([][]int, nw.Len())}
 	for u := 0; u < nw.Len(); u++ {
-		upos := nw.Pos(u)
-		var kept []int
-		for _, v := range nw.Neighbors(u) {
-			vpos := nw.Pos(v)
-			witnessed := false
-			for _, w := range nw.Neighbors(u) {
-				if w == v {
-					continue
-				}
-				wpos := nw.Pos(w)
-				switch kind {
-				case RelativeNeighborhood:
-					witnessed = geom.InLune(upos, vpos, wpos)
-				default:
-					witnessed = geom.InDisk(upos, vpos, wpos)
-				}
-				if witnessed {
-					break
-				}
-			}
-			if !witnessed {
-				kept = append(kept, v)
-			}
-		}
-		sort.Slice(kept, func(i, j int) bool {
-			bi := geom.Bearing(upos, nw.Pos(kept[i]))
-			bj := geom.Bearing(upos, nw.Pos(kept[j]))
-			if bi != bj {
-				return bi < bj
-			}
-			return kept[i] < kept[j]
-		})
-		g.adj[u] = kept
+		g.adj[u] = LocalAdjacency(nw.Pos(u), nw.Neighbors(u), nw.Pos, kind)
 	}
 	return g
 }
@@ -135,8 +102,7 @@ type State struct {
 // Enter returns the initial perimeter state for a packet entering perimeter
 // mode at node cur aiming at target.
 func Enter(g *Graph, cur int, target geom.Point) State {
-	pos := g.nw.Pos(cur)
-	return State{Target: target, Entry: pos, FaceEntry: pos, Prev: -1}
+	return EnterAt(g.nw.Pos(cur), target)
 }
 
 // NextHop advances the right-hand-rule traversal one step from cur. It
@@ -150,60 +116,7 @@ func Enter(g *Graph, cur int, target geom.Point) State {
 // adjacent face: FaceEntry moves to the crossing and the sweep continues
 // with the next CCW edge.
 func NextHop(g *Graph, cur int, st State) (next int, out State, ok bool) {
-	nbrs := g.adj[cur]
-	if len(nbrs) == 0 {
-		return -1, st, false
-	}
-	pos := g.nw.Pos(cur)
-
-	var ref float64
-	if st.Prev == -1 {
-		ref = geom.Bearing(pos, st.Target)
-	} else {
-		ref = geom.Bearing(pos, g.nw.Pos(st.Prev))
-	}
-
-	// Order neighbors counter-clockwise starting just after ref. The
-	// incoming edge itself sorts last (delta 0 → 2π) so a dead end bounces
-	// the packet back, as the right-hand rule requires.
-	type cand struct {
-		id    int
-		delta float64
-	}
-	cands := make([]cand, 0, len(nbrs))
-	for _, n := range nbrs {
-		d := geom.CCWDelta(ref, geom.Bearing(pos, g.nw.Pos(n)))
-		if n == st.Prev || d < 1e-12 {
-			d = 2 * 3.141592653589793
-		}
-		cands = append(cands, cand{n, d})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].delta != cands[j].delta {
-			return cands[i].delta < cands[j].delta
-		}
-		return cands[i].id < cands[j].id
-	})
-
-	// Face-change sweep.
-	idx := 0
-	for sweep := 0; sweep < len(cands); sweep++ {
-		n := cands[idx].id
-		edge := geom.Seg(pos, g.nw.Pos(n))
-		lfd := geom.Seg(st.FaceEntry, st.Target)
-		if edge.ProperlyIntersects(lfd) {
-			if cross, okc := edge.CrossingPoint(lfd); okc &&
-				cross.Dist(st.Target) < st.FaceEntry.Dist(st.Target)-geom.Eps {
-				st.FaceEntry = cross
-				idx = (idx + 1) % len(cands)
-				continue
-			}
-		}
-		break
-	}
-	chosen := cands[idx].id
-	st.Prev = cur
-	return chosen, st, true
+	return NextHopLocal(cur, g.nw.Pos(cur), g.adj[cur], g.nw.Pos, nil, st)
 }
 
 // Route runs a full perimeter traversal from start until either reaching a

@@ -4,9 +4,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"gmp/internal/geom"
 	"gmp/internal/network"
 	"gmp/internal/planar"
 	"gmp/internal/sim"
+	"gmp/internal/view"
 	"gmp/internal/workload"
 )
 
@@ -20,6 +22,7 @@ func benchBed(b *testing.B) (*network.Network, *planar.Graph, *sim.Engine, []wor
 	}
 	pg := planar.Planarize(nw, planar.Gabriel)
 	en := sim.NewEngine(nw, sim.DefaultRadioParams(), 100)
+	en.SetViews(view.NewOracle(nw, pg))
 	tasks, err := workload.GenerateBatch(r, nw.Len(), 12, 64)
 	if err != nil {
 		b.Fatal(err)
@@ -41,32 +44,32 @@ func benchmarkProtocol(b *testing.B, build func(*network.Network, *planar.Graph)
 }
 
 func BenchmarkTaskGMP(b *testing.B) {
-	benchmarkProtocol(b, func(nw *network.Network, pg *planar.Graph) Protocol {
-		return NewGMP(nw, pg)
+	benchmarkProtocol(b, func(*network.Network, *planar.Graph) Protocol {
+		return NewGMP()
 	})
 }
 
 func BenchmarkTaskGMPnr(b *testing.B) {
-	benchmarkProtocol(b, func(nw *network.Network, pg *planar.Graph) Protocol {
-		return NewGMPnr(nw, pg)
+	benchmarkProtocol(b, func(*network.Network, *planar.Graph) Protocol {
+		return NewGMPnr()
 	})
 }
 
 func BenchmarkTaskLGS(b *testing.B) {
-	benchmarkProtocol(b, func(nw *network.Network, _ *planar.Graph) Protocol {
-		return NewLGS(nw)
+	benchmarkProtocol(b, func(*network.Network, *planar.Graph) Protocol {
+		return NewLGS()
 	})
 }
 
 func BenchmarkTaskPBM(b *testing.B) {
-	benchmarkProtocol(b, func(nw *network.Network, pg *planar.Graph) Protocol {
-		return NewPBM(nw, pg, 0.3)
+	benchmarkProtocol(b, func(*network.Network, *planar.Graph) Protocol {
+		return NewPBM(0.3)
 	})
 }
 
 func BenchmarkTaskGRD(b *testing.B) {
-	benchmarkProtocol(b, func(nw *network.Network, pg *planar.Graph) Protocol {
-		return NewGRD(nw, pg)
+	benchmarkProtocol(b, func(*network.Network, *planar.Graph) Protocol {
+		return NewGRD()
 	})
 }
 
@@ -74,4 +77,33 @@ func BenchmarkTaskSMT(b *testing.B) {
 	benchmarkProtocol(b, func(nw *network.Network, _ *planar.Graph) Protocol {
 		return NewSMT(nw)
 	})
+}
+
+// BenchmarkSingleGMPDecision measures one bare GMP decision core — group
+// split plus next-hop selection for 12 destinations — invoked directly on a
+// NodeView with no engine around it. Steady-state allocations exercise the
+// per-node scratch caches (DistMemo); compare against the PR 2 SingleGMPHop
+// baseline in BENCH_PR2.json.
+func BenchmarkSingleGMPDecision(b *testing.B) {
+	b.ReportAllocs()
+	r := rand.New(rand.NewSource(1))
+	nw, err := network.New(network.DeployUniform(1000, 1000, 1000, r), 1000, 1000, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pg := planar.Planarize(nw, planar.Gabriel)
+	v := view.NewOracle(nw, pg).At(0)
+	gmp := NewGMP()
+	dests := []int{100, 250, 400, 550, 700, 850, 950, 50, 300, 600, 750, 900}
+	locs := make([]geom.Point, len(dests))
+	for i, d := range dests {
+		locs[i] = nw.Pos(d)
+	}
+	pkt := &sim.Packet{Dests: dests, Locs: locs, Anchor: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fwds := gmp.Start(v, pkt); len(fwds) == 0 {
+			b.Fatal("no forwards")
+		}
+	}
 }

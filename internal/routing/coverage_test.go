@@ -6,6 +6,7 @@ import (
 
 	"gmp/internal/geom"
 	"gmp/internal/network"
+	"gmp/internal/view"
 )
 
 // trapBed builds the C-shaped greedy trap used to force perimeter mode.
@@ -23,7 +24,7 @@ func trapBed(t *testing.T, seed int64) (*testBed, int, int) {
 
 func TestPBMEscapesTrapViaPerimeter(t *testing.T) {
 	bed, src, dst := trapBed(t, 241)
-	pbm := NewPBM(bed.nw, bed.pg, 0.3)
+	pbm := NewPBM(0.3)
 	m := bed.en.RunTask(pbm, src, []int{dst})
 	if m.Failed() {
 		t.Fatalf("PBM failed to escape the trap: %+v", m)
@@ -39,7 +40,7 @@ func TestPBMPerimeterWithMixedDestinations(t *testing.T) {
 	if near == src {
 		near = bed.nw.ClosestNode(geom.Pt(460, 460))
 	}
-	pbm := NewPBM(bed.nw, bed.pg, 0.2)
+	pbm := NewPBM(0.2)
 	m := bed.en.RunTask(pbm, src, []int{near, far})
 	if m.Failed() {
 		t.Fatalf("PBM mixed task failed: delivered %v of %d", m.Delivered, m.DestCount)
@@ -48,7 +49,7 @@ func TestPBMPerimeterWithMixedDestinations(t *testing.T) {
 
 func TestGRDEscapesTrapViaPerimeter(t *testing.T) {
 	bed, src, dst := trapBed(t, 257)
-	grd := NewGRD(bed.nw, bed.pg)
+	grd := NewGRD()
 	m := bed.en.RunTask(grd, src, []int{dst})
 	if m.Failed() {
 		t.Fatalf("GRD failed to escape the trap: %+v", m)
@@ -56,15 +57,13 @@ func TestGRDEscapesTrapViaPerimeter(t *testing.T) {
 }
 
 func TestGeocastName(t *testing.T) {
-	bed, _, _ := trapBed(t, 263)
-	if got := NewGeocast(bed.nw, bed.pg, geom.Pt(0, 0), 10).Name(); got != "GEO" {
+	if got := NewGeocast(geom.Pt(0, 0), 10).Name(); got != "GEO" {
 		t.Fatalf("Name = %q", got)
 	}
 }
 
 func TestPBMLambdaAccessor(t *testing.T) {
-	bed, _, _ := trapBed(t, 269)
-	if got := NewPBM(bed.nw, bed.pg, 0.4).Lambda(); got != 0.4 {
+	if got := NewPBM(0.4).Lambda(); got != 0.4 {
 		t.Fatalf("Lambda = %v", got)
 	}
 }
@@ -76,10 +75,15 @@ func TestPBMGreedySubsetLargeCandidateSet(t *testing.T) {
 	bed := denseBed(t, 271, 1000)
 	r := rand.New(rand.NewSource(53))
 	src, dests := pickTask(r, bed.nw.Len(), 24)
-	pbm := NewPBM(bed.nw, bed.pg, 0.3)
+	pbm := NewPBM(0.3)
 	// Verify the construction actually exceeds the exact-enumeration cap
 	// at the source (otherwise the test silently loses its purpose).
-	if cands := pbm.candidates(src, dests); len(cands) <= pbmExactLimit {
+	v := view.NewOracle(bed.nw, bed.pg).At(src)
+	loc := make(map[int]geom.Point, len(dests))
+	for _, d := range dests {
+		loc[d] = bed.nw.Pos(d)
+	}
+	if cands := pbm.candidates(v, loc, dests); len(cands) <= pbmExactLimit {
 		t.Skipf("only %d candidates; need > %d", len(cands), pbmExactLimit)
 	}
 	m := bed.en.RunTask(pbm, src, dests)
@@ -94,7 +98,7 @@ func TestPBMGreedySubsetLargeCandidateSet(t *testing.T) {
 func TestLGKVoidMidRelay(t *testing.T) {
 	// LGK, like LGS, gives up when a relay finds no closer neighbor.
 	bed, src, dst := trapBed(t, 277)
-	lgk := NewLGK(bed.nw, 2)
+	lgk := NewLGK(2)
 	m := bed.en.RunTask(lgk, src, []int{dst})
 	if !m.Failed() {
 		t.Fatal("LGK should fail inside the trap")
@@ -111,7 +115,7 @@ func TestGMPPartialPerimeterRecovery(t *testing.T) {
 	bed, src, _ := trapBed(t, 281)
 	d1 := bed.nw.ClosestNode(geom.Pt(940, 620))
 	d2 := bed.nw.ClosestNode(geom.Pt(940, 380))
-	gmp := NewGMP(bed.nw, bed.pg)
+	gmp := NewGMP()
 	m := bed.en.RunTask(gmp, src, []int{d1, d2})
 	if m.Failed() {
 		t.Fatalf("partial recovery task failed: %v of %d", m.Delivered, m.DestCount)

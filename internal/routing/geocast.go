@@ -2,30 +2,32 @@ package routing
 
 import (
 	"gmp/internal/geom"
-	"gmp/internal/network"
-	"gmp/internal/planar"
 	"gmp/internal/sim"
+	"gmp/internal/view"
 )
 
-// Geocast delivers a message to every node inside a geographic disk — the
+// Geocast delivers a message to every node inside a geographic region — the
 // group-communication sibling the paper's introduction contrasts multicast
 // against (refs [15, 2, 28]). It is built on the same substrates as GMP:
 // the packet first travels greedily (with perimeter recovery) toward the
-// region's center; once inside the region it floods region-restricted
+// region's anchor point; once inside the region it floods region-restricted
 // copies.
 //
 // Geocast tasks are expressed through the usual engine interface by passing
 // the IDs of the nodes inside the region as the destination set (the
-// GeocastDests helper computes them); the protocol itself never uses that
-// list for routing — delivery accounting comes from the engine observing
-// packet arrivals, so the region flood stands on its own.
+// network package's NodesInRegion helper computes them); the protocol itself
+// never uses that list for routing — delivery accounting comes from the
+// engine observing packet arrivals, so the region flood stands on its own.
+// Membership tests are purely geometric: a node checks its own position and
+// its neighbors' advertised positions against the region carried in the
+// protocol configuration.
 type Geocast struct {
-	nw     *network.Network
-	pg     *planar.Graph
 	region geom.Region
 	// flooded models each region node's duplicate-suppression cache: a
 	// node rebroadcasts a flood packet at most once per task, exactly as
-	// classical region flooding does. Reset at Start.
+	// classical region flooding does. Reset at Start. This per-task state
+	// is the documented purity exception for Geocast (it stands in for the
+	// per-node caches real flooding uses).
 	flooded map[int]bool
 }
 
@@ -33,126 +35,99 @@ var _ Protocol = (*Geocast)(nil)
 
 // NewGeocast returns a geocast protocol targeting the disk at center with
 // the given radius.
-func NewGeocast(nw *network.Network, pg *planar.Graph, center geom.Point, radius float64) *Geocast {
-	return NewGeocastRegion(nw, pg, geom.Disk{C: center, R: radius})
+func NewGeocast(center geom.Point, radius float64) *Geocast {
+	return NewGeocastRegion(geom.Disk{C: center, R: radius})
 }
 
 // NewGeocastRegion returns a geocast protocol targeting an arbitrary region
 // (disk, rectangle, polygon — anything implementing geom.Region).
-func NewGeocastRegion(nw *network.Network, pg *planar.Graph, region geom.Region) *Geocast {
-	return &Geocast{nw: nw, pg: pg, region: region}
+func NewGeocastRegion(region geom.Region) *Geocast {
+	return &Geocast{region: region}
 }
 
 // Name implements Protocol.
 func (g *Geocast) Name() string { return "GEO" }
 
-// GeocastDests returns the IDs of the nodes inside the target region of a
-// geocast — the destination set to hand to the engine for delivery
-// accounting.
-func GeocastDests(nw *network.Network, center geom.Point, radius float64) []int {
-	return GeocastRegionDests(nw, geom.Disk{C: center, R: radius})
-}
-
-// GeocastRegionDests returns the IDs of the nodes inside an arbitrary
-// region, sorted ascending.
-func GeocastRegionDests(nw *network.Network, region geom.Region) []int {
-	var out []int
-	for id := 0; id < nw.Len(); id++ {
-		if region.Contains(nw.Pos(id)) {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// inRegion reports whether node lies inside the geocast disk.
-func (g *Geocast) inRegion(node int) bool {
-	return g.region.Contains(g.nw.Pos(node))
-}
+// inPt reports whether a position lies inside the geocast region.
+func (g *Geocast) inPt(p geom.Point) bool { return g.region.Contains(p) }
 
 // Start implements sim.Handler.
-func (g *Geocast) Start(e *sim.Engine, src int, dests []int) {
+func (g *Geocast) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	g.flooded = make(map[int]bool)
-	pkt := e.NewPacket(dests)
-	pkt.Anchor = -1
-	if g.inRegion(src) {
-		g.flood(e, src, pkt, -1)
-		return
+	if g.inPt(v.Pos()) {
+		return g.flood(v, pkt, -1)
 	}
-	g.approach(e, src, pkt)
+	return g.approach(v, pkt)
 }
 
-// Receive implements sim.Handler.
-func (g *Geocast) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
-	if g.inRegion(node) {
+// Decide implements sim.Handler.
+func (g *Geocast) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	if g.inPt(v.Pos()) {
 		// Anchor carries the ID of the previous hop during the flood so a
 		// node does not echo straight back; duplicate suppression beyond
 		// that comes from the flood's hop-limited scope plus the engine's
-		// first-delivery-wins accounting.
+		// first-delivery-wins accounting. The previous hop is by definition
+		// in radio range, so its advertised position is in the view.
 		prev := pkt.Anchor
-		if !pkt.Perimeter && prev != -1 && !g.inRegion(prev) {
+		if !pkt.Perimeter && prev != -1 && !g.inPt(v.NbrPos(prev)) {
 			prev = -1
 		}
-		g.flood(e, node, pkt, prev)
-		return
+		return g.flood(v, pkt, prev)
 	}
 	if pkt.Perimeter {
-		if g.nw.Pos(node).Dist(g.region.Anchor()) < pkt.Peri.Entry.Dist(g.region.Anchor())-geom.Eps {
-			pkt.Perimeter = false
-			g.approach(e, node, pkt)
-			return
+		anchor := g.region.Anchor()
+		if v.Pos().Dist(anchor) < pkt.Peri.Entry.Dist(anchor)-geom.Eps {
+			return g.approach(v, pkt)
 		}
-		next, nst, ok := planar.NextHop(g.pg, node, pkt.Peri)
+		next, nst, ok := view.PerimeterNextHop(v, pkt.Peri)
 		if !ok {
-			e.Drop(pkt)
-			return
+			return dropOnly(pkt)
 		}
 		copyPkt := pkt.Clone()
 		copyPkt.Peri = nst
-		e.Send(node, next, copyPkt)
-		return
+		return []sim.Forward{{To: next, Pkt: copyPkt}}
 	}
-	g.approach(e, node, pkt)
+	return g.approach(v, pkt)
 }
 
-// approach takes one greedy step toward the region center, entering
+// approach takes one greedy step toward the region anchor, entering
 // perimeter mode at local minima.
-func (g *Geocast) approach(e *sim.Engine, node int, pkt *sim.Packet) {
-	if next := greedyNextHop(g.nw, node, g.region.Anchor()); next != -1 {
+func (g *Geocast) approach(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	if next := greedyNextHop(v, g.region.Anchor()); next != -1 {
 		copyPkt := pkt.Clone()
 		copyPkt.Perimeter = false
-		copyPkt.Anchor = node
-		e.Send(node, next, copyPkt)
-		return
+		copyPkt.Anchor = v.Self()
+		return []sim.Forward{{To: next, Pkt: copyPkt}}
 	}
-	st := planar.Enter(g.pg, node, g.region.Anchor())
-	next, nst, ok := planar.NextHop(g.pg, node, st)
+	st := view.PerimeterEnter(v, g.region.Anchor())
+	next, nst, ok := view.PerimeterNextHop(v, st)
 	if !ok {
-		e.Drop(pkt)
-		return
+		return dropOnly(pkt)
 	}
 	copyPkt := pkt.Clone()
 	copyPkt.Perimeter = true
 	copyPkt.Peri = nst
-	e.Send(node, next, copyPkt)
+	return []sim.Forward{{To: next, Pkt: copyPkt}}
 }
 
-// flood forwards region-restricted copies to every in-region neighbor
-// except the one the packet came from. Each node rebroadcasts at most once
-// per task (the flooded cache), so the flood costs at most one transmission
-// burst per region node and always terminates.
-func (g *Geocast) flood(e *sim.Engine, node int, pkt *sim.Packet, prev int) {
-	if g.flooded[node] {
-		return
+// flood emits region-restricted copies to every in-region neighbor except
+// the one the packet came from. Each node rebroadcasts at most once per task
+// (the flooded cache), so the flood costs at most one transmission burst per
+// region node and always terminates.
+func (g *Geocast) flood(v view.NodeView, pkt *sim.Packet, prev int) []sim.Forward {
+	if g.flooded[v.Self()] {
+		return nil
 	}
-	g.flooded[node] = true
-	for _, n := range g.nw.Neighbors(node) {
-		if n == prev || !g.inRegion(n) {
+	g.flooded[v.Self()] = true
+	var fwds []sim.Forward
+	for _, n := range v.Neighbors() {
+		if n == prev || !g.inPt(v.NbrPos(n)) {
 			continue
 		}
 		copyPkt := pkt.Clone()
 		copyPkt.Perimeter = false
-		copyPkt.Anchor = node
-		e.Send(node, n, copyPkt)
+		copyPkt.Anchor = v.Self()
+		fwds = append(fwds, sim.Forward{To: n, Pkt: copyPkt})
 	}
+	return fwds
 }

@@ -12,12 +12,12 @@ func TestGeocastDeliversWholeRegion(t *testing.T) {
 	bed := denseBed(t, 211, 800)
 	center := geom.Pt(750, 750)
 	const radius = 120.0
-	dests := GeocastDests(bed.nw, center, radius)
+	dests := network.NodesInDisk(bed.nw, center, radius)
 	if len(dests) < 5 {
 		t.Skip("region unexpectedly empty")
 	}
 	src := bed.nw.ClosestNode(geom.Pt(150, 150)) // far outside the region
-	geo := NewGeocast(bed.nw, bed.pg, center, radius)
+	geo := NewGeocast(center, radius)
 	m := bed.en.RunTask(geo, src, dests)
 	if m.InvalidSends != 0 {
 		t.Fatalf("invalid sends: %d", m.InvalidSends)
@@ -32,9 +32,9 @@ func TestGeocastSourceInsideRegion(t *testing.T) {
 	bed := denseBed(t, 223, 800)
 	center := geom.Pt(500, 500)
 	const radius = 150.0
-	dests := GeocastDests(bed.nw, center, radius)
+	dests := network.NodesInDisk(bed.nw, center, radius)
 	src := bed.nw.ClosestNode(center)
-	geo := NewGeocast(bed.nw, bed.pg, center, radius)
+	geo := NewGeocast(center, radius)
 	m := bed.en.RunTask(geo, src, dests)
 	if m.Failed() {
 		t.Fatalf("in-region geocast failed: %d/%d", len(m.Delivered), m.DestCount)
@@ -52,12 +52,12 @@ func TestGeocastFloodBounded(t *testing.T) {
 	// tasks: equal costs on identical tasks.
 	bed := denseBed(t, 227, 700)
 	center := geom.Pt(300, 700)
-	dests := GeocastDests(bed.nw, center, 100)
+	dests := network.NodesInDisk(bed.nw, center, 100)
 	if len(dests) == 0 {
 		t.Skip("empty region")
 	}
 	src := bed.nw.ClosestNode(geom.Pt(800, 200))
-	geo := NewGeocast(bed.nw, bed.pg, center, 100)
+	geo := NewGeocast(center, 100)
 	a := bed.en.RunTask(geo, src, dests)
 	b := bed.en.RunTask(geo, src, dests)
 	if a.Transmissions != b.Transmissions {
@@ -73,12 +73,12 @@ func TestGeocastAroundVoid(t *testing.T) {
 	nodes := network.DeployUniformExclude(900, 1000, 1000, trap, r)
 	bed := newBed(t, nodes, 1000, 1000, 150, 200)
 	center := geom.Pt(930, 500) // behind the eastern wall from the pocket
-	dests := GeocastDests(bed.nw, center, 60)
+	dests := network.NodesInDisk(bed.nw, center, 60)
 	if len(dests) == 0 {
 		t.Skip("empty region")
 	}
 	src := bed.nw.ClosestNode(geom.Pt(500, 500)) // inside the pocket
-	geo := NewGeocast(bed.nw, bed.pg, center, 60)
+	geo := NewGeocast(center, 60)
 	m := bed.en.RunTask(geo, src, dests)
 	if m.Failed() {
 		t.Fatalf("geocast failed around the trap: %d/%d delivered",
@@ -92,12 +92,12 @@ func TestGeocastPolygonRegion(t *testing.T) {
 	tri := geom.Polygon{Vertices: []geom.Point{
 		geom.Pt(650, 650), geom.Pt(950, 650), geom.Pt(800, 950),
 	}}
-	dests := GeocastRegionDests(bed.nw, tri)
+	dests := network.NodesInRegion(bed.nw, tri)
 	if len(dests) < 3 {
 		t.Skip("triangle unexpectedly empty")
 	}
 	src := bed.nw.ClosestNode(geom.Pt(100, 100))
-	geo := NewGeocastRegion(bed.nw, bed.pg, tri)
+	geo := NewGeocastRegion(tri)
 	m := bed.en.RunTask(geo, src, dests)
 	if m.Failed() {
 		t.Fatalf("polygon geocast missed %d of %d", m.DestCount-len(m.Delivered), m.DestCount)
@@ -113,12 +113,12 @@ func TestGeocastPolygonRegion(t *testing.T) {
 func TestGeocastRectRegion(t *testing.T) {
 	bed := denseBed(t, 239, 700)
 	rect := geom.NewRect(geom.Pt(400, 400), geom.Pt(600, 600))
-	dests := GeocastRegionDests(bed.nw, rect)
+	dests := network.NodesInRegion(bed.nw, rect)
 	if len(dests) == 0 {
 		t.Skip("empty rect")
 	}
 	src := bed.nw.ClosestNode(geom.Pt(50, 950))
-	geo := NewGeocastRegion(bed.nw, bed.pg, rect)
+	geo := NewGeocastRegion(rect)
 	m := bed.en.RunTask(geo, src, dests)
 	if m.Failed() {
 		t.Fatalf("rect geocast failed: %d/%d", len(m.Delivered), m.DestCount)
@@ -133,7 +133,7 @@ func TestGeocastDestsHelper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := GeocastDests(nw, geom.Pt(105, 100), 20)
+	got := network.NodesInDisk(nw, geom.Pt(105, 100), 20)
 	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
 		t.Fatalf("GeocastDests = %v", got)
 	}

@@ -2,10 +2,10 @@ package routing
 
 import (
 	"gmp/internal/geom"
-	"gmp/internal/network"
 	"gmp/internal/planar"
 	"gmp/internal/sim"
 	"gmp/internal/steiner"
+	"gmp/internal/view"
 )
 
 // GMPOptions tunes the GMP protocol variants.
@@ -35,42 +35,46 @@ type GMPOptions struct {
 // pivot under a strict total-distance progress constraint, splits groups
 // around voids, and falls back to perimeter routing on the planarized graph
 // for destinations no grouping can serve.
+//
+// Everything GMP needs is local: the tree is built over the header's
+// destination locations, next hops come from the view's neighbor table, and
+// perimeter mode walks the view's locally planarized adjacency.
 type GMP struct {
-	nw   *network.Network
-	pg   *planar.Graph
 	opts GMPOptions
 	name string
 	// suspect holds neighbors that hop-by-hop ARQ reported unreachable
 	// (crashed or behind a hopeless link); next-hop selection avoids them.
-	// Populated only under ARQ via the Nack callback.
+	// Populated only under ARQ via the Nack callback — the one piece of
+	// instance state, and the documented purity exception: decisions are
+	// pure in (view, packet, suspect set).
 	suspect map[int]bool
 }
 
 var _ Protocol = (*GMP)(nil)
 
 // NewGMP returns the full radio-range-aware protocol.
-func NewGMP(nw *network.Network, pg *planar.Graph) *GMP {
-	return &GMP{nw: nw, pg: pg, opts: GMPOptions{RadioAware: true}, name: "GMP"}
+func NewGMP() *GMP {
+	return &GMP{opts: GMPOptions{RadioAware: true}, name: "GMP"}
 }
 
 // NewGMPnr returns the ablation variant with radio-range awareness disabled
 // (the paper's GMPnr series).
-func NewGMPnr(nw *network.Network, pg *planar.Graph) *GMP {
-	return &GMP{nw: nw, pg: pg, name: "GMPnr"}
+func NewGMPnr() *GMP {
+	return &GMP{name: "GMPnr"}
 }
 
 // NewGMPWithOptions returns a GMP variant with explicit options, used by the
 // ablation benchmarks.
-func NewGMPWithOptions(nw *network.Network, pg *planar.Graph, opts GMPOptions, name string) *GMP {
-	return &GMP{nw: nw, pg: pg, opts: opts, name: name}
+func NewGMPWithOptions(opts GMPOptions, name string) *GMP {
+	return &GMP{opts: opts, name: name}
 }
 
 // Name implements Protocol.
 func (g *GMP) Name() string { return g.name }
 
-func (g *GMP) steinerOpts() steiner.Options {
+func (g *GMP) steinerOpts(v view.NodeView) steiner.Options {
 	return steiner.Options{
-		RadioRange:      g.nw.Range(),
+		RadioRange:      v.Range(),
 		RadioAware:      g.opts.RadioAware,
 		OneInRangeProse: g.opts.OneInRangeProse,
 	}
@@ -78,60 +82,62 @@ func (g *GMP) steinerOpts() steiner.Options {
 
 // Start implements sim.Handler: the source runs the same procedure as every
 // forwarding node.
-func (g *GMP) Start(e *sim.Engine, src int, dests []int) {
-	g.process(e, src, e.NewPacket(dests))
+func (g *GMP) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	return g.process(v, pkt)
 }
 
 // Nack implements sim.NackHandler: when ARQ gives up on a next hop, mark it
 // suspect and re-run the full grouping from the stranded node — the paper's
 // own group-split/perimeter machinery then re-selects among the remaining
-// neighbors or recovers around the dead node as around a void.
-func (g *GMP) Nack(e *sim.Engine, from, to int, pkt *sim.Packet) {
+// neighbors or recovers around the dead node as around a void. A perimeter
+// copy restarts recovery as a fresh greedy round: the face traversal cannot
+// route around a dead planar edge, but re-grouping can (and residual voids
+// re-enter perimeter mode from here anyway).
+func (g *GMP) Nack(v view.NodeView, to int, pkt *sim.Packet) []sim.Forward {
 	if g.suspect == nil {
 		g.suspect = make(map[int]bool)
 	}
 	g.suspect[to] = true
-	// A perimeter copy restarts recovery as a fresh greedy round: the face
-	// traversal cannot route around a dead planar edge, but re-grouping can
-	// (and residual voids re-enter perimeter mode from here anyway).
-	pkt.Perimeter = false
-	g.process(e, from, pkt)
+	return g.process(v, pkt)
 }
 
-// Receive implements sim.Handler.
-func (g *GMP) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+// Decide implements sim.Handler.
+func (g *GMP) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	if pkt.Perimeter {
-		g.recoverPerimeter(e, node, pkt)
-		return
+		return g.recoverPerimeter(v, pkt)
 	}
-	g.process(e, node, pkt)
+	return g.process(v, pkt)
 }
 
 // process is Figure 7: group, forward, and push residual voids into
 // perimeter mode.
-func (g *GMP) process(e *sim.Engine, node int, pkt *sim.Packet) {
-	voids := g.forwardGroups(e, node, pkt)
+func (g *GMP) process(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	fwds, voids := g.forwardGroups(v, pkt)
 	if len(voids) == 0 {
-		return
+		return fwds
 	}
-	g.enterPerimeter(e, node, pkt, voids)
+	return append(fwds, g.enterPerimeter(v, pkt, voids)...)
 }
 
-// forwardGroups builds the rrSTR tree, walks its pivots, forwards one packet
+// forwardGroups builds the rrSTR tree, walks its pivots, emits one packet
 // copy per group that has a valid next hop, and splits groups per §4.1 when
 // none exists. It returns the destinations that remain void after maximal
 // splitting (each is a single non-virtual destination by then).
-func (g *GMP) forwardGroups(e *sim.Engine, node int, pkt *sim.Packet) (voids []int) {
+func (g *GMP) forwardGroups(v view.NodeView, pkt *sim.Packet) (fwds []sim.Forward, voids []int) {
 	var tree *steiner.Tree
 	switch {
 	case g.opts.SteinerizedGrouping:
-		tree = steiner.SteinerizedMST(g.nw.Pos(node), destsOf(g.nw, pkt.Dests))
+		tree = steiner.SteinerizedMST(v.Pos(), headerDests(pkt))
 	case g.opts.MSTGrouping:
-		tree = steiner.EuclideanMST(g.nw.Pos(node), destsOf(g.nw, pkt.Dests))
+		tree = steiner.EuclideanMST(v.Pos(), headerDests(pkt))
 	default:
-		tree = steiner.Build(g.nw.Pos(node), destsOf(g.nw, pkt.Dests), g.steinerOpts())
+		tree = steiner.Build(v.Pos(), headerDests(pkt), g.steinerOpts(v))
 	}
 	worklist := tree.Pivots()
+
+	// The split loop evaluates heavily overlapping groups; the view's memo
+	// computes each (point, destination) distance at most once per decision.
+	v.Scratch().Memo.Begin(v.Degree()+1, pkt.Dests, pkt.Locs)
 
 	// Groups whose chosen next hop coincides are batched into a single
 	// transmission: the receiver re-partitions the union anyway, so two
@@ -144,7 +150,7 @@ func (g *GMP) forwardGroups(e *sim.Engine, node int, pkt *sim.Packet) (voids []i
 		worklist = worklist[1:]
 		for {
 			group := g.groupLabels(tree, p)
-			next := groupNextHopSkip(g.nw, node, tree.Vertex(p).Pos, group, g.suspect)
+			next := groupNextHopSkip(v, tree.Vertex(p).Pos, group, g.suspect)
 			if next != -1 {
 				if _, seen := batches[next]; !seen {
 					order = append(order, next)
@@ -175,12 +181,11 @@ func (g *GMP) forwardGroups(e *sim.Engine, node int, pkt *sim.Packet) (voids []i
 		}
 	}
 	for _, next := range order {
-		copyPkt := pkt.Clone()
-		copyPkt.Dests = sortedCopy(batches[next])
+		copyPkt := pkt.CloneFor(sortedCopy(batches[next]))
 		copyPkt.Perimeter = false
-		e.Send(node, next, copyPkt)
+		fwds = append(fwds, sim.Forward{To: next, Pkt: copyPkt})
 	}
-	return sortedCopy(voids)
+	return fwds, sortedCopy(voids)
 }
 
 // groupLabels returns the sorted node IDs of the non-virtual destinations in
@@ -195,27 +200,29 @@ func (g *GMP) groupLabels(tree *steiner.Tree, p int) []int {
 }
 
 // enterPerimeter starts perimeter mode (§4.1): all void destinations travel
-// in a single copy aimed at their average location over the planarized
-// graph.
-func (g *GMP) enterPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []int) {
-	avg := geom.Centroid(positionsOf(g.nw, voids))
-	st := planar.Enter(g.pg, node, avg)
-	g.stepPerimeter(e, node, pkt, voids, st)
+// in a single copy aimed at their average location over the local planar
+// adjacency.
+func (g *GMP) enterPerimeter(v view.NodeView, pkt *sim.Packet, voids []int) []sim.Forward {
+	locs := make([]geom.Point, len(voids))
+	for i, d := range voids {
+		locs[i] = pkt.LocOf(d)
+	}
+	avg := geom.Centroid(locs)
+	st := view.PerimeterEnter(v, avg)
+	return g.stepPerimeter(v, pkt, voids, st)
 }
 
-// stepPerimeter advances the face traversal one hop and forwards the
-// perimeter copy.
-func (g *GMP) stepPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []int, st planar.State) {
-	next, nst, ok := planar.NextHop(g.pg, node, st)
+// stepPerimeter advances the face traversal one hop and emits the perimeter
+// copy.
+func (g *GMP) stepPerimeter(v view.NodeView, pkt *sim.Packet, voids []int, st planar.State) []sim.Forward {
+	next, nst, ok := view.PerimeterNextHop(v, st)
 	if !ok {
-		e.Drop(pkt)
-		return
+		return dropOnly(pkt)
 	}
-	copyPkt := pkt.Clone()
-	copyPkt.Dests = voids
+	copyPkt := pkt.CloneFor(voids)
 	copyPkt.Perimeter = true
 	copyPkt.Peri = nst
-	e.Send(node, next, copyPkt)
+	return []sim.Forward{{To: next, Pkt: copyPkt}}
 }
 
 // recoverPerimeter handles a perimeter-mode packet (§4.1 steps 4–7): first
@@ -229,21 +236,21 @@ func (g *GMP) stepPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []in
 // paper's §4.1 refers to ("similar to the one used by PBM [21]"). Without
 // it, the literal step-4 re-run lets a packet ping-pong forever between a
 // void node and the neighbor that first absorbed it.
-func (g *GMP) recoverPerimeter(e *sim.Engine, node int, pkt *sim.Packet) {
-	if g.nw.Pos(node).Dist(pkt.Peri.Target) >= pkt.Peri.Entry.Dist(pkt.Peri.Target)-geom.Eps {
-		g.stepPerimeter(e, node, pkt, pkt.Dests, pkt.Peri)
-		return
+func (g *GMP) recoverPerimeter(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	if v.Pos().Dist(pkt.Peri.Target) >= pkt.Peri.Entry.Dist(pkt.Peri.Target)-geom.Eps {
+		return g.stepPerimeter(v, pkt, pkt.Dests, pkt.Peri)
 	}
-	voids := g.forwardGroups(e, node, pkt)
+	fwds, voids := g.forwardGroups(v, pkt)
 	switch {
 	case len(voids) == 0:
 		// Fully recovered.
+		return fwds
 	case len(voids) == len(pkt.Dests):
 		// No progress: keep traversing with the same average destination
 		// and face state.
-		g.stepPerimeter(e, node, pkt, voids, pkt.Peri)
+		return append(fwds, g.stepPerimeter(v, pkt, voids, pkt.Peri)...)
 	default:
 		// Partial recovery: fresh perimeter round for the remainder.
-		g.enterPerimeter(e, node, pkt, voids)
+		return append(fwds, g.enterPerimeter(v, pkt, voids)...)
 	}
 }

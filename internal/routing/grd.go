@@ -2,9 +2,8 @@ package routing
 
 import (
 	"gmp/internal/geom"
-	"gmp/internal/network"
-	"gmp/internal/planar"
 	"gmp/internal/sim"
+	"gmp/internal/view"
 )
 
 // GRD routes an independent packet to every destination with greedy
@@ -13,86 +12,77 @@ import (
 // bound for Figure 12 and the upper extreme for total hops (no sharing at
 // all).
 type GRD struct {
-	nw *network.Network
-	pg *planar.Graph
 	// suspect holds neighbors reported unreachable by ARQ's Nack callback;
-	// greedy forwarding avoids them.
+	// greedy forwarding avoids them. The documented purity exception:
+	// decisions are pure in (view, packet, suspect set).
 	suspect map[int]bool
 }
 
 var _ Protocol = (*GRD)(nil)
 
 // NewGRD returns the multiple-unicast baseline.
-func NewGRD(nw *network.Network, pg *planar.Graph) *GRD {
-	return &GRD{nw: nw, pg: pg}
-}
+func NewGRD() *GRD { return &GRD{} }
 
 // Name implements Protocol.
 func (g *GRD) Name() string { return "GRD" }
 
 // Start implements sim.Handler: one independent packet per destination.
-func (g *GRD) Start(e *sim.Engine, src int, dests []int) {
-	for _, d := range dests {
-		g.forward(e, src, e.NewPacket([]int{d}))
+func (g *GRD) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	fwds := make([]sim.Forward, 0, len(pkt.Dests))
+	for _, d := range pkt.Dests {
+		fwds = append(fwds, g.forward(v, pkt.CloneFor([]int{d}))...)
 	}
+	return fwds
 }
 
 // Nack implements sim.NackHandler: mark the failed next hop suspect and
 // retry greedy forwarding (falling back to perimeter mode) from here.
-func (g *GRD) Nack(e *sim.Engine, from, to int, pkt *sim.Packet) {
+func (g *GRD) Nack(v view.NodeView, to int, pkt *sim.Packet) []sim.Forward {
 	if g.suspect == nil {
 		g.suspect = make(map[int]bool)
 	}
 	g.suspect[to] = true
-	pkt.Perimeter = false
-	g.forward(e, from, pkt)
+	return g.forward(v, pkt)
 }
 
-// Receive implements sim.Handler.
-func (g *GRD) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+// Decide implements sim.Handler.
+func (g *GRD) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	if len(pkt.Dests) != 1 {
-		e.Drop(pkt) // GRD packets always carry exactly one destination
-		return
+		return dropOnly(pkt) // GRD packets always carry exactly one destination
 	}
 	if pkt.Perimeter {
-		target := g.nw.Pos(pkt.Dests[0])
+		target := pkt.Locs[0]
 		// GPSR exit rule: resume greedy once strictly closer to the target
 		// than the perimeter entry point.
-		if g.nw.Pos(node).Dist(target) < pkt.Peri.Entry.Dist(target)-geom.Eps {
-			pkt.Perimeter = false
-			g.forward(e, node, pkt)
-			return
+		if v.Pos().Dist(target) < pkt.Peri.Entry.Dist(target)-geom.Eps {
+			return g.forward(v, pkt)
 		}
-		next, nst, ok := planar.NextHop(g.pg, node, pkt.Peri)
+		next, nst, ok := view.PerimeterNextHop(v, pkt.Peri)
 		if !ok {
-			e.Drop(pkt)
-			return
+			return dropOnly(pkt)
 		}
 		copyPkt := pkt.Clone()
 		copyPkt.Peri = nst
-		e.Send(node, next, copyPkt)
-		return
+		return []sim.Forward{{To: next, Pkt: copyPkt}}
 	}
-	g.forward(e, node, pkt)
+	return g.forward(v, pkt)
 }
 
 // forward takes one greedy step, entering perimeter mode at local minima.
-func (g *GRD) forward(e *sim.Engine, node int, pkt *sim.Packet) {
-	target := g.nw.Pos(pkt.Dests[0])
-	if next := greedyNextHopSkip(g.nw, node, target, g.suspect); next != -1 {
+func (g *GRD) forward(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	target := pkt.Locs[0]
+	if next := greedyNextHopSkip(v, target, g.suspect); next != -1 {
 		copyPkt := pkt.Clone()
 		copyPkt.Perimeter = false
-		e.Send(node, next, copyPkt)
-		return
+		return []sim.Forward{{To: next, Pkt: copyPkt}}
 	}
-	st := planar.Enter(g.pg, node, target)
-	next, nst, ok := planar.NextHop(g.pg, node, st)
+	st := view.PerimeterEnter(v, target)
+	next, nst, ok := view.PerimeterNextHop(v, st)
 	if !ok {
-		e.Drop(pkt)
-		return
+		return dropOnly(pkt)
 	}
 	copyPkt := pkt.Clone()
 	copyPkt.Perimeter = true
 	copyPkt.Peri = nst
-	e.Send(node, next, copyPkt)
+	return []sim.Forward{{To: next, Pkt: copyPkt}}
 }

@@ -5,9 +5,9 @@ import (
 	"math"
 	"sort"
 
-	"gmp/internal/network"
 	"gmp/internal/sim"
 	"gmp/internal/steiner"
+	"gmp/internal/view"
 )
 
 // LGS is the location-guided Steiner-tree baseline of Chen & Nahrstedt [5]:
@@ -22,61 +22,58 @@ import (
 // at intermediate nodes"). LGS has no void recovery: it drops the packet
 // when no neighbor is closer to the current root (§5.4: "it fails when a
 // void destination is identified").
-type LGS struct {
-	nw *network.Network
-}
+type LGS struct{}
 
 var _ Protocol = (*LGS)(nil)
 
-// NewLGS returns the LGS baseline over nw.
-func NewLGS(nw *network.Network) *LGS { return &LGS{nw: nw} }
+// NewLGS returns the LGS baseline.
+func NewLGS() *LGS { return &LGS{} }
 
 // Name implements Protocol.
 func (l *LGS) Name() string { return "LGS" }
 
 // Start implements sim.Handler.
-func (l *LGS) Start(e *sim.Engine, src int, dests []int) {
-	pkt := e.NewPacket(dests)
-	pkt.Anchor = -1
-	l.partition(e, src, pkt)
+func (l *LGS) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	return l.partition(v, pkt)
 }
 
-// Receive implements sim.Handler. The engine has already stripped this node
+// Decide implements sim.Handler. The engine has already stripped this node
 // from the destination list, so a packet anchored at this node has reached
 // its subtree root and is due for re-partitioning.
-func (l *LGS) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
-	if pkt.Anchor == node {
-		l.partition(e, node, pkt)
-		return
+func (l *LGS) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	if pkt.Anchor == v.Self() {
+		return l.partition(v, pkt)
 	}
-	l.relay(e, node, pkt)
+	return l.relay(v, pkt)
 }
 
 // partition rebuilds the MST at a subtree root and launches one copy per
 // child group.
-func (l *LGS) partition(e *sim.Engine, node int, pkt *sim.Packet) {
-	tree := steiner.EuclideanMST(l.nw.Pos(node), destsOf(l.nw, pkt.Dests))
+func (l *LGS) partition(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	tree := steiner.EuclideanMST(v.Pos(), headerDests(pkt))
+	var fwds []sim.Forward
 	for _, p := range tree.Pivots() {
 		group := make([]int, 0, len(pkt.Dests))
 		for _, id := range tree.SubtreeTerminals(p, 0) {
 			group = append(group, tree.Vertex(id).Label)
 		}
 		sort.Ints(group)
-		copyPkt := pkt.Clone()
-		copyPkt.Dests = group
+		copyPkt := pkt.CloneFor(group)
 		copyPkt.Anchor = tree.Vertex(p).Label
-		l.relay(e, node, copyPkt)
+		fwds = append(fwds, l.relay(v, copyPkt)...)
 	}
+	return fwds
 }
 
-// relay takes one greedy step toward the packet's anchor root.
-func (l *LGS) relay(e *sim.Engine, node int, pkt *sim.Packet) {
-	next := greedyNextHop(l.nw, node, l.nw.Pos(pkt.Anchor))
+// relay takes one greedy step toward the packet's anchor root (whose
+// location is in the header — the anchor is always one of the copy's own
+// destinations).
+func (l *LGS) relay(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	next := greedyNextHop(v, pkt.LocOf(pkt.Anchor))
 	if next == -1 {
-		e.Drop(pkt) // void: LGS gives up on this group
-		return
+		return dropOnly(pkt) // void: LGS gives up on this group
 	}
-	e.Send(node, next, pkt)
+	return []sim.Forward{{To: next, Pkt: pkt}}
 }
 
 // LGK is the location-guided k-ary tree variant of [5], included for
@@ -84,45 +81,42 @@ func (l *LGS) relay(e *sim.Engine, node int, pkt *sim.Packet) {
 // subtree roots and assigns every remaining destination to the closest
 // root. Like LGS, only roots re-partition.
 type LGK struct {
-	nw *network.Network
-	k  int
+	k int
 }
 
 var _ Protocol = (*LGK)(nil)
 
 // NewLGK returns an LGK instance with fan-out k (k ≥ 1; [5] evaluates k=2).
-func NewLGK(nw *network.Network, k int) *LGK {
+func NewLGK(k int) *LGK {
 	if k < 1 {
 		k = 1
 	}
-	return &LGK{nw: nw, k: k}
+	return &LGK{k: k}
 }
 
 // Name implements Protocol.
 func (l *LGK) Name() string { return fmt.Sprintf("LGK%d", l.k) }
 
 // Start implements sim.Handler.
-func (l *LGK) Start(e *sim.Engine, src int, dests []int) {
-	pkt := e.NewPacket(dests)
-	pkt.Anchor = -1
-	l.partition(e, src, pkt)
+func (l *LGK) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	return l.partition(v, pkt)
 }
 
-// Receive implements sim.Handler.
-func (l *LGK) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
-	if pkt.Anchor == node {
-		l.partition(e, node, pkt)
-		return
+// Decide implements sim.Handler.
+func (l *LGK) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	if pkt.Anchor == v.Self() {
+		return l.partition(v, pkt)
 	}
-	l.relay(e, node, pkt)
+	return l.relay(v, pkt)
 }
 
-func (l *LGK) partition(e *sim.Engine, node int, pkt *sim.Packet) {
-	pos := l.nw.Pos(node)
+func (l *LGK) partition(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	pos := v.Pos()
+	loc := locIndex(pkt)
 	dests := sortedCopy(pkt.Dests)
 	// Roots: the k destinations nearest to the current node.
 	sort.SliceStable(dests, func(i, j int) bool {
-		return pos.Dist(l.nw.Pos(dests[i])) < pos.Dist(l.nw.Pos(dests[j]))
+		return pos.Dist(loc[dests[i]]) < pos.Dist(loc[dests[j]])
 	})
 	k := l.k
 	if k > len(dests) {
@@ -136,25 +130,25 @@ func (l *LGK) partition(e *sim.Engine, node int, pkt *sim.Packet) {
 	for _, d := range dests[k:] {
 		best, bestD := roots[0], math.Inf(1)
 		for _, r := range roots {
-			if dd := l.nw.Pos(d).Dist(l.nw.Pos(r)); dd < bestD {
+			if dd := loc[d].Dist(loc[r]); dd < bestD {
 				best, bestD = r, dd
 			}
 		}
 		groups[best] = append(groups[best], d)
 	}
+	var fwds []sim.Forward
 	for _, r := range roots {
-		copyPkt := pkt.Clone()
-		copyPkt.Dests = sortedCopy(groups[r])
+		copyPkt := pkt.CloneFor(sortedCopy(groups[r]))
 		copyPkt.Anchor = r
-		l.relay(e, node, copyPkt)
+		fwds = append(fwds, l.relay(v, copyPkt)...)
 	}
+	return fwds
 }
 
-func (l *LGK) relay(e *sim.Engine, node int, pkt *sim.Packet) {
-	next := greedyNextHop(l.nw, node, l.nw.Pos(pkt.Anchor))
+func (l *LGK) relay(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	next := greedyNextHop(v, pkt.LocOf(pkt.Anchor))
 	if next == -1 {
-		e.Drop(pkt)
-		return
+		return dropOnly(pkt)
 	}
-	e.Send(node, next, pkt)
+	return []sim.Forward{{To: next, Pkt: pkt}}
 }

@@ -6,9 +6,9 @@ import (
 	"sort"
 
 	"gmp/internal/geom"
-	"gmp/internal/network"
 	"gmp/internal/planar"
 	"gmp/internal/sim"
+	"gmp/internal/view"
 )
 
 // pbmExactLimit caps the candidate count for exhaustive subset enumeration;
@@ -32,16 +32,14 @@ const pbmExactLimit = 12
 // GMP, PBM always sends void destinations to perimeter mode immediately
 // (§4.1, Figure 10 discussion).
 type PBM struct {
-	nw     *network.Network
-	pg     *planar.Graph
 	lambda float64
 }
 
 var _ Protocol = (*PBM)(nil)
 
 // NewPBM returns a PBM instance with the given trade-off parameter λ.
-func NewPBM(nw *network.Network, pg *planar.Graph, lambda float64) *PBM {
-	return &PBM{nw: nw, pg: pg, lambda: lambda}
+func NewPBM(lambda float64) *PBM {
+	return &PBM{lambda: lambda}
 }
 
 // Name implements Protocol.
@@ -51,24 +49,23 @@ func (p *PBM) Name() string { return fmt.Sprintf("PBM(λ=%.1f)", p.lambda) }
 func (p *PBM) Lambda() float64 { return p.lambda }
 
 // Start implements sim.Handler.
-func (p *PBM) Start(e *sim.Engine, src int, dests []int) {
-	p.process(e, src, e.NewPacket(dests))
+func (p *PBM) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	return p.process(v, pkt)
 }
 
-// Receive implements sim.Handler.
-func (p *PBM) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+// Decide implements sim.Handler.
+func (p *PBM) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	if pkt.Perimeter {
-		p.recoverPerimeter(e, node, pkt)
-		return
+		return p.recoverPerimeter(v, pkt)
 	}
-	p.process(e, node, pkt)
+	return p.process(v, pkt)
 }
 
 // splitVoids partitions dests into those with at least one strictly closer
 // neighbor and those without (voids).
-func (p *PBM) splitVoids(node int, dests []int) (routable, voids []int) {
+func (p *PBM) splitVoids(v view.NodeView, loc map[int]geom.Point, dests []int) (routable, voids []int) {
 	for _, d := range dests {
-		if greedyNextHop(p.nw, node, p.nw.Pos(d)) == -1 {
+		if greedyNextHop(v, loc[d]) == -1 {
 			voids = append(voids, d)
 		} else {
 			routable = append(routable, d)
@@ -77,31 +74,33 @@ func (p *PBM) splitVoids(node int, dests []int) (routable, voids []int) {
 	return routable, voids
 }
 
-func (p *PBM) process(e *sim.Engine, node int, pkt *sim.Packet) {
-	routable, voids := p.splitVoids(node, pkt.Dests)
+func (p *PBM) process(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	loc := locIndex(pkt)
+	routable, voids := p.splitVoids(v, loc, pkt.Dests)
+	var fwds []sim.Forward
 	if len(routable) > 0 {
-		p.forwardSubset(e, node, pkt, routable)
+		fwds = p.forwardSubset(v, loc, pkt, routable)
 	}
 	if len(voids) > 0 {
-		p.enterPerimeter(e, node, pkt, voids)
+		fwds = append(fwds, p.enterPerimeter(v, loc, pkt, voids)...)
 	}
+	return fwds
 }
 
-// forwardSubset runs the subset optimization and sends one copy per chosen
+// forwardSubset runs the subset optimization and emits one copy per chosen
 // neighbor with its assigned destinations.
-func (p *PBM) forwardSubset(e *sim.Engine, node int, pkt *sim.Packet, dests []int) {
-	subset := p.chooseSubset(node, dests)
+func (p *PBM) forwardSubset(v view.NodeView, loc map[int]geom.Point, pkt *sim.Packet, dests []int) []sim.Forward {
+	subset := p.chooseSubset(v, loc, dests)
 	if len(subset) == 0 {
 		// Cannot happen for routable destinations, but fail safe.
-		e.Drop(pkt)
-		return
+		return dropOnly(pkt)
 	}
 	assign := make(map[int][]int, len(subset))
 	for _, d := range dests {
-		dp := p.nw.Pos(d)
+		dp := loc[d]
 		best, bestD := subset[0], math.Inf(1)
 		for _, n := range subset {
-			if dd := p.nw.Pos(n).Dist(dp); dd < bestD {
+			if dd := v.NbrPos(n).Dist(dp); dd < bestD {
 				best, bestD = n, dd
 			}
 		}
@@ -112,23 +111,24 @@ func (p *PBM) forwardSubset(e *sim.Engine, node int, pkt *sim.Packet, dests []in
 		members = append(members, n)
 	}
 	sort.Ints(members)
+	fwds := make([]sim.Forward, 0, len(members))
 	for _, n := range members {
-		copyPkt := pkt.Clone()
-		copyPkt.Dests = sortedCopy(assign[n])
+		copyPkt := pkt.CloneFor(sortedCopy(assign[n]))
 		copyPkt.Perimeter = false
-		e.Send(node, n, copyPkt)
+		fwds = append(fwds, sim.Forward{To: n, Pkt: copyPkt})
 	}
+	return fwds
 }
 
 // candidates returns the distinct per-destination closest neighbors: the
 // only neighbors that can lower the remaining-distance term of f.
-func (p *PBM) candidates(node int, dests []int) []int {
+func (p *PBM) candidates(v view.NodeView, loc map[int]geom.Point, dests []int) []int {
 	set := make(map[int]bool)
 	for _, d := range dests {
-		dp := p.nw.Pos(d)
+		dp := loc[d]
 		best, bestD := -1, math.Inf(1)
-		for _, n := range p.nw.Neighbors(node) {
-			if dd := p.nw.Pos(n).Dist(dp); dd < bestD {
+		for _, n := range v.Neighbors() {
+			if dd := v.NbrPos(n).Dist(dp); dd < bestD {
 				best, bestD = n, dd
 			}
 		}
@@ -145,23 +145,23 @@ func (p *PBM) candidates(node int, dests []int) []int {
 }
 
 // objective evaluates f(S) for the given subset.
-func (p *PBM) objective(node int, subset, dests []int) float64 {
-	m := p.nw.Degree(node)
+func (p *PBM) objective(v view.NodeView, loc map[int]geom.Point, subset, dests []int) float64 {
+	m := v.Degree()
 	if m == 0 || len(subset) == 0 {
 		return math.Inf(1)
 	}
 	var remaining float64
 	for _, d := range dests {
-		dp := p.nw.Pos(d)
+		dp := loc[d]
 		best := math.Inf(1)
 		for _, n := range subset {
-			if dd := p.nw.Pos(n).Dist(dp); dd < best {
+			if dd := v.NbrPos(n).Dist(dp); dd < best {
 				best = dd
 			}
 		}
 		remaining += best
 	}
-	curTotal := sumDistTo(p.nw, p.nw.Pos(node), dests)
+	curTotal := sumDistTo(v.Pos(), dests, loc)
 	if curTotal <= geom.Eps {
 		curTotal = geom.Eps
 	}
@@ -170,18 +170,18 @@ func (p *PBM) objective(node int, subset, dests []int) float64 {
 
 // chooseSubset minimizes f over subsets of the candidate neighbors:
 // exhaustively when the candidate set is small, greedily otherwise.
-func (p *PBM) chooseSubset(node int, dests []int) []int {
-	cands := p.candidates(node, dests)
+func (p *PBM) chooseSubset(v view.NodeView, loc map[int]geom.Point, dests []int) []int {
+	cands := p.candidates(v, loc, dests)
 	if len(cands) == 0 {
 		return nil
 	}
 	if len(cands) <= pbmExactLimit {
-		return p.exhaustiveSubset(node, cands, dests)
+		return p.exhaustiveSubset(v, loc, cands, dests)
 	}
-	return p.greedySubset(node, cands, dests)
+	return p.greedySubset(v, loc, cands, dests)
 }
 
-func (p *PBM) exhaustiveSubset(node int, cands, dests []int) []int {
+func (p *PBM) exhaustiveSubset(v view.NodeView, loc map[int]geom.Point, cands, dests []int) []int {
 	bestF := math.Inf(1)
 	var best []int
 	buf := make([]int, 0, len(cands))
@@ -192,7 +192,7 @@ func (p *PBM) exhaustiveSubset(node int, cands, dests []int) []int {
 				buf = append(buf, c)
 			}
 		}
-		if f := p.objective(node, buf, dests); f < bestF {
+		if f := p.objective(v, loc, buf, dests); f < bestF {
 			bestF = f
 			best = append([]int(nil), buf...)
 		}
@@ -200,14 +200,14 @@ func (p *PBM) exhaustiveSubset(node int, cands, dests []int) []int {
 	return best
 }
 
-func (p *PBM) greedySubset(node int, cands, dests []int) []int {
+func (p *PBM) greedySubset(v view.NodeView, loc map[int]geom.Point, cands, dests []int) []int {
 	var subset []int
 	bestF := math.Inf(1)
 	remaining := append([]int(nil), cands...)
 	for len(remaining) > 0 {
 		pick, pickF := -1, bestF
 		for i, c := range remaining {
-			f := p.objective(node, append(subset, c), dests)
+			f := p.objective(v, loc, append(subset, c), dests)
 			if f < pickF {
 				pick, pickF = i, f
 			}
@@ -225,23 +225,25 @@ func (p *PBM) greedySubset(node int, cands, dests []int) []int {
 
 // enterPerimeter puts all void destinations into one perimeter-mode copy
 // aimed at their average location, as in [21].
-func (p *PBM) enterPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []int) {
-	avg := geom.Centroid(positionsOf(p.nw, voids))
-	st := planar.Enter(p.pg, node, avg)
-	p.stepPerimeter(e, node, pkt, voids, st)
+func (p *PBM) enterPerimeter(v view.NodeView, loc map[int]geom.Point, pkt *sim.Packet, voids []int) []sim.Forward {
+	locs := make([]geom.Point, len(voids))
+	for i, d := range voids {
+		locs[i] = loc[d]
+	}
+	avg := geom.Centroid(locs)
+	st := view.PerimeterEnter(v, avg)
+	return p.stepPerimeter(v, pkt, voids, st)
 }
 
-func (p *PBM) stepPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []int, st planar.State) {
-	next, nst, ok := planar.NextHop(p.pg, node, st)
+func (p *PBM) stepPerimeter(v view.NodeView, pkt *sim.Packet, voids []int, st planar.State) []sim.Forward {
+	next, nst, ok := view.PerimeterNextHop(v, st)
 	if !ok {
-		e.Drop(pkt)
-		return
+		return dropOnly(pkt)
 	}
-	copyPkt := pkt.Clone()
-	copyPkt.Dests = sortedCopy(voids)
+	copyPkt := pkt.CloneFor(sortedCopy(voids))
 	copyPkt.Perimeter = true
 	copyPkt.Peri = nst
-	e.Send(node, next, copyPkt)
+	return []sim.Forward{{To: next, Pkt: copyPkt}}
 }
 
 // recoverPerimeter resumes greedy forwarding for destinations that now have
@@ -249,20 +251,22 @@ func (p *PBM) stepPerimeter(e *sim.Engine, node int, pkt *sim.Packet, voids []in
 // is unchanged, fresh round otherwise). As in GMP, recovery waits for the
 // GPSR exit condition — strictly closer to the perimeter target than the
 // entry point — to prevent ping-pong loops.
-func (p *PBM) recoverPerimeter(e *sim.Engine, node int, pkt *sim.Packet) {
-	if p.nw.Pos(node).Dist(pkt.Peri.Target) >= pkt.Peri.Entry.Dist(pkt.Peri.Target)-geom.Eps {
-		p.stepPerimeter(e, node, pkt, pkt.Dests, pkt.Peri)
-		return
+func (p *PBM) recoverPerimeter(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	if v.Pos().Dist(pkt.Peri.Target) >= pkt.Peri.Entry.Dist(pkt.Peri.Target)-geom.Eps {
+		return p.stepPerimeter(v, pkt, pkt.Dests, pkt.Peri)
 	}
-	routable, voids := p.splitVoids(node, pkt.Dests)
+	loc := locIndex(pkt)
+	routable, voids := p.splitVoids(v, loc, pkt.Dests)
+	var fwds []sim.Forward
 	if len(routable) > 0 {
-		p.forwardSubset(e, node, pkt, routable)
+		fwds = p.forwardSubset(v, loc, pkt, routable)
 	}
 	switch {
 	case len(voids) == 0:
+		return fwds
 	case len(routable) == 0:
-		p.stepPerimeter(e, node, pkt, voids, pkt.Peri)
+		return append(fwds, p.stepPerimeter(v, pkt, voids, pkt.Peri)...)
 	default:
-		p.enterPerimeter(e, node, pkt, voids)
+		return append(fwds, p.enterPerimeter(v, loc, pkt, voids)...)
 	}
 }

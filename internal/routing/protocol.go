@@ -4,9 +4,13 @@
 // geographic unicast, the per-destination lower bound), and SMT (centralized
 // Kou–Markowsky–Berman source routing [16]).
 //
-// Every protocol is a sim.Handler: the simulation engine calls Start at the
-// task's source and Receive at each node a packet copy arrives at; the
-// protocol answers by calling Engine.Send for each forwarded copy.
+// Every protocol is a sim.Handler: each hop is a pure decision function from
+// a node-local view and a packet to a forward list, which the simulation
+// engine applies. Decisions see only what the paper's §2 model grants a real
+// node — its own position, its 1-hop neighbor table (view.NodeView), and the
+// destination locations carried in the packet header. The one sanctioned
+// exception is SMT, whose *source* is defined to know the whole network; its
+// per-hop decisions are still local.
 package routing
 
 import (
@@ -14,9 +18,9 @@ import (
 	"sort"
 
 	"gmp/internal/geom"
-	"gmp/internal/network"
 	"gmp/internal/sim"
 	"gmp/internal/steiner"
+	"gmp/internal/view"
 )
 
 // Protocol is a named routing protocol usable by the experiment harness.
@@ -26,54 +30,62 @@ type Protocol interface {
 	Name() string
 }
 
-// destsOf converts node IDs to the steiner package's destination records.
-func destsOf(nw *network.Network, ids []int) []steiner.Dest {
-	out := make([]steiner.Dest, len(ids))
-	for i, id := range ids {
-		out[i] = steiner.Dest{Pos: nw.Pos(id), Label: id}
+// headerDests converts the packet header into the steiner package's
+// destination records: the IDs with the locations the wire format carries.
+func headerDests(pkt *sim.Packet) []steiner.Dest {
+	out := make([]steiner.Dest, len(pkt.Dests))
+	for i, id := range pkt.Dests {
+		out[i] = steiner.Dest{Pos: pkt.Locs[i], Label: id}
 	}
 	return out
 }
 
-// positionsOf maps node IDs to their coordinates.
-func positionsOf(nw *network.Network, ids []int) []geom.Point {
-	out := make([]geom.Point, len(ids))
-	for i, id := range ids {
-		out[i] = nw.Pos(id)
+// locIndex builds a destination→header-location lookup for one decision.
+func locIndex(pkt *sim.Packet) map[int]geom.Point {
+	m := make(map[int]geom.Point, len(pkt.Dests))
+	for i, d := range pkt.Dests {
+		m[d] = pkt.Locs[i]
 	}
-	return out
+	return m
 }
 
-// sumDistTo returns Σ_{d∈dests} dist(p, pos(d)).
-func sumDistTo(nw *network.Network, p geom.Point, dests []int) float64 {
+// sumDistTo returns Σ_{d∈dests} dist(p, loc[d]), accumulated in dests order.
+func sumDistTo(p geom.Point, dests []int, loc map[int]geom.Point) float64 {
 	var total float64
 	for _, d := range dests {
-		total += p.Dist(nw.Pos(d))
+		total += p.Dist(loc[d])
 	}
 	return total
 }
 
 // groupNextHop implements GMP's next-hop selection (paper Figure 7 step 4):
-// among cur's neighbors, pick the one closest to the pivot location subject
-// to the loop-freedom constraint that its total distance to the group's
-// destinations is strictly below the current node's. Returns -1 when no
-// neighbor qualifies (a void for this group).
-func groupNextHop(nw *network.Network, cur int, pivot geom.Point, group []int) int {
-	return groupNextHopSkip(nw, cur, pivot, group, nil)
+// among the deciding node's neighbors, pick the one closest to the pivot
+// location subject to the loop-freedom constraint that its total distance to
+// the group's destinations is strictly below the current node's. Returns -1
+// when no neighbor qualifies (a void for this group).
+//
+// Callers must have primed the view's distance memo for the current packet
+// (Scratch().Memo.Begin) — the Σ-distance terms are memoized there because
+// GMP's split loop re-evaluates heavily overlapping groups.
+func groupNextHop(v view.NodeView, pivot geom.Point, group []int) int {
+	return groupNextHopSkip(v, pivot, group, nil)
 }
 
 // groupNextHopSkip is groupNextHop with an exclusion set: neighbors in skip
 // are never selected. ARQ's NACK callback feeds suspected-dead neighbors in
 // here so GMP's re-selection avoids the failed link.
-func groupNextHopSkip(nw *network.Network, cur int, pivot geom.Point, group []int, skip map[int]bool) int {
-	curTotal := sumDistTo(nw, nw.Pos(cur), group)
+func groupNextHopSkip(v view.NodeView, pivot geom.Point, group []int, skip map[int]bool) int {
+	s := v.Scratch()
+	s.ColBuf = s.Memo.Cols(group, s.ColBuf[:0])
+	cols := s.ColBuf
+	curTotal := s.Memo.SumRow(0, v.Pos(), cols)
 	best, bestD := -1, math.Inf(1)
-	for _, n := range nw.Neighbors(cur) {
+	for i, n := range v.Neighbors() {
 		if skip[n] {
 			continue
 		}
-		np := nw.Pos(n)
-		if sumDistTo(nw, np, group) >= curTotal {
+		np := v.NbrPos(n)
+		if s.Memo.SumRow(i+1, np, cols) >= curTotal {
 			continue
 		}
 		if d := np.Dist(pivot); d < bestD {
@@ -83,27 +95,33 @@ func groupNextHopSkip(nw *network.Network, cur int, pivot geom.Point, group []in
 	return best
 }
 
-// greedyNextHop returns the neighbor of cur closest to target, provided it
-// is strictly closer to target than cur itself; -1 otherwise. This is the
-// classical greedy geographic forwarding step used by GRD and LGS.
-func greedyNextHop(nw *network.Network, cur int, target geom.Point) int {
-	return greedyNextHopSkip(nw, cur, target, nil)
+// greedyNextHop returns the neighbor of the deciding node closest to target,
+// provided it is strictly closer to target than the node itself; -1
+// otherwise. This is the classical greedy geographic forwarding step used by
+// GRD and LGS.
+func greedyNextHop(v view.NodeView, target geom.Point) int {
+	return greedyNextHopSkip(v, target, nil)
 }
 
 // greedyNextHopSkip is greedyNextHop with an exclusion set for suspected-
 // dead neighbors.
-func greedyNextHopSkip(nw *network.Network, cur int, target geom.Point, skip map[int]bool) int {
-	curD := nw.Pos(cur).Dist(target)
+func greedyNextHopSkip(v view.NodeView, target geom.Point, skip map[int]bool) int {
+	curD := v.Pos().Dist(target)
 	best, bestD := -1, curD
-	for _, n := range nw.Neighbors(cur) {
+	for _, n := range v.Neighbors() {
 		if skip[n] {
 			continue
 		}
-		if d := nw.Pos(n).Dist(target); d < bestD {
+		if d := v.NbrPos(n).Dist(target); d < bestD {
 			best, bestD = n, d
 		}
 	}
 	return best
+}
+
+// dropOnly is the single-element forward list abandoning pkt.
+func dropOnly(pkt *sim.Packet) []sim.Forward {
+	return []sim.Forward{{To: sim.DropCopy, Pkt: pkt}}
 }
 
 // sortedCopy returns a sorted copy of ids (protocol output must not depend

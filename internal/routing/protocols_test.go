@@ -7,6 +7,7 @@ import (
 	"gmp/internal/geom"
 	"gmp/internal/network"
 	"gmp/internal/sim"
+	"gmp/internal/view"
 )
 
 // lineBed builds a chain of nodes 100 m apart.
@@ -21,7 +22,7 @@ func lineBed(t *testing.T, n int, maxHops int) *testBed {
 
 func TestGMPChainDelivery(t *testing.T) {
 	bed := lineBed(t, 8, 100)
-	gmp := NewGMP(bed.nw, bed.pg)
+	gmp := NewGMP()
 	m := bed.en.RunTask(gmp, 0, []int{4, 7})
 	if m.Failed() {
 		t.Fatalf("failed: %+v", m)
@@ -48,14 +49,14 @@ func TestGMPSplitsDivergingDestinations(t *testing.T) {
 		geom.Pt(480, 340), // 6 lower arm dest
 	}
 	bed := newBed(t, network.FromPoints(pts), 1000, 1000, 150, 100)
-	gmp := NewGMP(bed.nw, bed.pg)
+	gmp := NewGMP()
 	m := bed.en.RunTask(gmp, 0, []int{4, 6})
 	if m.Failed() {
 		t.Fatalf("failed: %+v", m)
 	}
 	// Shared stem then split: strictly fewer transmissions than two
 	// independent unicasts (3+3... unicast: 0-1-2-3-4 = 4 hops each ⇒ 8).
-	grd := NewGRD(bed.nw, bed.pg)
+	grd := NewGRD()
 	mu := bed.en.RunTask(grd, 0, []int{4, 6})
 	if m.Transmissions >= mu.Transmissions {
 		t.Fatalf("GMP %d transmissions, GRD %d — no sharing on the stem",
@@ -75,7 +76,7 @@ func TestGMPVoidRecoveryAroundHole(t *testing.T) {
 	src := bed.nw.ClosestNode(geom.Pt(320, 500))
 	d1 := bed.nw.ClosestNode(geom.Pt(690, 520))
 	d2 := bed.nw.ClosestNode(geom.Pt(690, 480))
-	gmp := NewGMP(bed.nw, bed.pg)
+	gmp := NewGMP()
 	m := bed.en.RunTask(gmp, src, []int{d1, d2})
 	if m.Failed() {
 		t.Fatalf("GMP failed around the void: %+v", m)
@@ -96,7 +97,7 @@ func TestGMPGroupsVoidWithOtherDestinations(t *testing.T) {
 		geom.Pt(90, 240),  // 4 = n1 (decoy neighbor, away from v)
 	}
 	bed := newBed(t, network.FromPoints(pts), 1000, 1000, 150, 50)
-	gmp := NewGMP(bed.nw, bed.pg)
+	gmp := NewGMP()
 	m := bed.en.RunTask(gmp, 0, []int{2, 3})
 	if m.Failed() {
 		t.Fatalf("failed: %+v", m)
@@ -128,7 +129,7 @@ func TestGMPEscapesConcaveTrapViaPerimeter(t *testing.T) {
 			perimeterHops++
 		}
 	})
-	gmp := NewGMP(bed.nw, bed.pg)
+	gmp := NewGMP()
 	m := bed.en.RunTask(gmp, src, []int{dst})
 	bed.en.SetTracer(nil)
 	if m.Failed() {
@@ -138,7 +139,7 @@ func TestGMPEscapesConcaveTrapViaPerimeter(t *testing.T) {
 		t.Fatal("expected perimeter-mode transmissions in the trap")
 	}
 
-	lgs := NewLGS(bed.nw)
+	lgs := NewLGS()
 	if m := bed.en.RunTask(lgs, src, []int{dst}); !m.Failed() {
 		t.Fatal("LGS should fail inside the trap")
 	}
@@ -149,8 +150,8 @@ func TestGMPnrUsesAtLeastAsManyHops(t *testing.T) {
 	// GMPnr must not beat GMP on total hops.
 	bed := denseBed(t, 137, 1000)
 	r := rand.New(rand.NewSource(19))
-	gmp := NewGMP(bed.nw, bed.pg)
-	nr := NewGMPnr(bed.nw, bed.pg)
+	gmp := NewGMP()
+	nr := NewGMPnr()
 	var a, b int
 	for trial := 0; trial < 10; trial++ {
 		src, dests := pickTask(r, bed.nw.Len(), 15)
@@ -167,8 +168,8 @@ func TestGMPMSTGroupingAblation(t *testing.T) {
 	// per-destination hops against total hops relative to rrSTR grouping.
 	bed := denseBed(t, 167, 1000)
 	r := rand.New(rand.NewSource(37))
-	rr := NewGMP(bed.nw, bed.pg)
-	mst := NewGMPWithOptions(bed.nw, bed.pg, GMPOptions{MSTGrouping: true}, "GMPmst")
+	rr := NewGMP()
+	mst := NewGMPWithOptions(GMPOptions{MSTGrouping: true}, "GMPmst")
 	var rrPD, mstPD float64
 	for trial := 0; trial < 10; trial++ {
 		src, dests := pickTask(r, bed.nw.Len(), 15)
@@ -190,7 +191,7 @@ func TestGMPMSTGroupingAblation(t *testing.T) {
 func TestGMPSteinerizedGroupingDelivers(t *testing.T) {
 	bed := denseBed(t, 173, 800)
 	r := rand.New(rand.NewSource(41))
-	p := NewGMPWithOptions(bed.nw, bed.pg, GMPOptions{SteinerizedGrouping: true}, "GMPsmst")
+	p := NewGMPWithOptions(GMPOptions{SteinerizedGrouping: true}, "GMPsmst")
 	for trial := 0; trial < 5; trial++ {
 		src, dests := pickTask(r, bed.nw.Len(), 10)
 		m := bed.en.RunTask(p, src, dests)
@@ -216,7 +217,7 @@ func TestLGSFailsOnVoid(t *testing.T) {
 		geom.Pt(650, 300), // 6 dest (out of range of 0: dist ~ 250)
 	}
 	bed := newBed(t, network.FromPoints(pts), 1000, 1000, 160, 100)
-	lgs := NewLGS(bed.nw)
+	lgs := NewLGS()
 	m := bed.en.RunTask(lgs, 0, []int{6})
 	if !m.Failed() {
 		t.Fatal("LGS should fail at the void")
@@ -224,7 +225,7 @@ func TestLGSFailsOnVoid(t *testing.T) {
 	if m.Drops == 0 {
 		t.Fatal("LGS should record the drop")
 	}
-	gmp := NewGMP(bed.nw, bed.pg)
+	gmp := NewGMP()
 	m = bed.en.RunTask(gmp, 0, []int{6})
 	if m.Failed() {
 		t.Fatalf("GMP should recover via perimeter: %+v", m)
@@ -236,8 +237,8 @@ func TestLGSSequentialChainBehaviour(t *testing.T) {
 	// sequentially, inflating per-destination hops relative to GMP.
 	bed := denseBed(t, 139, 1000)
 	r := rand.New(rand.NewSource(23))
-	lgs := NewLGS(bed.nw)
-	gmp := NewGMP(bed.nw, bed.pg)
+	lgs := NewLGS()
+	gmp := NewGMP()
 	var lgsPD, gmpPD float64
 	count := 0
 	for trial := 0; trial < 10; trial++ {
@@ -264,13 +265,13 @@ func TestLGKFanOutRespected(t *testing.T) {
 	r := rand.New(rand.NewSource(29))
 	src, dests := pickTask(r, bed.nw.Len(), 9)
 	for _, k := range []int{1, 2, 4} {
-		lgk := NewLGK(bed.nw, k)
+		lgk := NewLGK(k)
 		m := bed.en.RunTask(lgk, src, dests)
 		if m.InvalidSends != 0 {
 			t.Fatalf("LGK%d invalid sends", k)
 		}
 	}
-	if NewLGK(bed.nw, 0).k != 1 {
+	if NewLGK(0).k != 1 {
 		t.Fatal("k must clamp to 1")
 	}
 }
@@ -284,8 +285,8 @@ func TestPBMLambdaTradeoff(t *testing.T) {
 	// per-dest hops of λ=0.6 on average.
 	bed := denseBed(t, 151, 1000)
 	r := rand.New(rand.NewSource(31))
-	p0 := NewPBM(bed.nw, bed.pg, 0)
-	p6 := NewPBM(bed.nw, bed.pg, 0.6)
+	p0 := NewPBM(0)
+	p6 := NewPBM(0.6)
 	var pd0, pd6 float64
 	var tx0, tx6 int
 	for trial := 0; trial < 10; trial++ {
@@ -358,7 +359,7 @@ func TestGRDRecoversViaPerimeter(t *testing.T) {
 	}
 	src := bed.nw.ClosestNode(geom.Pt(320, 500))
 	dst := bed.nw.ClosestNode(geom.Pt(690, 500))
-	grd := NewGRD(bed.nw, bed.pg)
+	grd := NewGRD()
 	m := bed.en.RunTask(grd, src, []int{dst})
 	if m.Failed() {
 		t.Fatalf("GRD failed around the void: %+v", m)
@@ -367,21 +368,16 @@ func TestGRDRecoversViaPerimeter(t *testing.T) {
 
 func TestGRDMalformedPacketDropped(t *testing.T) {
 	bed := lineBed(t, 4, 100)
-	grd := NewGRD(bed.nw, bed.pg)
-	e := sim.NewEngine(bed.nw, sim.DefaultRadioParams(), 10)
-	// Direct call with a malformed multi-destination packet.
-	m := e.RunTask(handlerFunc{start: func(en *sim.Engine, src int, dests []int) {
-		grd.Receive(en, src, &sim.Packet{Dests: []int{1, 2}})
-	}}, 0, []int{1, 2})
-	if m.Drops != 1 {
-		t.Fatalf("Drops = %d, want 1", m.Drops)
+	grd := NewGRD()
+	// Direct decision call with a malformed multi-destination packet: GRD
+	// unicasts carry exactly one destination, so the copy must be dropped.
+	v := view.NewOracle(bed.nw, bed.pg).At(0)
+	pkt := &sim.Packet{
+		Dests: []int{1, 2},
+		Locs:  []geom.Point{bed.nw.Pos(1), bed.nw.Pos(2)},
+	}
+	fwds := grd.Decide(v, pkt)
+	if len(fwds) != 1 || fwds[0].To != sim.DropCopy {
+		t.Fatalf("malformed packet must yield one drop, got %+v", fwds)
 	}
 }
-
-// handlerFunc adapts a function to sim.Handler for malformed-input tests.
-type handlerFunc struct {
-	start func(*sim.Engine, int, []int)
-}
-
-func (h handlerFunc) Start(e *sim.Engine, src int, dests []int) { h.start(e, src, dests) }
-func (h handlerFunc) Receive(*sim.Engine, int, *sim.Packet)     {}

@@ -8,6 +8,7 @@ import (
 	"gmp/internal/network"
 	"gmp/internal/planar"
 	"gmp/internal/sim"
+	"gmp/internal/view"
 )
 
 // testBed bundles a network with its planar graph and an engine.
@@ -23,11 +24,10 @@ func newBed(t *testing.T, nodes []network.Node, w, h, rng float64, maxHops int) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &testBed{
-		nw: nw,
-		pg: planar.Planarize(nw, planar.Gabriel),
-		en: sim.NewEngine(nw, sim.DefaultRadioParams(), maxHops),
-	}
+	pg := planar.Planarize(nw, planar.Gabriel)
+	en := sim.NewEngine(nw, sim.DefaultRadioParams(), maxHops)
+	en.SetViews(view.NewOracle(nw, pg))
+	return &testBed{nw: nw, pg: pg, en: en}
 }
 
 // denseBed returns a connected 1000-node uniform deployment (Table 1 scale).
@@ -43,11 +43,10 @@ func denseBed(t *testing.T, seed int64, n int) *testBed {
 		if !nw.Connected() {
 			continue
 		}
-		return &testBed{
-			nw: nw,
-			pg: planar.Planarize(nw, planar.Gabriel),
-			en: sim.NewEngine(nw, sim.DefaultRadioParams(), 100),
-		}
+		pg := planar.Planarize(nw, planar.Gabriel)
+		en := sim.NewEngine(nw, sim.DefaultRadioParams(), 100)
+		en.SetViews(view.NewOracle(nw, pg))
+		return &testBed{nw: nw, pg: pg, en: en}
 	}
 	t.Fatal("could not generate a connected deployment")
 	return nil
@@ -69,12 +68,12 @@ func pickTask(r *rand.Rand, n, k int) (src int, dests []int) {
 
 func (b *testBed) protocols() []Protocol {
 	return []Protocol{
-		NewGMP(b.nw, b.pg),
-		NewGMPnr(b.nw, b.pg),
-		NewLGS(b.nw),
-		NewLGK(b.nw, 2),
-		NewPBM(b.nw, b.pg, 0.3),
-		NewGRD(b.nw, b.pg),
+		NewGMP(),
+		NewGMPnr(),
+		NewLGS(),
+		NewLGK(2),
+		NewPBM(0.3),
+		NewGRD(),
 		NewSMT(b.nw),
 	}
 }
@@ -125,8 +124,8 @@ func TestMulticastSharingBeatsUnicastTotalHops(t *testing.T) {
 	// tasks must undercut GRD's independent unicasts.
 	bed := denseBed(t, 107, 1000)
 	r := rand.New(rand.NewSource(11))
-	gmp := NewGMP(bed.nw, bed.pg)
-	grd := NewGRD(bed.nw, bed.pg)
+	gmp := NewGMP()
+	grd := NewGRD()
 	var gmpTotal, grdTotal int
 	for trial := 0; trial < 10; trial++ {
 		src, dests := pickTask(r, bed.nw.Len(), 12)
@@ -143,7 +142,7 @@ func TestGRDPerDestNearOptimal(t *testing.T) {
 	// (greedy geographic routing on dense networks is near-optimal).
 	bed := denseBed(t, 109, 1000)
 	r := rand.New(rand.NewSource(13))
-	grd := NewGRD(bed.nw, bed.pg)
+	grd := NewGRD()
 	for trial := 0; trial < 5; trial++ {
 		src, dests := pickTask(r, bed.nw.Len(), 6)
 		m := bed.en.RunTask(grd, src, dests)
@@ -192,6 +191,7 @@ func TestHopBudgetEnforcedForAll(t *testing.T) {
 	// fail rather than loop, for every protocol.
 	bed := denseBed(t, 127, 800)
 	short := sim.NewEngine(bed.nw, sim.DefaultRadioParams(), 3)
+	short.SetViews(view.NewOracle(bed.nw, bed.pg))
 	src := bed.nw.ClosestNode(geom.Pt(50, 50))
 	far := bed.nw.ClosestNode(geom.Pt(950, 950))
 	for _, p := range bed.protocols() {

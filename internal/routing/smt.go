@@ -6,6 +6,7 @@ import (
 	"gmp/internal/network"
 	"gmp/internal/sim"
 	"gmp/internal/steiner"
+	"gmp/internal/view"
 )
 
 // SMT is the paper's centralized baseline (§5): the source — assumed to know
@@ -14,13 +15,17 @@ import (
 // heuristic [16] and embeds the routing tree in the packet; every node
 // forwards copies to its children in that tree. The paper includes it for
 // comparison only, since global knowledge is impractical at scale.
+//
+// SMT is the one protocol allowed to hold a network reference: its *source*
+// is defined to be omniscient. Per-hop decisions (Decide) still use only the
+// packet's embedded route, never the network.
 type SMT struct {
 	nw *network.Network
 }
 
 var _ Protocol = (*SMT)(nil)
 
-// NewSMT returns the centralized source-routed baseline.
+// NewSMT returns the centralized source-routed baseline over nw.
 func NewSMT(nw *network.Network) *SMT { return &SMT{nw: nw} }
 
 // Name implements Protocol.
@@ -28,19 +33,20 @@ func (s *SMT) Name() string { return "SMT" }
 
 // Start implements sim.Handler: build the KMB tree, root it at the source,
 // embed the children map in the packet, and forward per-subtree copies.
-func (s *SMT) Start(e *sim.Engine, src int, dests []int) {
+func (s *SMT) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
+	src := v.Self()
 	// Destinations unreachable in the connectivity graph can never be
 	// served; compute the tree over the reachable ones so the rest of the
 	// task still completes.
 	hop := s.nw.HopDistances(src)
-	reachable := make([]int, 0, len(dests))
-	for _, d := range dests {
+	reachable := make([]int, 0, len(pkt.Dests))
+	for _, d := range pkt.Dests {
 		if hop[d] >= 0 {
 			reachable = append(reachable, d)
 		}
 	}
 	if len(reachable) == 0 {
-		return
+		return nil
 	}
 	terminals := append([]int{src}, reachable...)
 	// The paper's SMT computes a close-to-optimal Steiner tree over node
@@ -52,30 +58,29 @@ func (s *SMT) Start(e *sim.Engine, src int, dests []int) {
 	if err != nil {
 		// Cannot happen for reachable terminals; fail the task loudly by
 		// dropping rather than panicking.
-		e.Drop(e.NewPacket(reachable))
-		return
+		return dropOnly(pkt.CloneFor(reachable))
 	}
-	pkt := e.NewPacket(reachable)
-	pkt.Route = rootTree(edges, src)
-	s.forwardChildren(e, src, pkt)
+	copyPkt := pkt.CloneFor(reachable)
+	copyPkt.Route = rootTree(edges, src)
+	return s.forwardChildren(src, copyPkt)
 }
 
-// Receive implements sim.Handler.
-func (s *SMT) Receive(e *sim.Engine, node int, pkt *sim.Packet) {
+// Decide implements sim.Handler.
+func (s *SMT) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	if pkt.Route == nil {
-		e.Drop(pkt)
-		return
+		return dropOnly(pkt)
 	}
-	s.forwardChildren(e, node, pkt)
+	return s.forwardChildren(v.Self(), pkt)
 }
 
-// forwardChildren sends one copy per child whose subtree still contains
+// forwardChildren emits one copy per child whose subtree still contains
 // pending destinations.
-func (s *SMT) forwardChildren(e *sim.Engine, node int, pkt *sim.Packet) {
+func (s *SMT) forwardChildren(node int, pkt *sim.Packet) []sim.Forward {
 	pending := make(map[int]bool, len(pkt.Dests))
 	for _, d := range pkt.Dests {
 		pending[d] = true
 	}
+	var fwds []sim.Forward
 	for _, child := range pkt.Route[node] {
 		var sub []int
 		collectSubtree(pkt.Route, child, pending, &sub)
@@ -83,10 +88,9 @@ func (s *SMT) forwardChildren(e *sim.Engine, node int, pkt *sim.Packet) {
 			continue
 		}
 		sort.Ints(sub)
-		copyPkt := pkt.Clone()
-		copyPkt.Dests = sub
-		e.Send(node, child, copyPkt)
+		fwds = append(fwds, sim.Forward{To: child, Pkt: pkt.CloneFor(sub)})
 	}
+	return fwds
 }
 
 // rootTree orients an undirected edge list into a children map rooted at

@@ -6,18 +6,27 @@ import (
 	"math/rand"
 	"sort"
 
+	"gmp/internal/geom"
 	"gmp/internal/network"
 	"gmp/internal/planar"
+	"gmp/internal/view"
 	"gmp/internal/wire"
 )
 
 // Packet is one multicast packet copy in flight. It carries exactly the
 // state the paper's protocols put on the wire: the remaining destination
-// list, the hop count, the PERIMODE flag with its perimeter-traversal state,
-// and — for the source-routed SMT baseline only — the embedded routing tree.
+// list with its header locations, the hop count, the PERIMODE flag with its
+// perimeter-traversal state, and — for the source-routed SMT baseline only —
+// the embedded routing tree.
 type Packet struct {
 	// Dests are the node IDs this copy is still responsible for.
 	Dests []int
+	// Locs are the destination locations as the wire header carries them,
+	// parallel to Dests. Decisions route on these — a relay node knows a
+	// destination's position only from the packet (§2), so staleness or
+	// error in the header is exactly what the protocols see. The engine
+	// stamps them at Start from its network's advertised positions.
+	Locs []geom.Point
 	// Hops is the number of transmissions this copy has undergone.
 	Hops int
 	// Perimeter is the paper's PERIMODE flag.
@@ -41,20 +50,65 @@ type Packet struct {
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Dests = append([]int(nil), p.Dests...)
+	q.Locs = append([]geom.Point(nil), p.Locs...)
 	// Route is immutable after the source builds it; sharing is safe.
 	return &q
 }
 
-// Handler is a routing protocol instance driving forwarding decisions.
-// Implementations live in the routing package.
+// LocOf returns the header location carried for destination id. The id must
+// be present in Dests; asking for anything else is a protocol bug.
+func (p *Packet) LocOf(id int) geom.Point {
+	for i, d := range p.Dests {
+		if d == id {
+			return p.Locs[i]
+		}
+	}
+	panic(fmt.Sprintf("sim: destination %d not in packet header", id))
+}
+
+// CloneFor returns a clone of p carrying only the given destinations (each
+// must be present in p.Dests); the header locations follow the subset. The
+// ids slice is adopted, not copied — pass a fresh slice.
+func (p *Packet) CloneFor(ids []int) *Packet {
+	q := *p
+	q.Dests = ids
+	q.Locs = make([]geom.Point, len(ids))
+	for i, id := range ids {
+		q.Locs[i] = p.LocOf(id)
+	}
+	return &q
+}
+
+// Forward is one element of a decision's output: transmit Pkt to neighbor
+// To, or abandon the copy when To is DropCopy.
+type Forward struct {
+	// To is the next-hop node ID, or DropCopy.
+	To int
+	// Pkt is the copy to transmit (the engine clones it on send, so
+	// decisions may share one packet across forwards).
+	Pkt *Packet
+}
+
+// DropCopy, used as Forward.To, records that the protocol intentionally
+// abandoned the copy (for example LGS upon meeting a void destination). The
+// drop is billed to the packet's own session.
+const DropCopy = -1
+
+// Handler is a routing protocol instance. Each hop is a pure decision
+// function from (local view, packet) to a forward list that the engine
+// applies in order; handlers never touch the engine and never see beyond
+// the view's 1-hop horizon. Decisions must not mutate the packet they are
+// given — derive copies via Clone/CloneFor. Implementations live in the
+// routing package.
 type Handler interface {
-	// Start kicks a multicast task off at the source node. The handler
-	// performs the source's local computation and calls Engine.Send for
-	// each first-hop copy.
-	Start(e *Engine, src int, dests []int)
-	// Receive handles a packet copy arriving at node. Destinations already
-	// delivered at this node have been stripped by the engine.
-	Receive(e *Engine, node int, pkt *Packet)
+	// Start makes the source's forwarding decision. The engine has already
+	// built the packet: destinations (minus the source itself) sorted
+	// ascending, header locations stamped, hop count zero.
+	Start(v view.NodeView, pkt *Packet) []Forward
+	// Decide makes a relay node's forwarding decision for an arriving copy.
+	// Destinations already delivered at this node have been stripped by the
+	// engine (the packet always has at least one left).
+	Decide(v view.NodeView, pkt *Packet) []Forward
 }
 
 // TaskMetrics aggregates what the paper measures for one multicast task.
@@ -198,6 +252,7 @@ type Engine struct {
 	sessions  []sessionState
 	busyUntil []float64
 	cur       int // session whose handler is currently executing
+	views     view.Provider
 	tracer    TraceFunc
 	perNode   bool
 	dynFrame  bool
@@ -249,8 +304,24 @@ func (e *Engine) SetARQ(a ARQConfig) error {
 // ARQ returns the installed (normalized) ARQ configuration.
 func (e *Engine) ARQ() ARQConfig { return e.arq }
 
-// Net returns the underlying network, for handlers that need neighborhoods.
+// Net returns the underlying network (the engine's global physics; handlers
+// never see it — they get per-node views).
 func (e *Engine) Net() *network.Network { return e.net }
+
+// SetViews installs the per-node view provider handed to forwarding
+// decisions. Unset, the engine defaults to the ideal oracle over its own
+// network without a perimeter substrate — enough for protocols that never
+// enter perimeter mode; anything using face traversal needs a provider
+// built with a planar graph.
+func (e *Engine) SetViews(p view.Provider) { e.views = p }
+
+// viewAt returns node's view, lazily building the default oracle provider.
+func (e *Engine) viewAt(node int) view.NodeView {
+	if e.views == nil {
+		e.views = view.NewOracle(e.net, nil)
+	}
+	return e.views.At(node)
+}
 
 // Radio returns the radio parameters.
 func (e *Engine) Radio() RadioParams { return e.radio }
@@ -349,9 +420,14 @@ func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
 		}
 		sort.Ints(remaining)
 		if len(remaining) > 0 {
+			locs := make([]geom.Point, len(remaining))
+			for j, d := range remaining {
+				locs[j] = e.net.Pos(d)
+			}
 			e.sched.At(s.Start, func() {
 				e.cur = i
-				st.handler.Start(e, s.Src, remaining)
+				pkt := &Packet{Dests: remaining, Locs: locs, Session: i, Anchor: -1}
+				e.apply(s.Src, st.handler.Start(e.viewAt(s.Src), pkt))
 			})
 		}
 	}
@@ -364,14 +440,28 @@ func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
 	return out
 }
 
-// Send transmits a copy of pkt from node `from` to its neighbor `to`. It
+// apply executes a decision's forward list from node `from`, in order:
+// transmissions via send, DropCopy entries via drop. This is the only path
+// from a protocol decision to the air — handlers return data, the engine
+// acts on it.
+func (e *Engine) apply(from int, fwds []Forward) {
+	for _, f := range fwds {
+		if f.To == DropCopy {
+			e.drop(f.Pkt)
+			continue
+		}
+		e.send(from, f.To, f.Pkt)
+	}
+}
+
+// send transmits a copy of pkt from node `from` to its neighbor `to`. It
 // accounts the transmission and its energy against the packet's session,
 // enforces the hop budget, serializes with the sender's other transmissions
 // (half-duplex radio) and schedules the arrival. Destination bookkeeping
 // happens at arrival. Sends to out-of-range nodes are dropped and counted
 // in InvalidSends (they indicate a protocol bug; tests assert the counter
 // stays zero).
-func (e *Engine) Send(from, to int, pkt *Packet) {
+func (e *Engine) send(from, to int, pkt *Packet) {
 	// Packets are attributed to the session whose handler is executing;
 	// handlers never need to stamp session IDs themselves.
 	m := &e.sessions[e.cur].metrics
@@ -490,7 +580,7 @@ func (e *Engine) nack(from, to int, pkt *Packet) {
 		return
 	}
 	e.cur = pkt.Session
-	nh.Nack(e, from, to, pkt)
+	e.apply(from, nh.Nack(e.viewAt(from), to, pkt))
 }
 
 // isDead reports whether node's radio is crashed at the current time.
@@ -510,29 +600,22 @@ func (e *Engine) linkLost(from, to int) bool {
 	return e.frand.Float64() < p
 }
 
-// NewPacket returns a fresh packet bound to the session whose handler is
-// currently executing. Handlers must create their Start-time packets
-// through it (clones inherit the stamp automatically) so that metrics
-// recorded against the packet — Engine.Drop in particular — are billed to
-// the right session even from deferred or cross-session contexts.
-func (e *Engine) NewPacket(dests []int) *Packet {
-	return &Packet{Dests: dests, Session: e.cur}
-}
-
-// Drop records that a protocol intentionally abandoned a packet copy (for
-// example LGS upon meeting a void destination). The drop is attributed to
-// the packet's own session, not whichever handler happens to be executing,
-// so deferred drops in concurrent scripts cannot be mis-billed.
-func (e *Engine) Drop(pkt *Packet) { e.sessions[pkt.Session].metrics.Drops++ }
+// drop records that a protocol intentionally abandoned a packet copy (a
+// DropCopy forward). The drop is attributed to the packet's own session, not
+// whichever handler happens to be executing, so deferred drops in concurrent
+// scripts cannot be mis-billed.
+func (e *Engine) drop(pkt *Packet) { e.sessions[pkt.Session].metrics.Drops++ }
 
 // arrive records deliveries at the receiving node, strips it from the
-// destination list, and hands the packet to the protocol if work remains.
-// Crashed nodes receive nothing: no delivery, no handler callback.
+// destination list (and its header location), and asks the protocol for the
+// next decision if work remains. Crashed nodes receive nothing: no delivery,
+// no handler callback.
 func (e *Engine) arrive(node int, pkt *Packet) {
 	e.cur = pkt.Session
 	st := &e.sessions[pkt.Session]
 	kept := pkt.Dests[:0]
-	for _, d := range pkt.Dests {
+	keptL := pkt.Locs[:0]
+	for i, d := range pkt.Dests {
 		if d == node {
 			if _, dup := st.metrics.Delivered[d]; !dup {
 				st.metrics.Delivered[d] = pkt.Hops
@@ -541,10 +624,12 @@ func (e *Engine) arrive(node int, pkt *Packet) {
 			continue
 		}
 		kept = append(kept, d)
+		keptL = append(keptL, pkt.Locs[i])
 	}
 	pkt.Dests = kept
+	pkt.Locs = keptL
 	if len(pkt.Dests) == 0 {
 		return
 	}
-	st.handler.Receive(e, node, pkt)
+	e.apply(node, st.handler.Decide(e.viewAt(node), pkt))
 }

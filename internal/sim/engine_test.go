@@ -6,6 +6,7 @@ import (
 
 	"gmp/internal/geom"
 	"gmp/internal/network"
+	"gmp/internal/view"
 )
 
 func TestRadioParams(t *testing.T) {
@@ -25,20 +26,22 @@ func TestRadioParams(t *testing.T) {
 }
 
 // chainHandler forwards the packet along the node-ID chain 0→1→2→…, a
-// minimal protocol for exercising the engine.
+// minimal protocol for exercising the engine. It discovers the chain end
+// from its local view: the last node has no successor neighbor.
 type chainHandler struct{}
 
-func (chainHandler) Start(e *Engine, src int, dests []int) {
-	pkt := &Packet{Dests: dests}
-	e.Send(src, src+1, pkt)
+func (chainHandler) Start(v view.NodeView, pkt *Packet) []Forward {
+	return []Forward{{To: v.Self() + 1, Pkt: pkt}}
 }
 
-func (chainHandler) Receive(e *Engine, node int, pkt *Packet) {
-	if node+1 < e.Net().Len() {
-		e.Send(node, node+1, pkt)
-	} else {
-		e.Drop(pkt)
+func (chainHandler) Decide(v view.NodeView, pkt *Packet) []Forward {
+	next := v.Self() + 1
+	for _, nb := range v.Neighbors() {
+		if nb == next {
+			return []Forward{{To: next, Pkt: pkt}}
+		}
 	}
+	return []Forward{{To: DropCopy, Pkt: pkt}}
 }
 
 func chainNet(t *testing.T, n int) *network.Network {
@@ -121,18 +124,20 @@ func TestEngineBudgetBoundaryDelivers(t *testing.T) {
 }
 
 // invalidHandler tries to transmit beyond radio range.
-type invalidHandler struct{}
+type invalidHandler struct{ far int }
 
-func (invalidHandler) Start(e *Engine, src int, dests []int) {
-	e.Send(src, e.Net().Len()-1, &Packet{Dests: dests}) // far node
-	e.Send(src, src, &Packet{Dests: dests})             // self
+func (h invalidHandler) Start(v view.NodeView, pkt *Packet) []Forward {
+	return []Forward{
+		{To: h.far, Pkt: pkt},    // far node, out of range
+		{To: v.Self(), Pkt: pkt}, // self
+	}
 }
-func (invalidHandler) Receive(*Engine, int, *Packet) {}
+func (invalidHandler) Decide(view.NodeView, *Packet) []Forward { return nil }
 
 func TestEngineInvalidSends(t *testing.T) {
 	nw := chainNet(t, 10)
 	e := NewEngine(nw, DefaultRadioParams(), 0)
-	m := e.RunTask(invalidHandler{}, 0, []int{9})
+	m := e.RunTask(invalidHandler{far: 9}, 0, []int{9})
 	if m.InvalidSends != 2 {
 		t.Fatalf("InvalidSends = %d, want 2", m.InvalidSends)
 	}
@@ -172,14 +177,13 @@ func TestEngineAllDestsAreSource(t *testing.T) {
 // exercise first-delivery-wins accounting.
 type dupHandler struct{}
 
-func (dupHandler) Start(e *Engine, src int, dests []int) {
-	pkt := &Packet{Dests: dests}
-	e.Send(src, src+1, pkt) // direct: arrives at hop 1
-	// Detour: 0 -> 2? not in range. Send a second direct copy; it must not
+func (dupHandler) Start(v view.NodeView, pkt *Packet) []Forward {
+	// Two direct copies to the same next hop; the second must not
 	// double-count the delivery.
-	e.Send(src, src+1, pkt)
+	next := v.Self() + 1
+	return []Forward{{To: next, Pkt: pkt}, {To: next, Pkt: pkt}}
 }
-func (dupHandler) Receive(*Engine, int, *Packet) {}
+func (dupHandler) Decide(view.NodeView, *Packet) []Forward { return nil }
 
 func TestEngineDuplicateDeliveryCountsOnce(t *testing.T) {
 	nw := chainNet(t, 3)

@@ -3,6 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"gmp/internal/view"
 )
 
 // Crash schedules one node's radio failure: at virtual time At the node
@@ -154,12 +156,13 @@ func (a ARQConfig) normalized(radio RadioParams) ARQConfig {
 }
 
 // NackHandler is implemented by routing handlers that want to learn when
-// hop-by-hop ARQ gave up on a link, so they can re-select among the
-// remaining neighbors (GMP re-runs its grouping with the dead neighbor
-// excluded; protocols without the callback simply lose the copy). The
-// packet passed in is the undelivered copy; from/to identify the failed
-// link. The callback runs with the packet's session current, so Engine.Send
-// from inside it is attributed correctly.
+// hop-by-hop ARQ gave up on a link, so they can re-route among the remaining
+// neighbors (GMP re-runs its grouping with the dead neighbor excluded;
+// protocols without the callback simply lose the copy). The packet passed in
+// is the undelivered copy; v is the sending node's view and `to` the
+// unreachable neighbor. Like Start/Decide, the callback returns the re-route
+// decision as a forward list, which the engine applies from the sender with
+// the packet's session current so attribution stays correct.
 type NackHandler interface {
-	Nack(e *Engine, from, to int, pkt *Packet)
+	Nack(v view.NodeView, to int, pkt *Packet) []Forward
 }

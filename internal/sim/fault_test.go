@@ -8,6 +8,7 @@ import (
 
 	"gmp/internal/geom"
 	"gmp/internal/network"
+	"gmp/internal/view"
 )
 
 func TestFaultPlanLossProb(t *testing.T) {
@@ -346,19 +347,20 @@ type nackRecorder struct {
 	nacks                int
 }
 
-func (h *nackRecorder) Start(e *Engine, src int, dests []int) {
-	e.Send(src, h.direct, e.NewPacket(dests))
+func (h *nackRecorder) Start(v view.NodeView, pkt *Packet) []Forward {
+	return []Forward{{To: h.direct, Pkt: pkt}}
 }
 
-func (h *nackRecorder) Receive(e *Engine, node int, pkt *Packet) {
-	if node == h.detour {
-		e.Send(node, h.dest, pkt)
+func (h *nackRecorder) Decide(v view.NodeView, pkt *Packet) []Forward {
+	if v.Self() == h.detour {
+		return []Forward{{To: h.dest, Pkt: pkt}}
 	}
+	return nil
 }
 
-func (h *nackRecorder) Nack(e *Engine, from, to int, pkt *Packet) {
+func (h *nackRecorder) Nack(v view.NodeView, to int, pkt *Packet) []Forward {
 	h.nacks++
-	e.Send(from, h.detour, pkt)
+	return []Forward{{To: h.detour, Pkt: pkt}}
 }
 
 func TestARQNackReroutesAroundDeadHop(t *testing.T) {

@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"gmp/internal/view"
+)
 
 // TestScriptMetricsPerSessionAttribution runs two overlapping sessions over
 // shared relays and asserts that every counter lands on its own session:
@@ -47,33 +51,37 @@ func TestScriptMetricsPerSessionAttribution(t *testing.T) {
 	}
 }
 
-// pktStash lets one session hand a live packet to another, to exercise
-// Engine.Drop from a context where the executing handler belongs to a
-// different session than the packet.
+// pktStash lets one session hand a live packet to another, to exercise a
+// DropCopy forward emitted while another session's handler executes.
 type pktStash struct{ pkt *Packet }
 
 // stashingHandler (session A) parks its copy at the first relay instead of
 // forwarding it.
 type stashingHandler struct{ s *pktStash }
 
-func (h stashingHandler) Start(e *Engine, src int, dests []int) {
-	e.Send(src, src+1, e.NewPacket(dests))
+func (h stashingHandler) Start(v view.NodeView, pkt *Packet) []Forward {
+	return []Forward{{To: v.Self() + 1, Pkt: pkt}}
 }
 
-func (h stashingHandler) Receive(e *Engine, node int, pkt *Packet) { h.s.pkt = pkt }
+func (h stashingHandler) Decide(v view.NodeView, pkt *Packet) []Forward {
+	h.s.pkt = pkt
+	return nil
+}
 
 // droppingHandler (session B) drops whatever session A parked.
 type droppingHandler struct{ s *pktStash }
 
-func (h droppingHandler) Start(e *Engine, src int, dests []int) {
-	e.Send(src, src+1, e.NewPacket(dests))
+func (h droppingHandler) Start(v view.NodeView, pkt *Packet) []Forward {
+	return []Forward{{To: v.Self() + 1, Pkt: pkt}}
 }
 
-func (h droppingHandler) Receive(e *Engine, node int, pkt *Packet) {
+func (h droppingHandler) Decide(v view.NodeView, pkt *Packet) []Forward {
 	if h.s.pkt != nil {
-		e.Drop(h.s.pkt)
+		stashed := h.s.pkt
 		h.s.pkt = nil
+		return []Forward{{To: DropCopy, Pkt: stashed}}
 	}
+	return nil
 }
 
 // TestDropBillsPacketSession is the regression test for the Drop-attribution

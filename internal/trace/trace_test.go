@@ -12,6 +12,7 @@ import (
 	"gmp/internal/planar"
 	"gmp/internal/routing"
 	"gmp/internal/sim"
+	"gmp/internal/view"
 )
 
 func lineNetwork(t *testing.T, n int) *network.Network {
@@ -31,9 +32,10 @@ func runTraced(t *testing.T, nw *network.Network, src int, dests []int) (*Analys
 	t.Helper()
 	pg := planar.Planarize(nw, planar.Gabriel)
 	en := sim.NewEngine(nw, sim.DefaultRadioParams(), 100)
+	en.SetViews(view.NewOracle(nw, pg))
 	var c Collector
 	en.SetTracer(c.Record)
-	m := en.RunTask(routing.NewGMP(nw, pg), src, dests)
+	m := en.RunTask(routing.NewGMP(), src, dests)
 	en.SetTracer(nil)
 	a, err := Analyze(nw, src, c.Events(), m.Delivered)
 	if err != nil {
@@ -170,9 +172,10 @@ func TestSelfDeliveryIgnoredInPaths(t *testing.T) {
 	nw := lineNetwork(t, 4)
 	pg := planar.Planarize(nw, planar.Gabriel)
 	en := sim.NewEngine(nw, sim.DefaultRadioParams(), 100)
+	en.SetViews(view.NewOracle(nw, pg))
 	var c Collector
 	en.SetTracer(c.Record)
-	m := en.RunTask(routing.NewGMP(nw, pg), 1, []int{1, 3})
+	m := en.RunTask(routing.NewGMP(), 1, []int{1, 3})
 	en.SetTracer(nil)
 	a, err := Analyze(nw, 1, c.Events(), m.Delivered)
 	if err != nil {

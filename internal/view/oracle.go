@@ -1,0 +1,72 @@
+package view
+
+import (
+	"gmp/internal/geom"
+	"gmp/internal/network"
+	"gmp/internal/planar"
+)
+
+// Oracle is the ideal-knowledge Provider: every node's view is backed
+// directly by the network (advertised positions, which include any reported-
+// position overlay the experiment installed) and by a globally planarized
+// graph (substrate positions). This models the paper's evaluation setting —
+// perfect, instantaneous HELLO beacons.
+type Oracle struct {
+	nw    *network.Network
+	pg    *planar.Graph
+	nodes []oracleView
+}
+
+// NewOracle builds the ideal provider over nw, using pg as the perimeter
+// substrate. pg may be planarized over a different (non-overlaid) network
+// than nw — the staleness experiment does exactly that — or nil when no
+// protocol will enter perimeter mode (planar accessors then fall back to
+// nw itself, with an empty adjacency).
+func NewOracle(nw *network.Network, pg *planar.Graph) *Oracle {
+	o := &Oracle{nw: nw, pg: pg}
+	o.nodes = make([]oracleView, nw.Len())
+	for i := range o.nodes {
+		o.nodes[i] = oracleView{o: o, id: i}
+	}
+	return o
+}
+
+// At implements Provider.
+func (o *Oracle) At(id int) NodeView { return &o.nodes[id] }
+
+// oracleView is one node's ideal view.
+type oracleView struct {
+	o       *Oracle
+	id      int
+	scratch Scratch
+}
+
+func (v *oracleView) Self() int         { return v.id }
+func (v *oracleView) Pos() geom.Point   { return v.o.nw.Pos(v.id) }
+func (v *oracleView) Neighbors() []int  { return v.o.nw.Neighbors(v.id) }
+func (v *oracleView) Degree() int       { return v.o.nw.Degree(v.id) }
+func (v *oracleView) Range() float64    { return v.o.nw.Range() }
+func (v *oracleView) Scratch() *Scratch { return &v.scratch }
+
+func (v *oracleView) NbrPos(id int) geom.Point { return v.o.nw.Pos(id) }
+
+func (v *oracleView) PlanarSelfPos() geom.Point {
+	if v.o.pg == nil {
+		return v.o.nw.Pos(v.id)
+	}
+	return v.o.pg.Network().Pos(v.id)
+}
+
+func (v *oracleView) PlanarNeighbors() []int {
+	if v.o.pg == nil {
+		return nil
+	}
+	return v.o.pg.Neighbors(v.id)
+}
+
+func (v *oracleView) PlanarPos(id int) geom.Point {
+	if v.o.pg == nil {
+		return v.o.nw.Pos(id)
+	}
+	return v.o.pg.Network().Pos(id)
+}

@@ -1,0 +1,20 @@
+package view
+
+import (
+	"gmp/internal/geom"
+	"gmp/internal/planar"
+)
+
+// PerimeterEnter returns the initial face-traversal state for a packet
+// entering perimeter mode at v aiming at target.
+func PerimeterEnter(v NodeView, target geom.Point) planar.State {
+	return planar.EnterAt(v.PlanarSelfPos(), target)
+}
+
+// PerimeterNextHop advances the right-hand-rule traversal one step using
+// v's local planar adjacency, with the bearings cached in v's scratch.
+// ok=false means v has no planar neighbors (traversal cannot proceed).
+func PerimeterNextHop(v NodeView, st planar.State) (next int, out planar.State, ok bool) {
+	return planar.NextHopLocal(v.Self(), v.PlanarSelfPos(), v.PlanarNeighbors(),
+		v.PlanarPos, PlanarBearings(v), st)
+}

@@ -1,0 +1,122 @@
+package view
+
+import (
+	"math"
+
+	"gmp/internal/geom"
+)
+
+// Scratch is one node's reusable decision-time cache. It holds only
+// memoized pure computations (bearings to planar neighbors, distance terms
+// of the current decision), so reusing or discarding it never changes a
+// decision's outcome.
+type Scratch struct {
+	// Memo caches per-decision distance terms for the group next-hop
+	// selection (see DistMemo).
+	Memo DistMemo
+	// ColBuf is a reusable column-index buffer for Memo lookups.
+	ColBuf []int
+
+	bearings     []float64
+	haveBearings bool
+}
+
+// PlanarBearings returns the bearings from v's substrate position to each of
+// its planar neighbors, parallel to v.PlanarNeighbors(). The slice is cached
+// in v's scratch after the first call — the planar adjacency of an immutable
+// substrate never changes, and perimeter mode re-derives these angles on
+// every hop otherwise.
+func PlanarBearings(v NodeView) []float64 {
+	s := v.Scratch()
+	if !s.haveBearings {
+		nbrs := v.PlanarNeighbors()
+		pos := v.PlanarSelfPos()
+		s.bearings = make([]float64, len(nbrs))
+		for i, n := range nbrs {
+			s.bearings[i] = geom.Bearing(pos, v.PlanarPos(n))
+		}
+		s.haveBearings = true
+	}
+	return s.bearings
+}
+
+// DistMemo memoizes the point-to-destination distance matrix of one
+// forwarding decision: rows are the deciding node (row 0) and its neighbors
+// (row i+1 for Neighbors()[i]), columns are the packet's destinations.
+//
+// GMP's pivot walk re-evaluates overlapping destination groups while
+// splitting (§4.1), recomputing Σ-distance terms from scratch each time —
+// O(|neighbors|·|dests|) per candidate evaluation. The memo computes each
+// (point, destination) distance at most once per decision.
+//
+// Bit-exactness: SumRow always adds the memoized distances in the caller's
+// column order, which is the group's destination order — the same order and
+// the same float64 values the unmemoized loop used, so sums are
+// bit-identical to recomputation. (Never cache the *sums*: incrementally
+// updated sums drift from freshly accumulated ones in the low bits.)
+type DistMemo struct {
+	col  map[int]int  // destination ID -> column
+	locs []geom.Point // column -> destination location (header copy)
+	mat  [][]float64  // [row][column]; NaN = not yet computed
+}
+
+// Begin prepares the memo for one decision with the given row count
+// (1 + neighbor count) and the packet's destination IDs/locations. Previous
+// decision state is discarded.
+func (m *DistMemo) Begin(rows int, dests []int, locs []geom.Point) {
+	if m.col == nil {
+		m.col = make(map[int]int, len(dests))
+	} else {
+		for k := range m.col {
+			delete(m.col, k)
+		}
+	}
+	for i, d := range dests {
+		m.col[d] = i
+	}
+	m.locs = append(m.locs[:0], locs...)
+	if cap(m.mat) < rows {
+		m.mat = make([][]float64, rows)
+	}
+	m.mat = m.mat[:rows]
+	cols := len(dests)
+	for i := range m.mat {
+		if cap(m.mat[i]) < cols {
+			m.mat[i] = make([]float64, cols)
+		}
+		m.mat[i] = m.mat[i][:cols]
+		for j := range m.mat[i] {
+			m.mat[i][j] = math.NaN()
+		}
+	}
+}
+
+// Cols translates a destination-ID subset into column indices, appending to
+// buf (pass buf[:0] of a reusable slice). IDs not registered by Begin are
+// a programming error and panic.
+func (m *DistMemo) Cols(ids []int, buf []int) []int {
+	for _, id := range ids {
+		c, ok := m.col[id]
+		if !ok {
+			panic("view: destination not registered with DistMemo.Begin")
+		}
+		buf = append(buf, c)
+	}
+	return buf
+}
+
+// SumRow returns Σ over cols of dist(from, destination), memoizing each
+// term in the given row. Terms are accumulated in cols order.
+func (m *DistMemo) SumRow(row int, from geom.Point, cols []int) float64 {
+	r := m.mat[row]
+	var total float64
+	for _, c := range cols {
+		d := r[c]
+		if math.IsNaN(d) {
+			d = from.Dist(m.locs[c])
+			r[c] = d
+		}
+		total += d
+	}
+	return total
+}

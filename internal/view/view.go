@@ -1,0 +1,80 @@
+// Package view defines the NodeView abstraction: the strictly local
+// knowledge a sensor node routes with under the paper's §2 model — its own
+// location, its 1-hop neighbors' advertised locations (learned from HELLO
+// beacons), and the locally computed planar adjacency used by perimeter
+// mode. Destination locations are NOT part of the view; they travel in the
+// packet header (sim.Packet.Locs), exactly as the wire format carries them.
+//
+// Protocol decision cores compile against NodeView only, so the type system
+// enforces the locality contract: a decision physically cannot look up the
+// position of an arbitrary node or inspect global topology.
+//
+// Two implementations are provided:
+//
+//   - Oracle: backed directly by network.Network and a globally planarized
+//     graph. This is the ideal-knowledge view the paper evaluates under —
+//     beacons are implicit, instantaneous, and loss-free.
+//   - Live: backed by a beacon-style neighbor table snapshot (see the
+//     beacon package's adapter), with whatever staleness and position error
+//     the table carries. The planar adjacency is computed per node from the
+//     table alone, as a real node would.
+package view
+
+import (
+	"gmp/internal/geom"
+)
+
+// NodeView is one node's local knowledge at decision time.
+//
+// Position oracles come in two flavors because the simulation distinguishes
+// what a node's *beacons advertise* (Pos, NbrPos — possibly noisy or stale)
+// from the substrate the perimeter planarization was computed over
+// (PlanarSelfPos, PlanarPos). Under the ideal oracle both agree; the
+// localization and staleness experiments deliberately split them.
+type NodeView interface {
+	// Self returns this node's ID (its address — the paper equates location
+	// and identifier, but simulation bookkeeping keys on IDs).
+	Self() int
+	// Pos returns this node's own advertised position.
+	Pos() geom.Point
+	// Neighbors returns the 1-hop neighbor IDs in ascending order. The
+	// slice is shared; callers must not mutate it.
+	Neighbors() []int
+	// NbrPos returns the advertised position of a neighbor (or of Self).
+	// The argument must come from Neighbors(), Self(), or the packet's
+	// previous-hop field; anything else is outside the view's knowledge and
+	// yields the zero Point.
+	NbrPos(id int) geom.Point
+	// Degree returns len(Neighbors()).
+	Degree() int
+	// Range returns the node's radio range in meters (local hardware
+	// knowledge, used by the radio-aware rrSTR cases).
+	Range() float64
+
+	// PlanarSelfPos returns this node's position in the planar substrate.
+	PlanarSelfPos() geom.Point
+	// PlanarNeighbors returns the node's planar (GG/RNG) adjacency, sorted
+	// counter-clockwise by bearing — the order the right-hand rule consumes.
+	// The slice is shared; callers must not mutate it.
+	PlanarNeighbors() []int
+	// PlanarPos returns the planar-substrate position of a planar neighbor
+	// (or of Self).
+	PlanarPos(id int) geom.Point
+
+	// Scratch returns this node's reusable decision caches. Scratch state
+	// never changes decision outcomes — it only memoizes pure computations —
+	// so decisions stay referentially transparent.
+	Scratch() *Scratch
+}
+
+// Provider hands out per-node views. An engine holds one Provider per run
+// configuration; views from one provider share immutable substrate data but
+// each node has private scratch space.
+//
+// Providers are not safe for concurrent engines: parallel campaign cells
+// must construct one provider each (scratch caches are per provider).
+type Provider interface {
+	// At returns node id's view. The returned view is valid until the next
+	// topology change (providers over immutable networks never invalidate).
+	At(id int) NodeView
+}

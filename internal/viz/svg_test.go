@@ -11,6 +11,7 @@ import (
 	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/steiner"
+	"gmp/internal/view"
 )
 
 func testNetwork(t *testing.T) *network.Network {
@@ -112,9 +113,10 @@ func TestRenderTaskWithPerimeter(t *testing.T) {
 	nw := testNetwork(t)
 	pg := planar.Planarize(nw, planar.Gabriel)
 	en := sim.NewEngine(nw, sim.DefaultRadioParams(), 100)
+	en.SetViews(view.NewOracle(nw, pg))
 	var events []sim.TraceEvent
 	en.SetTracer(func(ev sim.TraceEvent) { events = append(events, ev) })
-	en.RunTask(routing.NewGMP(nw, pg), 0, []int{50, 70})
+	en.RunTask(routing.NewGMP(), 0, []int{50, 70})
 	en.SetTracer(nil)
 	out := RenderTask(nw, pg, events, 0, []int{50, 70})
 	for _, want := range []string{"<svg", "s0", "d50", "d70"} {

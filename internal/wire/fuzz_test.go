@@ -2,7 +2,10 @@ package wire
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
+
+	"gmp/internal/geom"
 )
 
 // FuzzDecode ensures the decoder never panics or over-reads on arbitrary
@@ -43,6 +46,86 @@ func FuzzDecode(f *testing.F) {
 		if back.Flags != fr.Flags || back.Hops != fr.Hops ||
 			len(back.Dests) != len(fr.Dests) || !bytes.Equal(back.Payload, fr.Payload) {
 			t.Fatal("round-trip mismatch")
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip drives the encoder from arbitrary header fields —
+// destination count, PERIMODE state, payload length — and asserts an exact
+// field-for-field roundtrip through Decode, plus the capacity arithmetic at
+// the paper's 128-byte message budget.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint16(0), int64(1))
+	f.Add(uint8(0), uint8(7), uint8(5), uint16(16), int64(2))
+	f.Add(uint8(FlagPerimeter), uint8(255), uint8(3), uint16(8), int64(3))
+	f.Add(uint8(FlagPerimeter), uint8(1), uint8(12), uint16(0), int64(4))
+	f.Add(uint8(0), uint8(100), uint8(255), uint16(512), int64(5))
+
+	f.Fuzz(func(t *testing.T, flags, hops, ndests uint8, payloadLen uint16, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		// Coordinates go on the air as float32; draw float32-exact values so
+		// the roundtrip comparison can demand equality.
+		coord := func() float64 { return float64(float32(r.Float64()*2000 - 1000)) }
+		pt := func() geom.Point { return geom.Pt(coord(), coord()) }
+
+		fr := &Frame{Flags: flags, Hops: hops, Source: pt(), NextHop: pt()}
+		for i := 0; i < int(ndests); i++ {
+			fr.Dests = append(fr.Dests, pt())
+		}
+		if fr.Perimeter() {
+			fr.PeriTarget, fr.PeriEntry, fr.PeriFaceEntry = pt(), pt(), pt()
+		}
+		if payloadLen > 0 {
+			fr.Payload = make([]byte, payloadLen%2048)
+			r.Read(fr.Payload)
+		}
+
+		data, err := Encode(fr, 0)
+		if err != nil {
+			t.Fatalf("unbudgeted encode failed: %v", err)
+		}
+		if len(data) != fr.EncodedSize() {
+			t.Fatalf("on-air size %d != EncodedSize %d", len(data), fr.EncodedSize())
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode failed: %v", err)
+		}
+		if got.Flags != fr.Flags || got.Hops != fr.Hops ||
+			got.Source != fr.Source || got.NextHop != fr.NextHop {
+			t.Fatalf("header mismatch: %+v vs %+v", got, fr)
+		}
+		if len(got.Dests) != len(fr.Dests) {
+			t.Fatalf("dest count %d != %d", len(got.Dests), len(fr.Dests))
+		}
+		for i := range fr.Dests {
+			if got.Dests[i] != fr.Dests[i] {
+				t.Fatalf("dest %d: %v != %v", i, got.Dests[i], fr.Dests[i])
+			}
+		}
+		if fr.Perimeter() && (got.PeriTarget != fr.PeriTarget ||
+			got.PeriEntry != fr.PeriEntry || got.PeriFaceEntry != fr.PeriFaceEntry) {
+			t.Fatal("perimeter state mismatch")
+		}
+		if !bytes.Equal(got.Payload, fr.Payload) {
+			t.Fatal("payload mismatch")
+		}
+
+		// Capacity edge at the Table 1 budget: a budgeted encode succeeds
+		// exactly when the frame fits, and — whenever the destination-free
+		// frame fits at all — exactly when the destination count is within
+		// Capacity's answer.
+		const budget = 128
+		_, err = Encode(fr, budget)
+		fits := fr.EncodedSize() <= budget
+		if (err == nil) != fits {
+			t.Fatalf("budgeted encode err=%v but size %d vs budget %d", err, fr.EncodedSize(), budget)
+		}
+		if HeaderSize(0, fr.Perimeter())+len(fr.Payload) <= budget {
+			if fits != (len(fr.Dests) <= Capacity(budget, len(fr.Payload), fr.Perimeter())) {
+				t.Fatalf("Capacity disagrees with encoder: %d dests, capacity %d, fits %v",
+					len(fr.Dests), Capacity(budget, len(fr.Payload), fr.Perimeter()), fits)
+			}
 		}
 	})
 }
