@@ -50,7 +50,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|all")
+		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|all")
 		quick    = fs.Bool("quick", false, "scaled-down campaign for smoke runs")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut  = fs.Bool("json", false, "emit JSON instead of aligned tables")
@@ -313,6 +313,23 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		emit(tbl)
+	case "chaos":
+		cc := experiment.DefaultChaosConfig()
+		if *quick {
+			cc = experiment.QuickChaosConfig()
+		}
+		inheritRun(&cc.Base, cfg)
+		if *protos != "" {
+			cc.Protos = protoList
+		}
+		rep, err := experiment.RunChaos(cc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep.Render())
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("chaos: %d invariant violations", len(rep.Violations))
+		}
 	case "compare":
 		parts := strings.Split(*pair, ",")
 		if len(parts) != 2 {

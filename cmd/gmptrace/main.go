@@ -113,7 +113,7 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 	fmt.Fprintf(out, "transmissions: %d   energy: %.4f J   drops: %d\n",
-		res.Transmissions, res.EnergyJ, res.Drops)
+		res.Transmissions, res.EnergyJ, res.Drops())
 	delivered := make([]int, 0, len(res.Delivered))
 	for d := range res.Delivered {
 		delivered = append(delivered, d)

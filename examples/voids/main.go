@@ -55,7 +55,7 @@ func main() {
 	fmt.Println("\n--- LGS (no recovery) ---")
 	resLGS := sys.Multicast(sys.LGS(), src, dests)
 	fmt.Printf("delivered %d/%d, %d transmissions, %d drops\n",
-		len(resLGS.Delivered), resLGS.DestCount, resLGS.Transmissions, resLGS.Drops)
+		len(resLGS.Delivered), resLGS.DestCount, resLGS.Transmissions, resLGS.Drops())
 	if resLGS.Failed() {
 		fmt.Println("LGS failed at the void, as §5.4 predicts")
 	}

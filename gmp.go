@@ -44,6 +44,9 @@ type (
 	NodeCrash = sim.Crash
 	// ARQConfig configures hop-by-hop acknowledged delivery (see WithARQ).
 	ARQConfig = sim.ARQConfig
+	// DropReason classifies why a packet copy was terminated; it indexes
+	// Result's DropsByReason and DestDropsByReason ledgers.
+	DropReason = sim.DropReason
 	// PlanarKind selects the perimeter-mode planarization rule.
 	PlanarKind = planar.Kind
 	// Region is a geocast target area (Disk, Rect, Polygon).
@@ -54,6 +57,22 @@ type (
 	Rect = geom.Rect
 	// Polygon is a simple-polygon geocast region.
 	Polygon = geom.Polygon
+)
+
+// Drop reasons, re-exported so callers can index Result's per-reason ledgers
+// (DropsByReason, DestDropsByReason). See the sim package for the exact
+// billing rules behind each reason.
+const (
+	ReasonHopBudget       = sim.ReasonHopBudget
+	ReasonProtocol        = sim.ReasonProtocol
+	ReasonStranded        = sim.ReasonStranded
+	ReasonWatchdog        = sim.ReasonWatchdog
+	ReasonLinkLoss        = sim.ReasonLinkLoss
+	ReasonCrashedReceiver = sim.ReasonCrashedReceiver
+	ReasonSenderCrashed   = sim.ReasonSenderCrashed
+	ReasonARQExhausted    = sim.ReasonARQExhausted
+	ReasonInvalidSend     = sim.ReasonInvalidSend
+	NumDropReasons        = sim.NumDropReasons
 )
 
 // NewRect normalizes two arbitrary corners into a Rect region.

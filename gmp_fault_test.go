@@ -13,7 +13,7 @@ func TestFacadeFaultsTotalLoss(t *testing.T) {
 	if !res.Failed() {
 		t.Fatal("total loss delivered")
 	}
-	if res.LossDrops == 0 {
+	if res.LossDrops() == 0 {
 		t.Fatalf("no loss drops recorded: %+v", res)
 	}
 }

@@ -22,7 +22,7 @@ func TestFacadeMulticast(t *testing.T) {
 	if res.InvalidSends != 0 {
 		t.Fatalf("invalid sends: %d", res.InvalidSends)
 	}
-	if res.Failed() && res.Drops == 0 {
+	if res.Failed() && res.Drops() == 0 {
 		t.Fatalf("failure without drops: %+v", res)
 	}
 }

@@ -178,8 +178,9 @@ func RunLoss(lc LossConfig, protos []string) (*LossResults, error) {
 
 // lossProtocol instantiates protocols for the loss sweep; PBM runs at a
 // fixed λ (a best-of-λ pick would hide loss-driven failures behind lucky
-// draws). A fresh instance per task keeps ARQ's suspect-neighbor state from
-// leaking across tasks.
+// draws). Dead-link state no longer lives in the protocols — the engine's
+// per-session blacklist resets with each task — but a fresh instance per
+// task stays as cheap insurance against future per-instance state.
 func lossProtocol(b *bench, name string, lambda float64) routing.Protocol {
 	if name == ProtoPBM {
 		return routing.NewPBM(lambda)

@@ -45,6 +45,10 @@ const (
 	beaconStride = 613
 	// lifetimeOffset marks the lifetime experiment's task stream.
 	lifetimeOffset = 77
+	// chaosOffset marks a network's chaos-campaign stream family.
+	chaosOffset = 424243
+	// chaosStride separates the chaos campaign's per-plan streams.
+	chaosStride = 611953
 )
 
 // seeds derives every RNG stream of one campaign from its base seed.
@@ -116,3 +120,14 @@ func (s seeds) beacon(netIdx, pi int) *rand.Rand {
 func (s seeds) lifetimeTasks(netIdx int) *rand.Rand {
 	return rng(s.net(netIdx) + lifetimeOffset)
 }
+
+// chaosSeed is the root of plan pi's stream on network netIdx: it seeds the
+// plan/corruption/task draws and (offset by 1) the engine's fault stream.
+// Replay determinism hangs on this derivation being pure.
+func (s seeds) chaosSeed(netIdx, pi int) int64 {
+	return s.net(netIdx) + chaosOffset + int64(pi)*chaosStride
+}
+
+// chaos draws plan pi's randomized fault schedule, table corruption and task
+// batch on network netIdx.
+func (s seeds) chaos(netIdx, pi int) *rand.Rand { return rng(s.chaosSeed(netIdx, pi)) }

@@ -122,5 +122,6 @@ func NextHopLocal(cur int, pos geom.Point, nbrs []int, nbrPos func(int) geom.Poi
 // perimeter mode at substrate position pos aiming at target — the
 // local-data form of Enter.
 func EnterAt(pos geom.Point, target geom.Point) State {
-	return State{Target: target, Entry: pos, FaceEntry: pos, Prev: -1}
+	return State{Target: target, Entry: pos, FaceEntry: pos, Prev: -1,
+		FirstFrom: -1, FirstTo: -1}
 }

@@ -39,12 +39,24 @@ func (k Kind) String() string {
 	}
 }
 
+// Alternate returns the other planarization rule — the substrate a
+// watchdog-restarted perimeter walk retries on. Distinct rules planarize
+// inconsistent neighbor tables differently, so a walk that loops on one
+// often terminates on the other.
+func (k Kind) Alternate() Kind {
+	if k == RelativeNeighborhood {
+		return Gabriel
+	}
+	return RelativeNeighborhood
+}
+
 // Graph is a planar subgraph of a network's unit-disk graph. Neighbor lists
 // are sorted counter-clockwise by bearing, which is the order the right-hand
 // rule consumes them in.
 type Graph struct {
-	nw  *network.Network
-	adj [][]int // node ID -> planar neighbors, CCW by bearing
+	nw   *network.Network
+	kind Kind
+	adj  [][]int // node ID -> planar neighbors, CCW by bearing
 }
 
 // Planarize extracts the planar subgraph of kind from nw.
@@ -53,12 +65,15 @@ type Graph struct {
 // radio range of u, so witnesses are always among u's unit-disk neighbors —
 // a real node could run the same computation from its neighbor table alone.
 func Planarize(nw *network.Network, kind Kind) *Graph {
-	g := &Graph{nw: nw, adj: make([][]int, nw.Len())}
+	g := &Graph{nw: nw, kind: kind, adj: make([][]int, nw.Len())}
 	for u := 0; u < nw.Len(); u++ {
 		g.adj[u] = LocalAdjacency(nw.Pos(u), nw.Neighbors(u), nw.Pos, kind)
 	}
 	return g
 }
+
+// Kind returns the planarization rule the graph was extracted with.
+func (g *Graph) Kind() Kind { return g.kind }
 
 // Neighbors returns u's planar neighbors in CCW bearing order. The slice is
 // shared; callers must not mutate it.
@@ -97,6 +112,23 @@ type State struct {
 	// Prev is the node the packet arrived from, -1 right after entering
 	// perimeter mode.
 	Prev int
+
+	// The remaining fields are perimeter-watchdog bookkeeping
+	// (view.PerimeterStep); they stay zero — and the wire format does not
+	// carry them — unless a provider arms the watchdog.
+
+	// FirstFrom/FirstTo record the first directed edge the current walk
+	// took (-1 until the first step). Revisiting it means the traversal
+	// closed a full loop without exiting.
+	FirstFrom, FirstTo int
+	// WalkHops and WalkDist accumulate the steps and substrate distance of
+	// the current walk, for the watchdog's budget checks.
+	WalkHops int
+	WalkDist float64
+	// Restarted marks that the watchdog already restarted this walk once;
+	// AltPlanar routes the restarted walk over the alternate planarization.
+	Restarted bool
+	AltPlanar bool
 }
 
 // Enter returns the initial perimeter state for a packet entering perimeter

@@ -103,7 +103,7 @@ func TestLGKVoidMidRelay(t *testing.T) {
 	if !m.Failed() {
 		t.Fatal("LGK should fail inside the trap")
 	}
-	if m.Drops == 0 {
+	if m.Drops() == 0 {
 		t.Fatal("LGK drop not recorded")
 	}
 }

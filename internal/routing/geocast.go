@@ -69,8 +69,14 @@ func (g *Geocast) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 		// first-delivery-wins accounting. The previous hop is by definition
 		// in radio range, so its advertised position is in the view.
 		prev := pkt.Anchor
-		if !pkt.Perimeter && prev != -1 && !g.inPt(v.NbrPos(prev)) {
-			prev = -1
+		if !pkt.Perimeter && prev != -1 {
+			// NbrPosOK: under live tables the previous hop may be absent
+			// from this node's table (one-sided link); the zero Point is a
+			// legal position, so a plain NbrPos lookup cannot distinguish
+			// "unknown" from "at the origin".
+			if pp, known := v.NbrPosOK(prev); !known || !g.inPt(pp) {
+				prev = -1
+			}
 		}
 		return g.flood(v, pkt, prev)
 	}
@@ -79,9 +85,12 @@ func (g *Geocast) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 		if v.Pos().Dist(anchor) < pkt.Peri.Entry.Dist(anchor)-geom.Eps {
 			return g.approach(v, pkt)
 		}
-		next, nst, ok := view.PerimeterNextHop(v, pkt.Peri)
-		if !ok {
+		next, nst, verdict := view.PerimeterStep(v, pkt.Peri)
+		switch verdict {
+		case view.StepDead:
 			return dropOnly(pkt)
+		case view.StepWatchdog:
+			return watchdogDrop(pkt)
 		}
 		copyPkt := pkt.Clone()
 		copyPkt.Peri = nst
@@ -100,9 +109,12 @@ func (g *Geocast) approach(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 		return []sim.Forward{{To: next, Pkt: copyPkt}}
 	}
 	st := view.PerimeterEnter(v, g.region.Anchor())
-	next, nst, ok := view.PerimeterNextHop(v, st)
-	if !ok {
+	next, nst, verdict := view.PerimeterStep(v, st)
+	switch verdict {
+	case view.StepDead:
 		return dropOnly(pkt)
+	case view.StepWatchdog:
+		return watchdogDrop(pkt)
 	}
 	copyPkt := pkt.Clone()
 	copyPkt.Perimeter = true

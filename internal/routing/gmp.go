@@ -42,12 +42,6 @@ type GMPOptions struct {
 type GMP struct {
 	opts GMPOptions
 	name string
-	// suspect holds neighbors that hop-by-hop ARQ reported unreachable
-	// (crashed or behind a hopeless link); next-hop selection avoids them.
-	// Populated only under ARQ via the Nack callback — the one piece of
-	// instance state, and the documented purity exception: decisions are
-	// pure in (view, packet, suspect set).
-	suspect map[int]bool
 }
 
 var _ Protocol = (*GMP)(nil)
@@ -86,18 +80,15 @@ func (g *GMP) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	return g.process(v, pkt)
 }
 
-// Nack implements sim.NackHandler: when ARQ gives up on a next hop, mark it
-// suspect and re-run the full grouping from the stranded node — the paper's
-// own group-split/perimeter machinery then re-selects among the remaining
-// neighbors or recovers around the dead node as around a void. A perimeter
-// copy restarts recovery as a fresh greedy round: the face traversal cannot
-// route around a dead planar edge, but re-grouping can (and residual voids
+// Nack implements sim.NackHandler: when ARQ gives up on a next hop, the
+// engine has already banned the link in the session's blacklist, so v masks
+// the dead neighbor — re-running the full grouping over it re-selects among
+// the remaining neighbors or recovers around the dead link as around a void
+// (the paper's own group-split/perimeter machinery). A perimeter copy
+// restarts recovery as a fresh greedy round: the face traversal cannot route
+// around a dead planar edge, but re-grouping can (and residual voids
 // re-enter perimeter mode from here anyway).
 func (g *GMP) Nack(v view.NodeView, to int, pkt *sim.Packet) []sim.Forward {
-	if g.suspect == nil {
-		g.suspect = make(map[int]bool)
-	}
-	g.suspect[to] = true
 	return g.process(v, pkt)
 }
 
@@ -150,7 +141,7 @@ func (g *GMP) forwardGroups(v view.NodeView, pkt *sim.Packet) (fwds []sim.Forwar
 		worklist = worklist[1:]
 		for {
 			group := g.groupLabels(tree, p)
-			next := groupNextHopSkip(v, tree.Vertex(p).Pos, group, g.suspect)
+			next := groupNextHop(v, tree.Vertex(p).Pos, group)
 			if next != -1 {
 				if _, seen := batches[next]; !seen {
 					order = append(order, next)
@@ -212,14 +203,18 @@ func (g *GMP) enterPerimeter(v view.NodeView, pkt *sim.Packet, voids []int) []si
 	return g.stepPerimeter(v, pkt, voids, st)
 }
 
-// stepPerimeter advances the face traversal one hop and emits the perimeter
-// copy.
+// stepPerimeter advances the supervised face traversal one hop and emits the
+// perimeter copy. A dead end or a watchdog kill abandons only the void
+// destinations — any recovered groups already left in their own copies.
 func (g *GMP) stepPerimeter(v view.NodeView, pkt *sim.Packet, voids []int, st planar.State) []sim.Forward {
-	next, nst, ok := view.PerimeterNextHop(v, st)
-	if !ok {
-		return dropOnly(pkt)
+	next, nst, verdict := view.PerimeterStep(v, st)
+	copyPkt := pkt.CloneFor(sortedCopy(voids))
+	switch verdict {
+	case view.StepDead:
+		return dropOnly(copyPkt)
+	case view.StepWatchdog:
+		return watchdogDrop(copyPkt)
 	}
-	copyPkt := pkt.CloneFor(voids)
 	copyPkt.Perimeter = true
 	copyPkt.Peri = nst
 	return []sim.Forward{{To: next, Pkt: copyPkt}}

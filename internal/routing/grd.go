@@ -11,12 +11,7 @@ import (
 // minimizes the per-destination hop count, serving as the paper's lower
 // bound for Figure 12 and the upper extreme for total hops (no sharing at
 // all).
-type GRD struct {
-	// suspect holds neighbors reported unreachable by ARQ's Nack callback;
-	// greedy forwarding avoids them. The documented purity exception:
-	// decisions are pure in (view, packet, suspect set).
-	suspect map[int]bool
-}
+type GRD struct{}
 
 var _ Protocol = (*GRD)(nil)
 
@@ -35,13 +30,10 @@ func (g *GRD) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	return fwds
 }
 
-// Nack implements sim.NackHandler: mark the failed next hop suspect and
-// retry greedy forwarding (falling back to perimeter mode) from here.
+// Nack implements sim.NackHandler: the engine has already blacklisted the
+// failed link, so v masks the dead neighbor — retry greedy forwarding
+// (falling back to perimeter mode) over the remaining neighbors.
 func (g *GRD) Nack(v view.NodeView, to int, pkt *sim.Packet) []sim.Forward {
-	if g.suspect == nil {
-		g.suspect = make(map[int]bool)
-	}
-	g.suspect[to] = true
 	return g.forward(v, pkt)
 }
 
@@ -57,9 +49,12 @@ func (g *GRD) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 		if v.Pos().Dist(target) < pkt.Peri.Entry.Dist(target)-geom.Eps {
 			return g.forward(v, pkt)
 		}
-		next, nst, ok := view.PerimeterNextHop(v, pkt.Peri)
-		if !ok {
+		next, nst, verdict := view.PerimeterStep(v, pkt.Peri)
+		switch verdict {
+		case view.StepDead:
 			return dropOnly(pkt)
+		case view.StepWatchdog:
+			return watchdogDrop(pkt)
 		}
 		copyPkt := pkt.Clone()
 		copyPkt.Peri = nst
@@ -71,15 +66,18 @@ func (g *GRD) Decide(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 // forward takes one greedy step, entering perimeter mode at local minima.
 func (g *GRD) forward(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	target := pkt.Locs[0]
-	if next := greedyNextHopSkip(v, target, g.suspect); next != -1 {
+	if next := greedyNextHop(v, target); next != -1 {
 		copyPkt := pkt.Clone()
 		copyPkt.Perimeter = false
 		return []sim.Forward{{To: next, Pkt: copyPkt}}
 	}
 	st := view.PerimeterEnter(v, target)
-	next, nst, ok := view.PerimeterNextHop(v, st)
-	if !ok {
+	next, nst, verdict := view.PerimeterStep(v, st)
+	switch verdict {
+	case view.StepDead:
 		return dropOnly(pkt)
+	case view.StepWatchdog:
+		return watchdogDrop(pkt)
 	}
 	copyPkt := pkt.Clone()
 	copyPkt.Perimeter = true

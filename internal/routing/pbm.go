@@ -235,12 +235,18 @@ func (p *PBM) enterPerimeter(v view.NodeView, loc map[int]geom.Point, pkt *sim.P
 	return p.stepPerimeter(v, pkt, voids, st)
 }
 
+// stepPerimeter advances the supervised face traversal one hop. A dead end
+// or a watchdog kill abandons only the void destinations — any routable
+// destinations already left in their own copies.
 func (p *PBM) stepPerimeter(v view.NodeView, pkt *sim.Packet, voids []int, st planar.State) []sim.Forward {
-	next, nst, ok := view.PerimeterNextHop(v, st)
-	if !ok {
-		return dropOnly(pkt)
-	}
+	next, nst, verdict := view.PerimeterStep(v, st)
 	copyPkt := pkt.CloneFor(sortedCopy(voids))
+	switch verdict {
+	case view.StepDead:
+		return dropOnly(copyPkt)
+	case view.StepWatchdog:
+		return watchdogDrop(copyPkt)
+	}
 	copyPkt.Perimeter = true
 	copyPkt.Peri = nst
 	return []sim.Forward{{To: next, Pkt: copyPkt}}

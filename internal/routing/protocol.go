@@ -62,28 +62,20 @@ func sumDistTo(p geom.Point, dests []int, loc map[int]geom.Point) float64 {
 // among the deciding node's neighbors, pick the one closest to the pivot
 // location subject to the loop-freedom constraint that its total distance to
 // the group's destinations is strictly below the current node's. Returns -1
-// when no neighbor qualifies (a void for this group).
+// when no neighbor qualifies (a void for this group). Dead neighbors never
+// appear: after an ARQ give-up the engine hands out views that mask the
+// blacklisted link.
 //
 // Callers must have primed the view's distance memo for the current packet
 // (Scratch().Memo.Begin) — the Σ-distance terms are memoized there because
 // GMP's split loop re-evaluates heavily overlapping groups.
 func groupNextHop(v view.NodeView, pivot geom.Point, group []int) int {
-	return groupNextHopSkip(v, pivot, group, nil)
-}
-
-// groupNextHopSkip is groupNextHop with an exclusion set: neighbors in skip
-// are never selected. ARQ's NACK callback feeds suspected-dead neighbors in
-// here so GMP's re-selection avoids the failed link.
-func groupNextHopSkip(v view.NodeView, pivot geom.Point, group []int, skip map[int]bool) int {
 	s := v.Scratch()
 	s.ColBuf = s.Memo.Cols(group, s.ColBuf[:0])
 	cols := s.ColBuf
 	curTotal := s.Memo.SumRow(0, v.Pos(), cols)
 	best, bestD := -1, math.Inf(1)
 	for i, n := range v.Neighbors() {
-		if skip[n] {
-			continue
-		}
 		np := v.NbrPos(n)
 		if s.Memo.SumRow(i+1, np, cols) >= curTotal {
 			continue
@@ -100,18 +92,9 @@ func groupNextHopSkip(v view.NodeView, pivot geom.Point, group []int, skip map[i
 // otherwise. This is the classical greedy geographic forwarding step used by
 // GRD and LGS.
 func greedyNextHop(v view.NodeView, target geom.Point) int {
-	return greedyNextHopSkip(v, target, nil)
-}
-
-// greedyNextHopSkip is greedyNextHop with an exclusion set for suspected-
-// dead neighbors.
-func greedyNextHopSkip(v view.NodeView, target geom.Point, skip map[int]bool) int {
 	curD := v.Pos().Dist(target)
 	best, bestD := -1, curD
 	for _, n := range v.Neighbors() {
-		if skip[n] {
-			continue
-		}
 		if d := v.NbrPos(n).Dist(target); d < bestD {
 			best, bestD = n, d
 		}
@@ -122,6 +105,13 @@ func greedyNextHopSkip(v view.NodeView, target geom.Point, skip map[int]bool) in
 // dropOnly is the single-element forward list abandoning pkt.
 func dropOnly(pkt *sim.Packet) []sim.Forward {
 	return []sim.Forward{{To: sim.DropCopy, Pkt: pkt}}
+}
+
+// watchdogDrop abandons pkt with watchdog attribution: the perimeter
+// watchdog detected a non-terminating face traversal and its bounded
+// recovery is spent.
+func watchdogDrop(pkt *sim.Packet) []sim.Forward {
+	return []sim.Forward{{To: sim.DropWatchdog, Pkt: pkt}}
 }
 
 // sortedCopy returns a sorted copy of ids (protocol output must not depend

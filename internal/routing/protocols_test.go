@@ -222,7 +222,7 @@ func TestLGSFailsOnVoid(t *testing.T) {
 	if !m.Failed() {
 		t.Fatal("LGS should fail at the void")
 	}
-	if m.Drops == 0 {
+	if m.Drops() == 0 {
 		t.Fatal("LGS should record the drop")
 	}
 	gmp := NewGMP()

@@ -59,8 +59,8 @@ func (c purityChecker) compare(step string, v view.NodeView, a, b []sim.Forward)
 // TestDecisionsArePure re-runs every per-hop decision of full multicast tasks
 // and demands identical output — the referential-transparency property the
 // engine relies on. Geocast is excluded by design: its flood keeps a
-// duplicate-suppression set across hops (documented impurity); GMP/GRD's ARQ
-// suspect sets stay untouched without fault injection.
+// duplicate-suppression set across hops (documented impurity); dead-link
+// state lives in the engine's per-session blacklist, not the protocols.
 func TestDecisionsArePure(t *testing.T) {
 	bed := denseBed(t, 331, 800)
 	for _, p := range bed.protocols() {

@@ -40,13 +40,23 @@ func (s *SMT) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	// task still completes.
 	hop := s.nw.HopDistances(src)
 	reachable := make([]int, 0, len(pkt.Dests))
+	var unreachable []int
 	for _, d := range pkt.Dests {
 		if hop[d] >= 0 {
 			reachable = append(reachable, d)
+		} else {
+			unreachable = append(unreachable, d)
 		}
 	}
+	// Bill the unreachable destinations as an explicit protocol drop so the
+	// conservation invariant (originated ≡ delivered + drops) holds; a silent
+	// discard would leak them from the accounting.
+	var fwds []sim.Forward
+	if len(unreachable) > 0 {
+		fwds = dropOnly(pkt.CloneFor(unreachable))
+	}
 	if len(reachable) == 0 {
-		return nil
+		return fwds
 	}
 	terminals := append([]int{src}, reachable...)
 	// The paper's SMT computes a close-to-optimal Steiner tree over node
@@ -58,11 +68,11 @@ func (s *SMT) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	if err != nil {
 		// Cannot happen for reachable terminals; fail the task loudly by
 		// dropping rather than panicking.
-		return dropOnly(pkt.CloneFor(reachable))
+		return append(fwds, dropOnly(pkt.CloneFor(reachable))...)
 	}
 	copyPkt := pkt.CloneFor(reachable)
 	copyPkt.Route = rootTree(edges, src)
-	return s.forwardChildren(src, copyPkt)
+	return append(fwds, s.forwardChildren(src, copyPkt)...)
 }
 
 // Decide implements sim.Handler.

@@ -94,6 +94,75 @@ type Forward struct {
 // drop is billed to the packet's own session.
 const DropCopy = -1
 
+// DropWatchdog, used as Forward.To, records that the perimeter watchdog
+// killed a looping face traversal after exhausting its bounded recovery
+// (view.PerimeterStep returning StepWatchdog). Billed as ReasonWatchdog to
+// the packet's own session.
+const DropWatchdog = -2
+
+// DropReason classifies why a packet copy died. Every copy the engine
+// originates either delivers all its destinations or is killed with exactly
+// one reason, so per-reason counts account for every loss.
+type DropReason int
+
+const (
+	// ReasonHopBudget: the copy exceeded the per-packet hop budget.
+	ReasonHopBudget DropReason = iota
+	// ReasonProtocol: the protocol intentionally abandoned the copy (a
+	// DropCopy forward — e.g. LGS meeting a void destination).
+	ReasonProtocol
+	// ReasonStranded: a decision returned no forwards for a copy that still
+	// had destinations aboard (e.g. a flood relay suppressing a duplicate).
+	ReasonStranded
+	// ReasonWatchdog: the perimeter watchdog killed a looping face
+	// traversal (a DropWatchdog forward).
+	ReasonWatchdog
+	// ReasonLinkLoss: the frame was lost on the air and ARQ was off, so the
+	// sender never learned.
+	ReasonLinkLoss
+	// ReasonCrashedReceiver: the frame was addressed to a crashed node and
+	// ARQ was off.
+	ReasonCrashedReceiver
+	// ReasonSenderCrashed: the sender's radio died before the
+	// (re)transmission went out.
+	ReasonSenderCrashed
+	// ReasonARQExhausted: ARQ retries ran out and no handler re-route
+	// salvaged the copy.
+	ReasonARQExhausted
+	// ReasonInvalidSend: the decision addressed an out-of-range node or the
+	// sender itself (a protocol bug; see TaskMetrics.InvalidSends).
+	ReasonInvalidSend
+
+	// NumDropReasons sizes per-reason counter arrays.
+	NumDropReasons
+)
+
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	switch r {
+	case ReasonHopBudget:
+		return "hop-budget"
+	case ReasonProtocol:
+		return "protocol"
+	case ReasonStranded:
+		return "stranded"
+	case ReasonWatchdog:
+		return "watchdog"
+	case ReasonLinkLoss:
+		return "link-loss"
+	case ReasonCrashedReceiver:
+		return "crashed-receiver"
+	case ReasonSenderCrashed:
+		return "sender-crashed"
+	case ReasonARQExhausted:
+		return "arq-exhausted"
+	case ReasonInvalidSend:
+		return "invalid-send"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
 // Handler is a routing protocol instance. Each hop is a pure decision
 // function from (local view, packet) to a forward list that the engine
 // applies in order; handlers never touch the engine and never see beyond
@@ -122,16 +191,26 @@ type TaskMetrics struct {
 	// Delivered maps each reached destination to the hop count at which it
 	// was first reached (Figure 12 averages these).
 	Delivered map[int]int
-	// Drops counts packet copies dropped (hop budget exhausted or protocol
-	// gave up, e.g. LGS hitting a void).
-	Drops int
+	// DropsByReason counts packet-copy deaths by cause.
+	DropsByReason [NumDropReasons]int
+	// DestDropsByReason counts, per cause, the destinations that were still
+	// aboard each dying copy. Together with Delivered this makes every
+	// originated destination accountable: for partition-discipline protocols
+	// (each destination rides exactly one live copy at any time),
+	// DestCount == len(Delivered) + Σ DestDropsByReason — the conservation
+	// invariant AuditTask checks.
+	DestDropsByReason [NumDropReasons]int
+	// DuplicateDeliveries counts arrivals at an already-delivered
+	// destination. Always zero under partition-discipline protocols;
+	// region flooding (geocast) produces them by design.
+	DuplicateDeliveries int
 	// Retransmissions counts data frames re-sent by hop-by-hop ARQ. Each is
 	// also counted in Transmissions.
 	Retransmissions int
-	// LossDrops counts packet copies lost to injected faults: frames lost
-	// on the air or addressed to a crashed node (without ARQ), or copies
-	// whose ARQ retries were exhausted.
-	LossDrops int
+	// LinkFailures counts ARQ give-up events (retries exhausted on a link).
+	// Each bans the link for the rest of the session; the copy itself dies
+	// as ReasonARQExhausted only when no handler re-route salvages it.
+	LinkFailures int
 	// Acks counts ACK frames sent by receivers under ARQ. ACK energy is in
 	// EnergyJ, but ACKs are not data transmissions and stay out of
 	// Transmissions (the paper's hop metric).
@@ -150,6 +229,41 @@ type TaskMetrics struct {
 // Failed reports whether the task missed at least one destination — the
 // paper's failure criterion for Figure 15.
 func (m *TaskMetrics) Failed() bool { return len(m.Delivered) < m.DestCount }
+
+// Drops counts packet copies the routing layer gave up on: hop budget
+// exhausted, protocol-intentional abandonment, or a watchdog kill.
+func (m *TaskMetrics) Drops() int {
+	return m.DropsByReason[ReasonHopBudget] + m.DropsByReason[ReasonProtocol] +
+		m.DropsByReason[ReasonWatchdog]
+}
+
+// LossDrops counts packet copies lost to injected faults: frames lost on
+// the air or addressed to a crashed node (without ARQ), copies from a
+// crashed sender, or copies whose ARQ retries were exhausted without a
+// salvaging re-route.
+func (m *TaskMetrics) LossDrops() int {
+	return m.DropsByReason[ReasonLinkLoss] + m.DropsByReason[ReasonCrashedReceiver] +
+		m.DropsByReason[ReasonSenderCrashed] + m.DropsByReason[ReasonARQExhausted]
+}
+
+// TotalDrops counts every packet-copy death, over all reasons.
+func (m *TaskMetrics) TotalDrops() int {
+	var total int
+	for _, n := range m.DropsByReason {
+		total += n
+	}
+	return total
+}
+
+// DroppedDests counts the destinations aboard dying copies, over all
+// reasons — the loss side of the conservation invariant.
+func (m *TaskMetrics) DroppedDests() int {
+	var total int
+	for _, n := range m.DestDropsByReason {
+		total += n
+	}
+	return total
+}
 
 // TotalHops is the paper's Figure 11 metric.
 func (m *TaskMetrics) TotalHops() int { return m.Transmissions }
@@ -236,6 +350,28 @@ type TraceFunc func(TraceEvent)
 type sessionState struct {
 	handler Handler
 	metrics SessionMetrics
+	// banned holds the session's dead-link blacklist: sender node → set of
+	// neighbors ARQ gave up on from there. Installed at every ARQ give-up,
+	// so all later decisions at that node (greedy, grouping, perimeter)
+	// exclude the dead neighbor via a masking view.
+	banned map[int]map[int]bool
+	// masks caches the masking views, one per banned-at node, invalidated
+	// whenever that node's ban set grows.
+	masks map[int]*view.Masked
+}
+
+// banLink adds (from → to) to a session's dead-link blacklist.
+func (st *sessionState) banLink(from, to int) {
+	if st.banned == nil {
+		st.banned = make(map[int]map[int]bool)
+	}
+	b := st.banned[from]
+	if b == nil {
+		b = make(map[int]bool)
+		st.banned[from] = b
+	}
+	b[to] = true
+	delete(st.masks, from)
 }
 
 // Engine runs multicast tasks over a network with a given radio model:
@@ -315,12 +451,31 @@ func (e *Engine) Net() *network.Network { return e.net }
 // built with a planar graph.
 func (e *Engine) SetViews(p view.Provider) { e.views = p }
 
-// viewAt returns node's view, lazily building the default oracle provider.
+// viewAt returns node's view for the current session, lazily building the
+// default oracle provider. When the session's dead-link blacklist bans
+// neighbors at this node, the base view is wrapped in a masking decorator so
+// every decision — greedy, grouping, perimeter — excludes them. Sessions
+// without bans (every fault-free run) get the unwrapped base view, keeping
+// the zero-fault path a strict no-op.
 func (e *Engine) viewAt(node int) view.NodeView {
 	if e.views == nil {
 		e.views = view.NewOracle(e.net, nil)
 	}
-	return e.views.At(node)
+	base := e.views.At(node)
+	st := &e.sessions[e.cur]
+	b := st.banned[node]
+	if len(b) == 0 {
+		return base
+	}
+	mv, ok := st.masks[node]
+	if !ok {
+		mv = view.NewMasked(base, b)
+		if st.masks == nil {
+			st.masks = make(map[int]*view.Masked)
+		}
+		st.masks[node] = mv
+	}
+	return mv
 }
 
 // Radio returns the radio parameters.
@@ -427,7 +582,12 @@ func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
 			e.sched.At(s.Start, func() {
 				e.cur = i
 				pkt := &Packet{Dests: remaining, Locs: locs, Session: i, Anchor: -1}
-				e.apply(s.Src, st.handler.Start(e.viewAt(s.Src), pkt))
+				fwds := st.handler.Start(e.viewAt(s.Src), pkt)
+				if len(fwds) == 0 {
+					e.kill(pkt, ReasonStranded)
+					return
+				}
+				e.apply(s.Src, fwds)
 			})
 		}
 	}
@@ -441,17 +601,31 @@ func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
 }
 
 // apply executes a decision's forward list from node `from`, in order:
-// transmissions via send, DropCopy entries via drop. This is the only path
-// from a protocol decision to the air — handlers return data, the engine
-// acts on it.
+// transmissions via send, DropCopy/DropWatchdog entries via kill. This is
+// the only path from a protocol decision to the air — handlers return data,
+// the engine acts on it. Kills are attributed to the packet's own session,
+// not whichever handler happens to be executing, so deferred drops in
+// concurrent scripts cannot be mis-billed.
 func (e *Engine) apply(from int, fwds []Forward) {
 	for _, f := range fwds {
-		if f.To == DropCopy {
-			e.drop(f.Pkt)
-			continue
+		switch f.To {
+		case DropCopy:
+			e.kill(f.Pkt, ReasonProtocol)
+		case DropWatchdog:
+			e.kill(f.Pkt, ReasonWatchdog)
+		default:
+			e.send(from, f.To, f.Pkt)
 		}
-		e.send(from, f.To, f.Pkt)
 	}
+}
+
+// kill records a packet copy's death: one copy-level event plus the
+// destinations still aboard, both indexed by reason and billed to the
+// packet's own session.
+func (e *Engine) kill(pkt *Packet, r DropReason) {
+	m := &e.sessions[pkt.Session].metrics
+	m.DropsByReason[r]++
+	m.DestDropsByReason[r] += len(pkt.Dests)
 }
 
 // send transmits a copy of pkt from node `from` to its neighbor `to`. It
@@ -465,15 +639,17 @@ func (e *Engine) send(from, to int, pkt *Packet) {
 	// Packets are attributed to the session whose handler is executing;
 	// handlers never need to stamp session IDs themselves.
 	m := &e.sessions[e.cur].metrics
-	if from == to || !e.net.InRange(from, to) {
+	if to < 0 || to >= e.net.Len() || from == to || !e.net.InRange(from, to) {
 		m.InvalidSends++
+		m.DropsByReason[ReasonInvalidSend]++
+		m.DestDropsByReason[ReasonInvalidSend] += len(pkt.Dests)
 		return
 	}
 	copyPkt := pkt.Clone()
 	copyPkt.Session = e.cur
 	copyPkt.Hops++
 	if e.maxHops > 0 && copyPkt.Hops > e.maxHops {
-		m.Drops++
+		e.kill(copyPkt, ReasonHopBudget)
 		return
 	}
 	e.transmit(from, to, copyPkt, 0)
@@ -487,7 +663,7 @@ func (e *Engine) transmit(from, to int, pkt *Packet, attempt int) {
 	m := &e.sessions[pkt.Session].metrics
 	if e.isDead(from) {
 		// The sender's radio died before this (re)transmission went out.
-		m.LossDrops++
+		e.kill(pkt, ReasonSenderCrashed)
 		return
 	}
 	frame := e.frameBytes(pkt)
@@ -528,7 +704,9 @@ func (e *Engine) transmit(from, to int, pkt *Packet, attempt int) {
 }
 
 // receive resolves one frame's fate at its arrival time: deliver (plus ACK
-// under ARQ), schedule a retransmission, or give up and NACK.
+// under ARQ), schedule a retransmission, or give up — banning the link,
+// asking the handler for a re-route, and killing the copy only when no
+// re-route salvages it.
 func (e *Engine) receive(from, to int, pkt *Packet, attempt int, lost bool) {
 	m := &e.sessions[pkt.Session].metrics
 	if !lost && !e.isDead(to) {
@@ -540,12 +718,19 @@ func (e *Engine) receive(from, to int, pkt *Packet, attempt int, lost bool) {
 	}
 	if !e.arq.Enabled {
 		// Without ARQ the sender never learns; the copy silently dies.
-		m.LossDrops++
+		if lost {
+			e.kill(pkt, ReasonLinkLoss)
+		} else {
+			e.kill(pkt, ReasonCrashedReceiver)
+		}
 		return
 	}
 	if attempt >= e.arq.MaxRetries {
-		m.LossDrops++
-		e.nack(from, to, pkt)
+		m.LinkFailures++
+		e.sessions[pkt.Session].banLink(from, to)
+		if !e.nack(from, to, pkt) {
+			e.kill(pkt, ReasonARQExhausted)
+		}
 		return
 	}
 	rto := e.arq.Timeout * math.Pow(e.arq.Backoff, float64(attempt))
@@ -573,14 +758,22 @@ func (e *Engine) sendAck(node int, pkt *Packet) {
 }
 
 // nack tells the packet's handler that ARQ gave up on the link from→to, if
-// the handler wants to know.
-func (e *Engine) nack(from, to int, pkt *Packet) {
+// the handler wants to know. The link is already banned, so the view handed
+// to the handler masks the dead neighbor. Reports whether the handler took
+// responsibility for the copy (returned at least one forward — a re-route or
+// an explicit drop); false means the engine must bill the copy itself.
+func (e *Engine) nack(from, to int, pkt *Packet) bool {
 	nh, ok := e.sessions[pkt.Session].handler.(NackHandler)
 	if !ok {
-		return
+		return false
 	}
 	e.cur = pkt.Session
-	e.apply(from, nh.Nack(e.viewAt(from), to, pkt))
+	fwds := nh.Nack(e.viewAt(from), to, pkt)
+	if len(fwds) == 0 {
+		return false
+	}
+	e.apply(from, fwds)
+	return true
 }
 
 // isDead reports whether node's radio is crashed at the current time.
@@ -600,16 +793,11 @@ func (e *Engine) linkLost(from, to int) bool {
 	return e.frand.Float64() < p
 }
 
-// drop records that a protocol intentionally abandoned a packet copy (a
-// DropCopy forward). The drop is attributed to the packet's own session, not
-// whichever handler happens to be executing, so deferred drops in concurrent
-// scripts cannot be mis-billed.
-func (e *Engine) drop(pkt *Packet) { e.sessions[pkt.Session].metrics.Drops++ }
-
 // arrive records deliveries at the receiving node, strips it from the
 // destination list (and its header location), and asks the protocol for the
 // next decision if work remains. Crashed nodes receive nothing: no delivery,
-// no handler callback.
+// no handler callback. A decision that returns no forwards while
+// destinations remain strands the copy, billed as ReasonStranded.
 func (e *Engine) arrive(node int, pkt *Packet) {
 	e.cur = pkt.Session
 	st := &e.sessions[pkt.Session]
@@ -620,6 +808,8 @@ func (e *Engine) arrive(node int, pkt *Packet) {
 			if _, dup := st.metrics.Delivered[d]; !dup {
 				st.metrics.Delivered[d] = pkt.Hops
 				st.metrics.DeliveredAt[d] = e.sched.Now()
+			} else {
+				st.metrics.DuplicateDeliveries++
 			}
 			continue
 		}
@@ -631,5 +821,10 @@ func (e *Engine) arrive(node int, pkt *Packet) {
 	if len(pkt.Dests) == 0 {
 		return
 	}
-	e.apply(node, st.handler.Decide(e.viewAt(node), pkt))
+	fwds := st.handler.Decide(e.viewAt(node), pkt)
+	if len(fwds) == 0 {
+		e.kill(pkt, ReasonStranded)
+		return
+	}
+	e.apply(node, fwds)
 }

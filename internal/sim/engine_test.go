@@ -106,8 +106,8 @@ func TestEngineHopBudget(t *testing.T) {
 	if m.Transmissions != 4 {
 		t.Fatalf("Transmissions = %d, want 4 (budget)", m.Transmissions)
 	}
-	if m.Drops != 1 {
-		t.Fatalf("Drops = %d, want 1", m.Drops)
+	if m.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", m.Drops())
 	}
 }
 

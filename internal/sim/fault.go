@@ -3,9 +3,16 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"gmp/internal/view"
 )
+
+// finite01 reports whether x is a finite probability in [0, 1]. The naive
+// `x < 0 || x > 1` form is false for NaN, so NaN would slip through.
+func finite01(x float64) bool {
+	return x >= 0 && x <= 1 && !math.IsNaN(x)
+}
 
 // Crash schedules one node's radio failure: at virtual time At the node
 // stops sending, receiving, relaying and counting as delivered. When
@@ -61,20 +68,25 @@ func (p FaultPlan) seed() int64 {
 	return p.Seed
 }
 
-// Validate checks the plan against a network of n nodes.
+// Validate checks the plan against a network of n nodes. Non-finite values
+// (NaN, ±Inf) are rejected everywhere: a NaN rate compares false against any
+// bound, so it would otherwise pass silently and poison the run.
 func (p FaultPlan) Validate(n int) error {
-	if p.LossRate < 0 || p.LossRate > 1 {
+	if !finite01(p.LossRate) {
 		return fmt.Errorf("sim: FaultPlan.LossRate %v outside [0, 1]", p.LossRate)
 	}
-	if p.EdgeLoss < 0 || p.EdgeLoss > 1 {
+	if !finite01(p.EdgeLoss) {
 		return fmt.Errorf("sim: FaultPlan.EdgeLoss %v outside [0, 1]", p.EdgeLoss)
 	}
 	for _, c := range p.Crashes {
 		if c.Node < 0 || c.Node >= n {
 			return fmt.Errorf("sim: crash of unknown node %d (network has %d nodes)", c.Node, n)
 		}
-		if c.At < 0 {
-			return fmt.Errorf("sim: crash of node %d at negative time %v", c.Node, c.At)
+		if !(c.At >= 0) || math.IsInf(c.At, 0) {
+			return fmt.Errorf("sim: crash of node %d at invalid time %v", c.Node, c.At)
+		}
+		if math.IsNaN(c.RecoverAt) || math.IsInf(c.RecoverAt, 0) {
+			return fmt.Errorf("sim: crash of node %d with invalid recovery time %v", c.Node, c.RecoverAt)
 		}
 	}
 	return nil
@@ -98,10 +110,12 @@ func (p FaultPlan) lossProb(d, rng float64) float64 {
 // every data frame is acknowledged by the receiver with a short ACK frame
 // (charged airtime and energy); a sender that detects a lost frame — lost
 // on the air or addressed to a crashed node — retransmits after a timeout
-// that backs off exponentially, up to MaxRetries times. A copy whose
-// retries are exhausted is dropped, counted in TaskMetrics.LossDrops, and
-// reported to the routing handler through the NackHandler callback if it
-// implements one.
+// that backs off exponentially, up to MaxRetries times. When retries run
+// out, the engine counts a TaskMetrics.LinkFailures event, bans the link in
+// the session's dead-link blacklist (all later decisions at that node see a
+// view masking the dead neighbor), and offers the copy to the routing
+// handler's NackHandler callback; only a copy no re-route salvages dies, as
+// ReasonARQExhausted.
 //
 // ACK frames themselves are modeled as loss-free: they are an order of
 // magnitude shorter than data frames, and modeling their loss would require
@@ -130,7 +144,10 @@ func DefaultARQ() ARQConfig {
 	return ARQConfig{Enabled: true, MaxRetries: 3, AckBytes: 16}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Timeout and Backoff have defaulting
+// sentinels (≤ 0 and < 1 respectively), but NaN and ±Inf are rejected: NaN
+// compares false against the sentinel bounds, so it would skip defaulting
+// and poison every retransmission deadline.
 func (a ARQConfig) Validate() error {
 	if !a.Enabled {
 		return nil
@@ -140,6 +157,12 @@ func (a ARQConfig) Validate() error {
 	}
 	if a.AckBytes <= 0 {
 		return errors.New("sim: ARQConfig.AckBytes must be positive")
+	}
+	if math.IsNaN(a.Timeout) || math.IsInf(a.Timeout, 0) {
+		return fmt.Errorf("sim: ARQConfig.Timeout %v not finite", a.Timeout)
+	}
+	if math.IsNaN(a.Backoff) || math.IsInf(a.Backoff, 0) {
+		return fmt.Errorf("sim: ARQConfig.Backoff %v not finite", a.Backoff)
 	}
 	return nil
 }
@@ -157,12 +180,15 @@ func (a ARQConfig) normalized(radio RadioParams) ARQConfig {
 
 // NackHandler is implemented by routing handlers that want to learn when
 // hop-by-hop ARQ gave up on a link, so they can re-route among the remaining
-// neighbors (GMP re-runs its grouping with the dead neighbor excluded;
-// protocols without the callback simply lose the copy). The packet passed in
-// is the undelivered copy; v is the sending node's view and `to` the
+// neighbors (protocols without the callback simply lose the copy). The
+// engine bans the failed link in the session's blacklist *before* the
+// callback, so v — the sending node's view — already masks the dead
+// neighbor; handlers re-decide over it rather than tracking suspects
+// themselves. The packet passed in is the undelivered copy and `to` the
 // unreachable neighbor. Like Start/Decide, the callback returns the re-route
 // decision as a forward list, which the engine applies from the sender with
-// the packet's session current so attribution stays correct.
+// the packet's session current so attribution stays correct; an empty list
+// declines responsibility and the engine bills the copy as ARQ-exhausted.
 type NackHandler interface {
 	Nack(v view.NodeView, to int, pkt *Packet) []Forward
 }

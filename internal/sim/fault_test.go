@@ -37,6 +37,17 @@ func TestFaultPlanValidate(t *testing.T) {
 		{Crashes: []Crash{{Node: -1}}},
 		{Crashes: []Crash{{Node: 99}}},
 		{Crashes: []Crash{{Node: 0, At: -5}}},
+		// Non-finite values must be rejected, not silently compared away
+		// (NaN fails every ordered comparison, so `rate < 0 || rate > 1`
+		// style checks let it through).
+		{LossRate: math.NaN()},
+		{LossRate: math.Inf(1)},
+		{EdgeLoss: math.NaN()},
+		{EdgeLoss: math.Inf(-1)},
+		{Crashes: []Crash{{Node: 0, At: math.NaN()}}},
+		{Crashes: []Crash{{Node: 0, At: math.Inf(1)}}},
+		{Crashes: []Crash{{Node: 0, At: 1, RecoverAt: math.NaN()}}},
+		{Crashes: []Crash{{Node: 0, At: 1, RecoverAt: math.Inf(1)}}},
 	} {
 		if err := bad.Validate(10); err == nil {
 			t.Fatalf("plan %+v must not validate", bad)
@@ -61,6 +72,16 @@ func TestARQConfigValidate(t *testing.T) {
 	}
 	if err := DefaultARQ().Validate(); err != nil {
 		t.Fatalf("DefaultARQ rejected: %v", err)
+	}
+	for _, bad := range []ARQConfig{
+		{Enabled: true, MaxRetries: 1, AckBytes: 16, Timeout: math.NaN()},
+		{Enabled: true, MaxRetries: 1, AckBytes: 16, Timeout: math.Inf(1)},
+		{Enabled: true, MaxRetries: 1, AckBytes: 16, Backoff: math.NaN()},
+		{Enabled: true, MaxRetries: 1, AckBytes: 16, Backoff: math.Inf(1)},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v must not validate", bad)
+		}
 	}
 }
 
@@ -113,8 +134,11 @@ func TestFaultsTotalLossKillsDelivery(t *testing.T) {
 		t.Fatalf("total loss must deliver nothing: %+v", m)
 	}
 	// The first (and only) frame is transmitted, then lost.
-	if m.Transmissions != 1 || m.LossDrops != 1 {
-		t.Fatalf("tx=%d lossDrops=%d, want 1/1", m.Transmissions, m.LossDrops)
+	if m.Transmissions != 1 || m.LossDrops() != 1 {
+		t.Fatalf("tx=%d lossDrops=%d, want 1/1", m.Transmissions, m.LossDrops())
+	}
+	if m.DropsByReason[ReasonLinkLoss] != 1 {
+		t.Fatalf("loss must be billed as link-loss: %+v", m.DropsByReason)
 	}
 	// Energy is still burned on the lost transmission.
 	if m.EnergyJ <= 0 {
@@ -218,8 +242,11 @@ func TestCrashStopsForwardingAndDelivery(t *testing.T) {
 	if len(m.Delivered) != 0 {
 		t.Fatalf("crashed relay delivered: %+v", m.Delivered)
 	}
-	if m.LossDrops != 1 || m.Transmissions != 1 {
-		t.Fatalf("lossDrops=%d tx=%d, want 1/1", m.LossDrops, m.Transmissions)
+	if m.LossDrops() != 1 || m.Transmissions != 1 {
+		t.Fatalf("lossDrops=%d tx=%d, want 1/1", m.LossDrops(), m.Transmissions)
+	}
+	if m.DropsByReason[ReasonCrashedReceiver] != 1 {
+		t.Fatalf("crash must be billed as crashed-receiver: %+v", m.DropsByReason)
 	}
 }
 
@@ -292,8 +319,8 @@ func TestARQAcksMatchReceivedFrames(t *testing.T) {
 	m := e.RunTask(chainHandler{}, 0, []int{5})
 	// Frames on the air = received + lost; every received frame is ACKed
 	// and every exhausted copy is a LossDrop.
-	if m.Acks+m.LossDrops > m.Transmissions || m.Acks == 0 {
-		t.Fatalf("acks=%d lossDrops=%d tx=%d inconsistent", m.Acks, m.LossDrops, m.Transmissions)
+	if m.Acks+m.LossDrops() > m.Transmissions || m.Acks == 0 {
+		t.Fatalf("acks=%d lossDrops=%d tx=%d inconsistent", m.Acks, m.LossDrops(), m.Transmissions)
 	}
 }
 
@@ -389,8 +416,12 @@ func TestARQNackReroutesAroundDeadHop(t *testing.T) {
 	if m.Transmissions != 3+2 {
 		t.Fatalf("Transmissions = %d, want 5", m.Transmissions)
 	}
-	if m.LossDrops != 1 || m.Retransmissions != 2 {
-		t.Fatalf("lossDrops=%d retrans=%d", m.LossDrops, m.Retransmissions)
+	// The rerouted copy survives, so nothing is dropped: the give-up is
+	// recorded as a link failure (and the 0→1 link is blacklisted), not as
+	// a loss drop.
+	if m.LossDrops() != 0 || m.LinkFailures != 1 || m.Retransmissions != 2 {
+		t.Fatalf("lossDrops=%d linkFailures=%d retrans=%d",
+			m.LossDrops(), m.LinkFailures, m.Retransmissions)
 	}
 }
 
@@ -406,7 +437,10 @@ func TestARQNoNackWithoutInterface(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := e.RunTask(chainHandler{}, 0, []int{2})
-	if !m.Failed() || m.LossDrops != 1 || m.Retransmissions != 1 {
+	if !m.Failed() || m.LossDrops() != 1 || m.Retransmissions != 1 {
 		t.Fatalf("metrics %+v", m)
+	}
+	if m.DropsByReason[ReasonARQExhausted] != 1 || m.LinkFailures != 1 {
+		t.Fatalf("exhausted retries must bill arq-exhausted: %+v", m)
 	}
 }

@@ -20,13 +20,13 @@ func TestScriptMetricsPerSessionAttribution(t *testing.T) {
 	})
 	a, b := res[0], res[1]
 
-	if a.Transmissions != 7 || a.Drops != 0 || a.Failed() {
+	if a.Transmissions != 7 || a.Drops() != 0 || a.Failed() {
 		t.Fatalf("session A: %+v", a.TaskMetrics)
 	}
 	if a.Delivered[3] != 3 || a.Delivered[7] != 7 {
 		t.Fatalf("session A deliveries: %v", a.Delivered)
 	}
-	if b.Transmissions != 5 || b.Drops != 1 || !b.Failed() {
+	if b.Transmissions != 5 || b.Drops() != 1 || !b.Failed() {
 		t.Fatalf("session B: %+v", b.TaskMetrics)
 	}
 	if b.Delivered[5] != 3 {
@@ -97,11 +97,11 @@ func TestDropBillsPacketSession(t *testing.T) {
 		{Start: 0.005, Handler: droppingHandler{s}, Src: 2, Dests: []int{6}},
 	})
 	a, b := res[0], res[1]
-	if a.Drops != 1 {
-		t.Fatalf("session A drops = %d, want 1 (billed to the packet's session)", a.Drops)
+	if a.Drops() != 1 {
+		t.Fatalf("session A drops = %d, want 1 (billed to the packet's session)", a.Drops())
 	}
-	if b.Drops != 0 {
-		t.Fatalf("session B drops = %d, want 0", b.Drops)
+	if b.Drops() != 0 {
+		t.Fatalf("session B drops = %d, want 0", b.Drops())
 	}
 	if a.Transmissions != 1 || b.Transmissions != 1 {
 		t.Fatalf("tx %d/%d, want 1/1", a.Transmissions, b.Transmissions)

@@ -34,6 +34,12 @@ type LiveConfig struct {
 	RadioRange float64
 	// Planarizer selects the perimeter-substrate rule (Gabriel/RNG).
 	Planarizer planar.Kind
+	// Watchdog arms the perimeter watchdog on every view; the zero value
+	// disarms it. Live tables with ghost or missing entries can make
+	// neighboring local planarizations disagree, and a face traversal over
+	// disagreeing adjacencies may never terminate — the watchdog is the
+	// bound on that.
+	Watchdog WatchdogLimits
 }
 
 // NewLive builds a table-backed provider. selfPos[i] is node i's own
@@ -73,6 +79,8 @@ type liveView struct {
 
 	planarOnce bool
 	planarAdj  []int
+	altOnce    bool
+	altAdj     []int
 	scratch    Scratch
 }
 
@@ -85,16 +93,37 @@ func (v *liveView) Scratch() *Scratch { return &v.scratch }
 
 // NbrPos looks the ID up in the table (binary search — the table is sorted).
 // Self's own position is always known; IDs absent from the table are outside
-// the view and yield the zero Point.
+// the view and yield the zero Point — indistinguishable from a node at the
+// origin, so callers that may hold a foreign ID must use NbrPosOK.
 func (v *liveView) NbrPos(id int) geom.Point {
+	p, _ := v.NbrPosOK(id)
+	return p
+}
+
+// NbrPosOK implements the miss-distinguishing lookup: ok is false when id is
+// neither Self nor in the neighbor table.
+func (v *liveView) NbrPosOK(id int) (geom.Point, bool) {
 	if id == v.id {
-		return v.pos
+		return v.pos, true
 	}
 	i := sort.SearchInts(v.ids, id)
 	if i < len(v.ids) && v.ids[i] == id {
-		return v.tbl[i].Pos
+		return v.tbl[i].Pos, true
 	}
-	return geom.Point{}
+	return geom.Point{}, false
+}
+
+// PerimeterWatchdog implements WatchdogCarrier.
+func (v *liveView) PerimeterWatchdog() WatchdogLimits { return v.cfg.Watchdog }
+
+// AltPlanarNeighbors implements AltPlanarView: the same neighbor table
+// planarized under the alternate rule, computed lazily.
+func (v *liveView) AltPlanarNeighbors() []int {
+	if !v.altOnce {
+		v.altAdj = planar.LocalAdjacency(v.pos, v.ids, v.NbrPos, v.cfg.Planarizer.Alternate())
+		v.altOnce = true
+	}
+	return v.altAdj
 }
 
 // PlanarSelfPos: a live node's perimeter substrate is its own advertised

@@ -15,6 +15,10 @@ type Oracle struct {
 	nw    *network.Network
 	pg    *planar.Graph
 	nodes []oracleView
+	wd    WatchdogLimits
+	// altAdj lazily caches per-node alternate-rule planar adjacencies for
+	// the watchdog's restart path (nil entries = not yet computed).
+	altAdj [][]int
 }
 
 // NewOracle builds the ideal provider over nw, using pg as the perimeter
@@ -34,6 +38,31 @@ func NewOracle(nw *network.Network, pg *planar.Graph) *Oracle {
 // At implements Provider.
 func (o *Oracle) At(id int) NodeView { return &o.nodes[id] }
 
+// SetWatchdog arms (or, with the zero value, disarms) the perimeter
+// watchdog on every view this provider hands out.
+func (o *Oracle) SetWatchdog(w WatchdogLimits) { o.wd = w }
+
+// altNeighbors returns node id's planar adjacency under the alternate rule,
+// computing and caching it on first use. The substrate is the planar
+// graph's network, exactly as PlanarNeighbors uses it.
+func (o *Oracle) altNeighbors(id int) []int {
+	if o.pg == nil {
+		return nil
+	}
+	if o.altAdj == nil {
+		o.altAdj = make([][]int, o.nw.Len())
+	}
+	if o.altAdj[id] == nil {
+		nw := o.pg.Network()
+		adj := planar.LocalAdjacency(nw.Pos(id), nw.Neighbors(id), nw.Pos, o.pg.Kind().Alternate())
+		if adj == nil {
+			adj = []int{} // distinguish "computed, empty" from "not yet"
+		}
+		o.altAdj[id] = adj
+	}
+	return o.altAdj[id]
+}
+
 // oracleView is one node's ideal view.
 type oracleView struct {
 	o       *Oracle
@@ -49,6 +78,21 @@ func (v *oracleView) Range() float64    { return v.o.nw.Range() }
 func (v *oracleView) Scratch() *Scratch { return &v.scratch }
 
 func (v *oracleView) NbrPos(id int) geom.Point { return v.o.nw.Pos(id) }
+
+// NbrPosOK: the oracle knows every node's advertised position, so any valid
+// node ID is in view.
+func (v *oracleView) NbrPosOK(id int) (geom.Point, bool) {
+	if id < 0 || id >= v.o.nw.Len() {
+		return geom.Point{}, false
+	}
+	return v.o.nw.Pos(id), true
+}
+
+// PerimeterWatchdog implements WatchdogCarrier.
+func (v *oracleView) PerimeterWatchdog() WatchdogLimits { return v.o.wd }
+
+// AltPlanarNeighbors implements AltPlanarView.
+func (v *oracleView) AltPlanarNeighbors() []int { return v.o.altNeighbors(v.id) }
 
 func (v *oracleView) PlanarSelfPos() geom.Point {
 	if v.o.pg == nil {

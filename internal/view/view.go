@@ -41,10 +41,16 @@ type NodeView interface {
 	// slice is shared; callers must not mutate it.
 	Neighbors() []int
 	// NbrPos returns the advertised position of a neighbor (or of Self).
-	// The argument must come from Neighbors(), Self(), or the packet's
-	// previous-hop field; anything else is outside the view's knowledge and
-	// yields the zero Point.
+	// The argument must come from Neighbors() or Self(); anything else is
+	// outside the view's knowledge and yields the zero Point — which is
+	// indistinguishable from a node legitimately at the origin. Use
+	// NbrPosOK whenever the id might be outside the view (e.g. a packet's
+	// previous-hop field under live tables, where one-sided links make the
+	// sender unknown to the receiver).
 	NbrPos(id int) geom.Point
+	// NbrPosOK is NbrPos with an explicit in-view report: ok is false when
+	// the id's position is not part of this view's knowledge.
+	NbrPosOK(id int) (pos geom.Point, ok bool)
 	// Degree returns len(Neighbors()).
 	Degree() int
 	// Range returns the node's radio range in meters (local hardware
@@ -77,4 +83,37 @@ type Provider interface {
 	// At returns node id's view. The returned view is valid until the next
 	// topology change (providers over immutable networks never invalidate).
 	At(id int) NodeView
+}
+
+// WatchdogLimits bounds one perimeter walk. The zero value disarms the
+// watchdog entirely, which keeps watchdog-free runs byte-identical to the
+// pre-watchdog engine (the strict no-op guarantee of DESIGN.md §3).
+type WatchdogLimits struct {
+	// MaxWalkHops caps the steps of a single face-traversal walk; 0 means
+	// unlimited. A planar walk that makes progress exits long before any
+	// generous cap; only inconsistent local planarizations spin.
+	MaxWalkHops int
+	// MaxWalkDist caps the cumulative substrate distance of a single walk
+	// in meters; 0 means unlimited. This is the no-progress distance
+	// budget: a healthy recovery walks O(perimeter) meters, not more.
+	MaxWalkDist float64
+}
+
+// Armed reports whether any limit is set.
+func (w WatchdogLimits) Armed() bool { return w.MaxWalkHops > 0 || w.MaxWalkDist > 0 }
+
+// WatchdogCarrier is implemented by views whose provider armed the
+// perimeter watchdog; PerimeterStep consults it on every perimeter hop.
+type WatchdogCarrier interface {
+	PerimeterWatchdog() WatchdogLimits
+}
+
+// AltPlanarView is implemented by views that can planarize their neighbor
+// table under the alternate rule (Gabriel ↔ RNG). The watchdog restarts a
+// looping walk on this adjacency once before giving up — the two rules
+// planarize inconsistent tables differently, so the loop often breaks.
+type AltPlanarView interface {
+	// AltPlanarNeighbors returns the alternate-rule planar adjacency in CCW
+	// bearing order. The slice is shared; callers must not mutate it.
+	AltPlanarNeighbors() []int
 }
