@@ -1,0 +1,37 @@
+package gmp
+
+// Allocation-budget regression tests for the forwarding hot path, the
+// top-level companion to the per-package budgets in internal/routing and
+// internal/steiner. See DESIGN.md §"Hot-path memory discipline" for the
+// ownership rules the budgets enforce.
+
+import (
+	"testing"
+
+	"gmp/internal/testutil"
+)
+
+// TestEngineHopAllocBudget pins the steady-state allocation budget of one
+// full engine hop: a 12-destination multicast under a one-hop budget runs
+// the source's GMP decision plus the engine's clone / schedule / deliver /
+// kill machinery. Packet pooling keeps the engine's share to the clones it
+// must hand to handlers; the budget is well under the PR 3 baseline of 478
+// allocs/op while leaving headroom over the measured steady state (~46).
+func TestEngineHopAllocBudget(t *testing.T) {
+	testutil.SkipIfRace(t)
+	nodes := DeployUniform(1000, 1000, 1000, newBenchRand())
+	nw, err := NewNetwork(nodes, 1000, 1000, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(nw, WithMaxHops(1))
+	proto := sys.GMP()
+	dests := []int{100, 250, 400, 550, 700, 850, 950, 50, 300, 600, 750, 900}
+	avg := testing.AllocsPerRun(200, func() {
+		sys.Multicast(proto, 0, dests)
+	})
+	const budget = 120
+	if avg > budget {
+		t.Errorf("engine hop: %.1f allocs/op, budget %d", avg, budget)
+	}
+}

@@ -1,0 +1,194 @@
+// Command benchgate is the allocation-regression gate for the forwarding hot
+// path. It parses `go test -bench` output (stdin or a file argument), takes
+// the median allocs/op and B/op of each benchmark across -count repeats, and
+// compares them against the microbenchmark baselines recorded in a BENCH_*.json
+// file. Any benchmark whose measured allocs/op exceeds its baseline beyond
+// the configured slack fails the gate; benchmarks absent from the baseline
+// are reported but never fail. Wall-clock (ns/op) is printed for context and
+// never gated — CI time noise would make it flaky.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Single' -benchtime=200x -count=3 ./... | benchgate -baseline BENCH_PR5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the schema of the repo's BENCH_*.json records; only
+// the microbenchmark metrics matter to the gate.
+type baselineFile struct {
+	Description     string               `json:"description"`
+	Microbenchmarks map[string]benchLine `json:"microbenchmarks"`
+}
+
+type benchLine struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchRe matches a `go test -bench` result line with -benchmem metrics, e.g.
+//
+//	BenchmarkSingleGMPDecision        200    4822 ns/op    512 B/op    4 allocs/op
+//
+// The -cpu/GOMAXPROCS suffix (-8) is stripped so names match baseline keys.
+var benchRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+
+var metricRe = regexp.MustCompile(`([\d.]+) (B/op|allocs/op)`)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		basePath = fs.String("baseline", "", "baseline BENCH_*.json file (required)")
+		slack    = fs.Float64("slack", 0.10, "fractional headroom over baseline allocs/op before failing")
+		absSlack = fs.Float64("abs", 2, "absolute allocs/op headroom, for near-zero baselines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", *basePath, err)
+	}
+	if len(base.Microbenchmarks) == 0 {
+		return fmt.Errorf("%s: no microbenchmarks", *basePath)
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	w := bufio.NewWriter(out)
+	fmt.Fprintf(w, "%-34s %14s %14s %9s\n", "benchmark (median allocs/op)", "baseline", "measured", "delta")
+	for _, name := range names {
+		cur := median(got[name])
+		want, ok := base.Microbenchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-34s %14s %14.0f %9s\n", name, "-", cur.AllocsPerOp, "new")
+			continue
+		}
+		limit := want.AllocsPerOp*(1+*slack) + *absSlack
+		status := "ok"
+		if cur.AllocsPerOp > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f allocs/op exceeds baseline %.0f (limit %.1f)",
+				name, cur.AllocsPerOp, want.AllocsPerOp, limit))
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+8.1f%% %s\n",
+			name, want.AllocsPerOp, cur.AllocsPerOp, delta(want.AllocsPerOp, cur.AllocsPerOp), status)
+		fmt.Fprintf(w, "%-34s %12.0f B %12.0f B   (ns/op %.0f → %.0f, not gated)\n",
+			"", want.BytesPerOp, cur.BytesPerOp, want.NsPerOp, cur.NsPerOp)
+	}
+	w.Flush()
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// parseBench collects every -benchmem result line by benchmark name; repeated
+// -count runs accumulate so the caller can take medians.
+func parseBench(r io.Reader) (map[string][]benchLine, error) {
+	out := make(map[string][]benchLine)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		line := benchLine{NsPerOp: ns}
+		for _, mm := range metricRe.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			switch mm[2] {
+			case "B/op":
+				line.BytesPerOp = v
+			case "allocs/op":
+				line.AllocsPerOp = v
+			}
+		}
+		out[m[1]] = append(out[m[1]], line)
+	}
+	return out, sc.Err()
+}
+
+// median reduces repeated runs of one benchmark to per-metric medians, so a
+// single noisy -count repeat cannot fail (or sneak past) the gate.
+func median(runs []benchLine) benchLine {
+	pick := func(get func(benchLine) float64) float64 {
+		vs := make([]float64, len(runs))
+		for i, r := range runs {
+			vs[i] = get(r)
+		}
+		sort.Float64s(vs)
+		if n := len(vs); n%2 == 1 {
+			return vs[n/2]
+		} else {
+			return (vs[n/2-1] + vs[n/2]) / 2
+		}
+	}
+	return benchLine{
+		NsPerOp:     pick(func(l benchLine) float64 { return l.NsPerOp }),
+		BytesPerOp:  pick(func(l benchLine) float64 { return l.BytesPerOp }),
+		AllocsPerOp: pick(func(l benchLine) float64 { return l.AllocsPerOp }),
+	}
+}
+
+func delta(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur/base - 1) * 100
+}

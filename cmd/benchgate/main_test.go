@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBaseline = `{
+  "description": "test baseline",
+  "microbenchmarks": {
+    "BenchmarkSingleGMPDecision": { "ns_per_op": 50000, "bytes_per_op": 1000, "allocs_per_op": 10 },
+    "BenchmarkSingleRRSTRBuild":  { "ns_per_op": 30000, "bytes_per_op": 80,   "allocs_per_op": 0 }
+  }
+}`
+
+// -count=3 output with a GOMAXPROCS suffix and an unrelated PASS footer.
+const sampleOutput = `goos: linux
+BenchmarkSingleGMPDecision-8   	     200	     48000 ns/op	     900 B/op	       9 allocs/op
+BenchmarkSingleGMPDecision-8   	     200	     52000 ns/op	     950 B/op	      10 allocs/op
+BenchmarkSingleGMPDecision-8   	     200	     49000 ns/op	     920 B/op	       9 allocs/op
+BenchmarkSingleRRSTRBuild-8    	     200	     29000 ns/op	      80 B/op	       0 allocs/op
+PASS
+`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinSlack(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t)}, strings.NewReader(sampleOutput), &out)
+	if err != nil {
+		t.Fatalf("gate failed on in-budget medians: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkSingleGMPDecision") {
+		t.Fatalf("report missing benchmark:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	regressed := strings.ReplaceAll(sampleOutput, "9 allocs/op", "40 allocs/op")
+	var out strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t)}, strings.NewReader(regressed), &out)
+	if err == nil {
+		t.Fatalf("gate passed a 4x allocs/op regression:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSingleGMPDecision") {
+		t.Fatalf("failure does not name the regressed benchmark: %v", err)
+	}
+}
+
+// Zero-baseline benchmarks rely on the absolute headroom: +2 allocs passes,
+// +3 fails.
+func TestGateZeroBaselineAbsoluteSlack(t *testing.T) {
+	for _, tc := range []struct {
+		allocs string
+		wantOK bool
+	}{{"2", true}, {"3", false}} {
+		in := strings.ReplaceAll(sampleOutput, "0 allocs/op", tc.allocs+" allocs/op")
+		var out strings.Builder
+		err := run([]string{"-baseline", writeBaseline(t)}, strings.NewReader(in), &out)
+		if ok := err == nil; ok != tc.wantOK {
+			t.Errorf("allocs=%s: gate ok=%v, want %v (err=%v)", tc.allocs, ok, tc.wantOK, err)
+		}
+	}
+}
+
+func TestGateRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-baseline", writeBaseline(t)}, strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("gate passed with no benchmark lines")
+	}
+}
+
+// A benchmark missing from the baseline is reported as new, never gated.
+func TestGateIgnoresUnknownBenchmarks(t *testing.T) {
+	in := sampleOutput + "BenchmarkSomethingNew-8   	 100	 1000 ns/op	 5000 B/op	 999 allocs/op\n"
+	var out strings.Builder
+	if err := run([]string{"-baseline", writeBaseline(t)}, strings.NewReader(in), &out); err != nil {
+		t.Fatalf("unknown benchmark failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Fatalf("unknown benchmark not reported:\n%s", out.String())
+	}
+}

@@ -23,6 +23,13 @@
 // -workers caps the pool (0 = one worker per CPU) and -progress renders a
 // live cells-completed counter on stderr. Output is byte-identical for any
 // worker count.
+//
+// Profiling: -cpuprofile, -memprofile and -trace write the standard pprof /
+// runtime-trace artifacts for the whole run; -pprof addr serves
+// net/http/pprof on addr for live inspection of long campaigns, e.g.
+//
+//	gmpsim -experiment all -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile
 package main
 
 import (
@@ -30,8 +37,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 
@@ -71,10 +83,20 @@ func run(args []string, out io.Writer) error {
 		arq      = fs.Bool("arq", false, "enable hop-by-hop ARQ (ACKs + retransmissions)")
 		workers  = fs.Int("workers", 0, "max concurrent simulation cells (0 = one per CPU); output is identical for any value")
 		progress = fs.Bool("progress", false, "render a live cells-completed counter on stderr")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut = fs.String("trace", "", "write a runtime execution trace to this file")
+		pprofSrv = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live inspection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := startProfiling(*cpuProf, *memProf, *traceOut, *pprofSrv)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg := experiment.Default()
 	if *quick {
@@ -377,6 +399,71 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	return nil
+}
+
+// startProfiling wires up the requested profiling outputs and returns a stop
+// function that flushes them. CPU profiling and tracing start immediately;
+// the heap profile is captured by the stop function after a final GC, so it
+// reflects live memory at the end of the run. The pprof HTTP listener (if
+// any) runs for the life of the process; ListenAndServe errors surface on
+// stderr rather than aborting the campaign.
+func startProfiling(cpuProf, memProf, traceOut, pprofAddr string) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gmpsim: -pprof:", err)
+			}
+		}()
+	}
+	if cpuProf != "" {
+		f, err := os.Create(cpuProf)
+		if err != nil {
+			return stop, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return stop, fmt.Errorf("-trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("-trace: %w", err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if memProf != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gmpsim: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gmpsim: -memprofile:", err)
+			}
+		})
+	}
+	return stop, nil
 }
 
 // inheritRun copies the run-level knobs — seed, worker cap and progress

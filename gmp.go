@@ -29,6 +29,13 @@ type (
 	SteinerTree = steiner.Tree
 	// SteinerOptions configures rrSTR (radio-range awareness et al.).
 	SteinerOptions = steiner.Options
+	// SteinerBuilder is a reusable tree-construction arena: repeated builds
+	// on one builder are allocation-free in steady state. Not safe for
+	// concurrent use; the returned tree is valid until the next build.
+	SteinerBuilder = steiner.Builder
+	// SteinerDest is one destination record (position plus caller label)
+	// handed to a SteinerBuilder.
+	SteinerDest = steiner.Dest
 	// Protocol is a runnable multicast routing protocol.
 	Protocol = routing.Protocol
 	// Result carries one task's measured metrics.

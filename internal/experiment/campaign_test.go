@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"gmp/internal/sim"
 )
 
 // TestRunCellsBoundedPool verifies the satellite contract that the runner
@@ -213,6 +215,61 @@ func TestWorkersDeterminism(t *testing.T) {
 				return "", err
 			}
 			return res.Failures.Render() + res.Transmissions.Render() + res.Energy.Render(), nil
+		}},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			serial := renderAll(t, 1, d.run)
+			pooled := renderAll(t, 8, d.run)
+			if serial != pooled {
+				t.Fatalf("%s output depends on worker count:\nWorkers=1:\n%s\nWorkers=8:\n%s",
+					d.name, serial, pooled)
+			}
+		})
+	}
+}
+
+// TestScratchSafetyMultiWorker extends TestWorkersDeterminism to the shared
+// mutable state PR 5 introduced: the global sync.Pool of packets and the
+// per-node decision arenas (view.Scratch, steiner.Builder). Eight workers run
+// the two campaigns that hit every pool release point — a loss sweep with ARQ
+// (link-loss drops, retransmission exhaustion, full delivery) and a chaos
+// campaign (crashes, perimeter recovery, the whole drop-reason taxonomy) —
+// and the rendered output must still match a serial run. Determinism is
+// re-checked as a byproduct; the test earns its keep under `go test -race`,
+// where a scratch buffer shared across workers or a pooled packet freed while
+// a handler still holds it becomes a reported race instead of silent
+// corruption.
+func TestScratchSafetyMultiWorker(t *testing.T) {
+	drivers := []struct {
+		name string
+		run  func(Config) (string, error)
+	}{
+		{"RunLossARQ", func(cfg Config) (string, error) {
+			lc := QuickLossConfig()
+			lc.Base = cfg
+			lc.Base.TasksPerNet = 4
+			lc.ARQ = sim.DefaultARQ()
+			res, err := RunLoss(lc, []string{ProtoGMP, ProtoPBM})
+			if err != nil {
+				return "", err
+			}
+			return res.Failures.Render() + res.Transmissions.Render(), nil
+		}},
+		{"RunChaos", func(cfg Config) (string, error) {
+			cc := QuickChaosConfig()
+			cc.Base.Seed = cfg.Seed
+			cc.Base.Workers = cfg.Workers
+			rep, err := RunChaos(cc)
+			if err != nil {
+				return "", err
+			}
+			if len(rep.Violations) > 0 {
+				return "", fmt.Errorf("chaos: %d invariant violations", len(rep.Violations))
+			}
+			return rep.Render(), nil
 		}},
 	}
 	for _, d := range drivers {

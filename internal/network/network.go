@@ -196,26 +196,92 @@ func (nw *Network) InRange(a, b int) bool {
 	return nw.nodes[a].Pos.Dist2(nw.nodes[b].Pos) <= nw.rng*nw.rng
 }
 
-// ClosestNode returns the ID of the node closest to p.
+// bestInCell scans one grid cell for a node closer to p than (best, bestD),
+// preferring the lower ID on exact distance ties. Cells hold IDs in
+// ascending order, so the in-cell scan already matches a full ID-order scan.
+func (nw *Network) bestInCell(ci int, p geom.Point, best int, bestD float64) (int, float64) {
+	for _, id := range nw.cells[ci] {
+		if d := nw.nodes[id].Pos.Dist2(p); d < bestD || (d == bestD && id < best) {
+			best, bestD = id, d
+		}
+	}
+	return best, bestD
+}
+
+// ClosestNode returns the ID of the node closest to p (the lowest ID on
+// exact distance ties, matching a full scan in ID order). It expands
+// Chebyshev rings of grid cells around p's cell instead of scanning all
+// nodes: geocast source selection and perimeter fallback call this per
+// packet.
 func (nw *Network) ClosestNode(p geom.Point) int {
-	best, bestD := -1, math.Inf(1)
-	for _, n := range nw.nodes {
-		if d := n.Pos.Dist2(p); d < bestD {
-			best, bestD = n.ID, d
+	cx := clampInt(int(p.X/nw.cellSize), 0, nw.cols-1)
+	cy := clampInt(int(p.Y/nw.cellSize), 0, nw.rows-1)
+	best, bestD := nw.bestInCell(cy*nw.cols+cx, p, -1, math.Inf(1))
+	// cols+rows rings reach every cell from any start, even a corner.
+	for r := 1; r <= nw.cols+nw.rows; r++ {
+		if best != -1 {
+			// Every point of a ring-r cell is at least (r-1)·cellSize from p:
+			// p projects into its (clamped) center cell, projection onto the
+			// grid rectangle only shrinks distances, and r-1 full cell widths
+			// separate the projection from ring r. Strict `>` (not `>=`)
+			// keeps scanning while an exactly-tied farther node with a lower
+			// ID could still exist, preserving the full-scan tie-break.
+			if lb := float64(r-1) * nw.cellSize; lb*lb > bestD {
+				break
+			}
+		}
+		x0, x1 := cx-r, cx+r
+		y0, y1 := cy-r, cy+r
+		for x := x0; x <= x1; x++ { // top and bottom edges of the ring
+			if x < 0 || x >= nw.cols {
+				continue
+			}
+			if y0 >= 0 {
+				best, bestD = nw.bestInCell(y0*nw.cols+x, p, best, bestD)
+			}
+			if y1 < nw.rows {
+				best, bestD = nw.bestInCell(y1*nw.cols+x, p, best, bestD)
+			}
+		}
+		for y := y0 + 1; y < y1; y++ { // left and right edges, corners done
+			if y < 0 || y >= nw.rows {
+				continue
+			}
+			if x0 >= 0 {
+				best, bestD = nw.bestInCell(y*nw.cols+x0, p, best, bestD)
+			}
+			if x1 < nw.cols {
+				best, bestD = nw.bestInCell(y*nw.cols+x1, p, best, bestD)
+			}
 		}
 	}
 	return best
 }
 
-// NodesInDisk returns the IDs of all nodes within radius of p, sorted.
+// NodesInDisk returns the IDs of all nodes within radius of p, sorted. Only
+// the grid cells overlapping the disk's bounding box are scanned. Positions
+// outside the region clamp to border cells, and the clamped box bounds are
+// monotone in the coordinates, so out-of-region nodes are still found.
 func (nw *Network) NodesInDisk(p geom.Point, radius float64) []int {
 	var out []int
+	if radius < 0 {
+		return out
+	}
 	r2 := radius * radius
-	for _, n := range nw.nodes {
-		if n.Pos.Dist2(p) <= r2 {
-			out = append(out, n.ID)
+	x0 := clampInt(int((p.X-radius)/nw.cellSize), 0, nw.cols-1)
+	x1 := clampInt(int((p.X+radius)/nw.cellSize), 0, nw.cols-1)
+	y0 := clampInt(int((p.Y-radius)/nw.cellSize), 0, nw.rows-1)
+	y1 := clampInt(int((p.Y+radius)/nw.cellSize), 0, nw.rows-1)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			for _, id := range nw.cells[y*nw.cols+x] {
+				if nw.nodes[id].Pos.Dist2(p) <= r2 {
+					out = append(out, id)
+				}
+			}
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"sort"
+
 	"gmp/internal/geom"
 	"gmp/internal/planar"
 	"gmp/internal/sim"
@@ -115,38 +117,57 @@ func (g *GMP) process(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 // none exists. It returns the destinations that remain void after maximal
 // splitting (each is a single non-virtual destination by then).
 func (g *GMP) forwardGroups(v view.NodeView, pkt *sim.Packet) (fwds []sim.Forward, voids []int) {
+	// Everything transient below lives in the node's scratch arena: the tree,
+	// the pivot worklist, the per-group label buffer, and the batches. All of
+	// it is clobbered by the next decision; only the CloneFor'd packets and
+	// the forward list itself are freshly allocated (the engine keeps them).
+	s := v.Scratch()
+	s.DestBuf = appendHeaderDests(s.DestBuf[:0], pkt)
 	var tree *steiner.Tree
 	switch {
 	case g.opts.SteinerizedGrouping:
-		tree = steiner.SteinerizedMST(v.Pos(), headerDests(pkt))
+		tree = s.Steiner.SteinerizedMST(v.Pos(), s.DestBuf)
 	case g.opts.MSTGrouping:
-		tree = steiner.EuclideanMST(v.Pos(), headerDests(pkt))
+		tree = s.Steiner.EuclideanMST(v.Pos(), s.DestBuf)
 	default:
-		tree = steiner.Build(v.Pos(), headerDests(pkt), g.steinerOpts(v))
+		tree = s.Steiner.Build(v.Pos(), s.DestBuf, g.steinerOpts(v))
 	}
-	worklist := tree.Pivots()
+	// FIFO worklist over a reused buffer; wi is the virtual "pop front".
+	wl := tree.AppendChildren(0, -1, s.Worklist[:0])
 
 	// The split loop evaluates heavily overlapping groups; the view's memo
 	// computes each (point, destination) distance at most once per decision.
-	v.Scratch().Memo.Begin(v.Degree()+1, pkt.Dests, pkt.Locs)
+	s.Memo.Begin(v.Degree()+1, pkt.Dests, pkt.Locs)
 
 	// Groups whose chosen next hop coincides are batched into a single
 	// transmission: the receiver re-partitions the union anyway, so two
 	// copies over the same link would only double the transmission count.
-	batches := make(map[int][]int)
-	var order []int
+	// batchNext doubles as the first-seen emission order (what the map+order
+	// pair used to encode); the handful of batches makes the linear scan
+	// cheaper than a map.
+	batchNext := s.BatchNext[:0]
+	batches := s.BatchLabels[:0]
+	voidBuf := s.VoidBuf[:0]
 
-	for len(worklist) > 0 {
-		p := worklist[0]
-		worklist = worklist[1:]
+	for wi := 0; wi < len(wl); wi++ {
+		p := wl[wi]
 		for {
-			group := g.groupLabels(tree, p)
+			group := g.groupLabels(s, tree, p)
 			next := groupNextHop(v, tree.Vertex(p).Pos, group)
 			if next != -1 {
-				if _, seen := batches[next]; !seen {
-					order = append(order, next)
+				bi := -1
+				for i, n := range batchNext {
+					if n == next {
+						bi = i
+						break
+					}
 				}
-				batches[next] = append(batches[next], group...)
+				if bi == -1 {
+					batchNext = append(batchNext, next)
+					batches = growBatch(batches)
+					bi = len(batchNext) - 1
+				}
+				batches[bi] = append(batches[bi], group...)
 				break
 			}
 			// §4.1 splitting: promote the last child of p to a pivot.
@@ -154,50 +175,69 @@ func (g *GMP) forwardGroups(v view.NodeView, pkt *sim.Packet) (fwds []sim.Forwar
 			if last == -1 {
 				// A lone terminal with no qualifying neighbor: a true void
 				// destination.
-				voids = append(voids, tree.Vertex(p).Label)
+				voidBuf = append(voidBuf, tree.Vertex(p).Label)
 				break
 			}
 			tree.RemoveEdge(p, last)
 			tree.AddEdge(0, last)
-			worklist = append(worklist, last)
-			if kids := tree.Children(p, 0); len(kids) == 1 && tree.Vertex(p).Kind == steiner.Virtual {
+			wl = append(wl, last)
+			if kids := tree.AppendChildren(p, 0, s.GroupBuf[:0]); len(kids) == 1 && tree.Vertex(p).Kind == steiner.Virtual {
 				// A virtual pivot with one child dissolves into that child.
 				only := kids[0]
 				tree.RemoveEdge(p, only)
 				tree.AddEdge(0, only)
-				worklist = append(worklist, only)
+				wl = append(wl, only)
 				break
 			}
 			// Otherwise retry the same (now smaller) pivot group.
 		}
 	}
-	for _, next := range order {
-		copyPkt := pkt.CloneFor(sortedCopy(batches[next]))
+	for i, next := range batchNext {
+		copyPkt := pkt.CloneFor(sortedCopy(batches[i]))
 		copyPkt.Perimeter = false
 		fwds = append(fwds, sim.Forward{To: next, Pkt: copyPkt})
 	}
-	return fwds, sortedCopy(voids)
+	s.Worklist = wl[:0]
+	s.BatchNext = batchNext[:0]
+	if len(batches) > len(s.BatchLabels) {
+		s.BatchLabels = batches
+	}
+	sort.Ints(voidBuf)
+	s.VoidBuf = voidBuf
+	return fwds, voidBuf
+}
+
+// growBatch extends a batch-of-labels list by one empty batch, reusing inner
+// capacity retained from previous decisions.
+func growBatch(b [][]int) [][]int {
+	if len(b) < cap(b) {
+		b = b[:len(b)+1]
+		b[len(b)-1] = b[len(b)-1][:0]
+		return b
+	}
+	return append(b, nil)
 }
 
 // groupLabels returns the sorted node IDs of the non-virtual destinations in
-// the subtree rooted at pivot p.
-func (g *GMP) groupLabels(tree *steiner.Tree, p int) []int {
-	terms := tree.SubtreeTerminals(p, 0)
-	labels := make([]int, len(terms))
-	for i, id := range terms {
-		labels[i] = tree.Vertex(id).Label
-	}
-	return sortedCopy(labels)
+// the subtree rooted at pivot p. The result lives in the scratch GroupBuf and
+// is valid until the next groupLabels or split-check call.
+func (g *GMP) groupLabels(s *view.Scratch, tree *steiner.Tree, p int) []int {
+	group := tree.AppendSubtreeLabels(p, 0, s.GroupBuf[:0])
+	sort.Ints(group)
+	s.GroupBuf = group
+	return group
 }
 
 // enterPerimeter starts perimeter mode (§4.1): all void destinations travel
 // in a single copy aimed at their average location over the local planar
 // adjacency.
 func (g *GMP) enterPerimeter(v view.NodeView, pkt *sim.Packet, voids []int) []sim.Forward {
-	locs := make([]geom.Point, len(voids))
-	for i, d := range voids {
-		locs[i] = pkt.LocOf(d)
+	s := v.Scratch()
+	locs := s.LocBuf[:0]
+	for _, d := range voids {
+		locs = append(locs, pkt.LocOf(d))
 	}
+	s.LocBuf = locs
 	avg := geom.Centroid(locs)
 	st := view.PerimeterEnter(v, avg)
 	return g.stepPerimeter(v, pkt, voids, st)

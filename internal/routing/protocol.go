@@ -33,11 +33,16 @@ type Protocol interface {
 // headerDests converts the packet header into the steiner package's
 // destination records: the IDs with the locations the wire format carries.
 func headerDests(pkt *sim.Packet) []steiner.Dest {
-	out := make([]steiner.Dest, len(pkt.Dests))
+	return appendHeaderDests(make([]steiner.Dest, 0, len(pkt.Dests)), pkt)
+}
+
+// appendHeaderDests is the allocation-free variant of headerDests: it appends
+// the header's destination records to buf (pass buf[:0] of a scratch slice).
+func appendHeaderDests(buf []steiner.Dest, pkt *sim.Packet) []steiner.Dest {
 	for i, id := range pkt.Dests {
-		out[i] = steiner.Dest{Pos: pkt.Locs[i], Label: id}
+		buf = append(buf, steiner.Dest{Pos: pkt.Locs[i], Label: id})
 	}
-	return out
+	return buf
 }
 
 // locIndex builds a destination→header-location lookup for one decision.

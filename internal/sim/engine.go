@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"gmp/internal/geom"
 	"gmp/internal/network"
@@ -46,13 +47,41 @@ type Packet struct {
 	Session int
 }
 
+// packetPool recycles Packet structs together with their Dests/Locs backing
+// arrays. Clone and CloneFor draw from it, so the per-transmission copy in
+// the engine's hot path reuses storage instead of allocating. Packets return
+// to the pool only at the engine's release points (freePacket) — sites where
+// the engine provably holds the sole reference to both the struct and its
+// slice backing. The pool is shared by all engines in the process; sync.Pool
+// is safe for the parallel campaign workers.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// getPacket returns a recycled (or fresh) packet whose Dests/Locs retain
+// capacity from a previous life.
+func getPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// freePacket recycles p. The caller must own the only live reference to p
+// AND to its Dests/Locs backing arrays: the engine calls this only for
+// copies it created itself (Clone in send) that were never handed to any
+// handler — a handler may legally retain or alias a packet it was shown
+// (decisions may stash copies, and CloneFor adopts caller slices), so
+// handler-exposed packets are left to the garbage collector.
+func freePacket(p *Packet) {
+	*p = Packet{Dests: p.Dests[:0], Locs: p.Locs[:0]}
+	packetPool.Put(p)
+}
+
 // Clone deep-copies the packet, so every transmitted copy owns its state.
+// The copy comes from the packet pool; its Dests/Locs never alias p's.
 func (p *Packet) Clone() *Packet {
-	q := *p
-	q.Dests = append([]int(nil), p.Dests...)
-	q.Locs = append([]geom.Point(nil), p.Locs...)
+	q := getPacket()
+	dests := append(q.Dests[:0], p.Dests...)
+	locs := append(q.Locs[:0], p.Locs...)
+	*q = *p
+	q.Dests = dests
+	q.Locs = locs
 	// Route is immutable after the source builds it; sharing is safe.
-	return &q
+	return q
 }
 
 // LocOf returns the header location carried for destination id. The id must
@@ -70,13 +99,15 @@ func (p *Packet) LocOf(id int) geom.Point {
 // must be present in p.Dests); the header locations follow the subset. The
 // ids slice is adopted, not copied — pass a fresh slice.
 func (p *Packet) CloneFor(ids []int) *Packet {
-	q := *p
-	q.Dests = ids
-	q.Locs = make([]geom.Point, len(ids))
-	for i, id := range ids {
-		q.Locs[i] = p.LocOf(id)
+	q := getPacket()
+	locs := q.Locs[:0]
+	for _, id := range ids {
+		locs = append(locs, p.LocOf(id))
 	}
-	return &q
+	*q = *p
+	q.Dests = ids
+	q.Locs = locs
+	return q
 }
 
 // Forward is one element of a decision's output: transmit Pkt to neighbor
@@ -650,6 +681,7 @@ func (e *Engine) send(from, to int, pkt *Packet) {
 	copyPkt.Hops++
 	if e.maxHops > 0 && copyPkt.Hops > e.maxHops {
 		e.kill(copyPkt, ReasonHopBudget)
+		freePacket(copyPkt) // fresh engine clone, never left this function
 		return
 	}
 	e.transmit(from, to, copyPkt, 0)
@@ -664,6 +696,7 @@ func (e *Engine) transmit(from, to int, pkt *Packet, attempt int) {
 	if e.isDead(from) {
 		// The sender's radio died before this (re)transmission went out.
 		e.kill(pkt, ReasonSenderCrashed)
+		freePacket(pkt) // engine clone, still unexposed to any handler
 		return
 	}
 	frame := e.frameBytes(pkt)
@@ -723,12 +756,21 @@ func (e *Engine) receive(from, to int, pkt *Packet, attempt int, lost bool) {
 		} else {
 			e.kill(pkt, ReasonCrashedReceiver)
 		}
+		freePacket(pkt) // engine clone, died in flight: no handler saw it
 		return
 	}
 	if attempt >= e.arq.MaxRetries {
 		m.LinkFailures++
 		e.sessions[pkt.Session].banLink(from, to)
-		if !e.nack(from, to, pkt) {
+		nh, hasNack := e.sessions[pkt.Session].handler.(NackHandler)
+		if !hasNack {
+			e.kill(pkt, ReasonARQExhausted)
+			freePacket(pkt) // no NackHandler: the copy never reached a handler
+			return
+		}
+		if !e.nack(nh, from, to, pkt) {
+			// The handler declined the copy; it has still *seen* it (and may
+			// alias it), so the kill is billed but the storage is left to GC.
 			e.kill(pkt, ReasonARQExhausted)
 		}
 		return
@@ -762,11 +804,7 @@ func (e *Engine) sendAck(node int, pkt *Packet) {
 // to the handler masks the dead neighbor. Reports whether the handler took
 // responsibility for the copy (returned at least one forward — a re-route or
 // an explicit drop); false means the engine must bill the copy itself.
-func (e *Engine) nack(from, to int, pkt *Packet) bool {
-	nh, ok := e.sessions[pkt.Session].handler.(NackHandler)
-	if !ok {
-		return false
-	}
+func (e *Engine) nack(nh NackHandler, from, to int, pkt *Packet) bool {
 	e.cur = pkt.Session
 	fwds := nh.Nack(e.viewAt(from), to, pkt)
 	if len(fwds) == 0 {
@@ -819,6 +857,9 @@ func (e *Engine) arrive(node int, pkt *Packet) {
 	pkt.Dests = kept
 	pkt.Locs = keptL
 	if len(pkt.Dests) == 0 {
+		// Fully delivered: this engine clone was never shown to a handler at
+		// this node (and each hop gets its own clone), so it can be recycled.
+		freePacket(pkt)
 		return
 	}
 	fwds := st.handler.Decide(e.viewAt(node), pkt)

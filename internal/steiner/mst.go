@@ -13,51 +13,10 @@ import (
 //
 // Edge insertion order is Prim's growth order, which gives LastChild a
 // deterministic meaning for trees produced here as well.
+// EuclideanMST allocates a fresh arena per call; hot paths should hold a
+// Builder and call its EuclideanMST instead.
 func EuclideanMST(source geom.Point, dests []Dest) *Tree {
-	tree := NewTree(source)
-	n := len(dests)
-	if n == 0 {
-		return tree
-	}
-	for _, d := range dests {
-		tree.AddTerminal(d.Pos, d.Label)
-	}
-
-	const unvisited = -1
-	inTree := make([]bool, n+1)
-	bestCost := make([]float64, n+1)
-	bestFrom := make([]int, n+1)
-	for i := range bestCost {
-		bestCost[i] = math.Inf(1)
-		bestFrom[i] = unvisited
-	}
-	inTree[0] = true
-	for i := 1; i <= n; i++ {
-		bestCost[i] = source.Dist(tree.Vertex(i).Pos)
-		bestFrom[i] = 0
-	}
-
-	for added := 0; added < n; added++ {
-		pick := unvisited
-		for i := 1; i <= n; i++ {
-			if !inTree[i] && (pick == unvisited || bestCost[i] < bestCost[pick]) {
-				pick = i
-			}
-		}
-		inTree[pick] = true
-		tree.AddEdge(bestFrom[pick], pick)
-		pickPos := tree.Vertex(pick).Pos
-		for i := 1; i <= n; i++ {
-			if inTree[i] {
-				continue
-			}
-			if d := pickPos.Dist(tree.Vertex(i).Pos); d < bestCost[i] {
-				bestCost[i] = d
-				bestFrom[i] = pick
-			}
-		}
-	}
-	return tree
+	return new(Builder).EuclideanMST(source, dests)
 }
 
 // MSTLength returns the total Euclidean length of the minimum spanning tree

@@ -1,9 +1,6 @@
 package steiner
 
 import (
-	"container/heap"
-	"sort"
-
 	"gmp/internal/geom"
 )
 
@@ -39,13 +36,17 @@ type pairItem struct {
 	t    geom.Point // Steiner point of {source, u, v}
 }
 
-// pairQueue is a max-heap of pairItems keyed by reduction ratio.
+// pairQueue is a max-heap of pairItems keyed by reduction ratio with a
+// deterministic vertex-ID tie-break. It is hand-rolled rather than built on
+// container/heap: the standard heap boxes every element into an interface{},
+// one allocation per push, which the per-decision rrSTR rebuild cannot
+// afford. The ordering is a strict total order (no two items compare equal),
+// so every pop returns the unique maximum and the construction sequence is
+// identical to the container/heap version.
 type pairQueue []pairItem
 
-func (q pairQueue) Len() int { return len(q) }
-func (q pairQueue) Less(i, j int) bool {
-	// Deterministic tie-break on vertex IDs so identical inputs always
-	// produce identical trees.
+// before reports whether item i has priority over item j.
+func (q pairQueue) before(i, j int) bool {
 	if q[i].rr != q[j].rr {
 		return q[i].rr > q[j].rr
 	}
@@ -54,14 +55,57 @@ func (q pairQueue) Less(i, j int) bool {
 	}
 	return q[i].v < q[j].v
 }
-func (q pairQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pairQueue) Push(x interface{}) { *q = append(*q, x.(pairItem)) }
-func (q *pairQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+
+// init heapifies the queue in place.
+func (q pairQueue) init() {
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+}
+
+func (q *pairQueue) push(it pairItem) {
+	*q = append(*q, it)
+	q.up(len(*q) - 1)
+}
+
+func (q *pairQueue) pop() pairItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	it := h[n]
+	*q = h[:n]
+	(*q).down(0)
 	return it
+}
+
+func (q pairQueue) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !q.before(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (q pairQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && q.before(r, l) {
+			j = r
+		}
+		if !q.before(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 }
 
 // Build runs the rrSTR heuristic (paper Figure 3): it constructs a virtual
@@ -71,163 +115,10 @@ func (q *pairQueue) Pop() interface{} {
 // The returned tree always satisfies Validate: it is acyclic and every
 // terminal is connected to the source. Build never fails; degenerate inputs
 // (no destinations, collocated points) produce the obvious trees.
+//
+// Build allocates a fresh arena per call. A forwarding hot path that builds
+// one tree per decision should hold a Builder instead and call its Build,
+// which reuses all internal storage.
 func Build(source geom.Point, dests []Dest, opts Options) *Tree {
-	tree := NewTree(source)
-	n := len(dests)
-	if n == 0 {
-		return tree
-	}
-
-	active := make(map[int]bool, n)
-	for _, d := range dests {
-		id := tree.AddTerminal(d.Pos, d.Label)
-		active[id] = true
-	}
-
-	// Step 2 of Figure 3: reduction ratios and Steiner points for all pairs.
-	q := make(pairQueue, 0, n*(n-1)/2)
-	for i := 1; i <= n; i++ {
-		for j := i + 1; j <= n; j++ {
-			rr, t := ReductionRatioPoint(source, tree.Vertex(i).Pos, tree.Vertex(j).Pos)
-			q = append(q, pairItem{u: i, v: j, rr: rr, t: t})
-		}
-	}
-	heap.Init(&q)
-
-	deadPairs := make(map[[2]int]bool)
-
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pairItem)
-		if !active[it.u] || !active[it.v] || deadPairs[[2]int{it.u, it.v}] {
-			continue // lazily discarded stale entry
-		}
-		u, v, t := it.u, it.v, it.t
-		upos, vpos := tree.Vertex(u).Pos, tree.Vertex(v).Pos
-
-		switch {
-		case t.Eq(source):
-			// Steiner point collocated with the source: direct edges.
-			tree.AddEdge(0, u)
-			tree.AddEdge(0, v)
-			delete(active, u)
-			delete(active, v)
-
-		case t.Eq(upos):
-			// u acts as the Steiner point; u stays active so it can keep
-			// pairing with other destinations.
-			tree.AddEdge(u, v)
-			delete(active, v)
-
-		case t.Eq(vpos):
-			tree.AddEdge(u, v)
-			delete(active, u)
-
-		default:
-			if opts.RadioAware && applyRadioCases(tree, source, it, opts, active, deadPairs) {
-				continue
-			}
-			// Create a new virtual destination w at the Steiner point.
-			w := tree.AddVirtual(t)
-			tree.AddEdge(w, u)
-			tree.AddEdge(w, v)
-			delete(active, u)
-			delete(active, v)
-			active[w] = true
-			ids := make([]int, 0, len(active))
-			for id := range active {
-				if id != w {
-					ids = append(ids, id)
-				}
-			}
-			sort.Ints(ids)
-			for _, id := range ids {
-				rr, st := ReductionRatioPoint(source, t, tree.Vertex(id).Pos)
-				a, b := w, id
-				if a > b {
-					a, b = b, a
-				}
-				heap.Push(&q, pairItem{u: a, v: b, rr: rr, t: st})
-			}
-		}
-	}
-
-	// Queue exhausted: every destination still active is covered by a direct
-	// edge from the source (the "(c, c) pair" of the paper's walk-through).
-	// Iterate in ID order for determinism.
-	for id := 1; id < tree.NumVertices(); id++ {
-		if active[id] {
-			tree.AddEdge(0, id)
-			delete(active, id)
-		}
-	}
-	return tree
-}
-
-// applyRadioCases implements the three §3.3 radio-range-aware special cases.
-// It reports whether the pair was fully handled (true) or whether the caller
-// should proceed to create a virtual destination (false).
-func applyRadioCases(tree *Tree, source geom.Point, it pairItem, opts Options, active map[int]bool, deadPairs map[[2]int]bool) bool {
-	u, v, t := it.u, it.v, it.t
-	upos, vpos := tree.Vertex(u).Pos, tree.Vertex(v).Pos
-	rr := opts.RadioRange
-	du, dv := source.Dist(upos), source.Dist(vpos)
-	key := [2]int{u, v}
-
-	// Cost comparison of §3.3: routing through the virtual destination costs
-	// one hop (rr) plus the residual legs; direct delivery costs du + dv.
-	viaVirtual := rr + t.Dist(upos) + t.Dist(vpos)
-	notBeneficial := viaVirtual > du+dv
-
-	switch {
-	case du < rr && dv < rr:
-		// Case 1: both are one hop away; a virtual destination could only
-		// add a hop to each. Deactivate the pair (not the nodes).
-		deadPairs[key] = true
-		return true
-
-	case du < rr:
-		// Case 3 with u in range.
-		if notBeneficial {
-			if opts.OneInRangeProse {
-				tree.AddEdge(0, u)
-				tree.AddEdge(0, v)
-				delete(active, u)
-				delete(active, v)
-			} else {
-				deadPairs[key] = true
-			}
-			return true
-		}
-		// u itself serves as the Steiner point.
-		tree.AddEdge(u, v)
-		delete(active, v)
-		return true
-
-	case dv < rr:
-		// Case 3 with v in range, symmetric.
-		if notBeneficial {
-			if opts.OneInRangeProse {
-				tree.AddEdge(0, u)
-				tree.AddEdge(0, v)
-				delete(active, u)
-				delete(active, v)
-			} else {
-				deadPairs[key] = true
-			}
-			return true
-		}
-		tree.AddEdge(u, v)
-		delete(active, u)
-		return true
-
-	case source.Dist(t) < rr && notBeneficial:
-		// Case 2: the Steiner point is within one hop but not worth the
-		// detour; the source serves as the Steiner point.
-		tree.AddEdge(0, u)
-		tree.AddEdge(0, v)
-		delete(active, u)
-		delete(active, v)
-		return true
-	}
-	return false
+	return new(Builder).Build(source, dests, opts)
 }

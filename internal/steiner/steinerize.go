@@ -16,18 +16,10 @@ const steinerizeMinGain = 1e-9
 // Steiner heuristics ([23, 26, 33]); the library ships it as the A-6
 // ablation's tree builder, sandwiching rrSTR between the plain MST and a
 // polished local optimum.
+// SteinerizedMST allocates a fresh arena per call; hot paths should hold a
+// Builder and call its SteinerizedMST instead.
 func SteinerizedMST(source geom.Point, dests []Dest) *Tree {
-	tree := EuclideanMST(source, dests)
-	// Each insertion adds one virtual vertex and strictly reduces total
-	// length; the classical bound on Steiner points (n-2 for n terminals)
-	// bounds the loop, with slack for collinear-noise cases.
-	maxInsertions := 2 * (len(dests) + 1)
-	for i := 0; i < maxInsertions; i++ {
-		if !steinerizeOnce(tree) {
-			break
-		}
-	}
-	return tree
+	return new(Builder).SteinerizedMST(source, dests)
 }
 
 // steinerizeOnce finds the corner with the largest insertion gain and
@@ -40,14 +32,16 @@ func steinerizeOnce(tree *Tree) bool {
 	}
 	best := corner{gain: 0}
 	for v := 0; v < tree.NumVertices(); v++ {
-		nbrs := tree.Neighbors(v)
-		if len(nbrs) < 2 {
+		idxs := tree.adj[v]
+		if len(idxs) < 2 {
 			continue
 		}
 		vp := tree.Vertex(v).Pos
-		for i := 0; i < len(nbrs); i++ {
-			for j := i + 1; j < len(nbrs); j++ {
-				a, b := nbrs[i], nbrs[j]
+		// Iterate neighbor pairs straight off the adjacency (same order as
+		// Neighbors would return) without materializing the neighbor slice.
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				a, b := tree.edgeOther(idxs[i], v), tree.edgeOther(idxs[j], v)
 				ap, bp := tree.Vertex(a).Pos, tree.Vertex(b).Pos
 				t := geom.SteinerPoint(vp, ap, bp)
 				if t.Eq(vp) || t.Eq(ap) || t.Eq(bp) {

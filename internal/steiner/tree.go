@@ -9,7 +9,6 @@ package steiner
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 
 	"gmp/internal/geom"
@@ -63,18 +62,50 @@ type Edge struct {
 // Tree is a multicast tree rooted at a source vertex (always ID 0). Trees are
 // mutable: the GMP routing layer removes and re-adds edges while splitting
 // destination groups around voids.
+//
+// Vertex IDs are dense, so the adjacency is a slice indexed by vertex ID.
+// Reset rewinds a tree to a bare source while keeping every internal buffer,
+// which is what lets a Builder construct one tree per forwarding decision
+// without allocating in steady state.
 type Tree struct {
 	verts   []Vertex
 	edges   []Edge
-	adj     map[int][]int // vertex ID -> indices into edges
+	adj     [][]int // vertex ID -> indices into edges
 	nextSeq int
+
+	// seqBuf and stackBuf are reusable scratch for the Append* traversals.
+	seqBuf   []int
+	stackBuf []int
 }
 
 // NewTree returns a tree containing only the source vertex at pos.
 func NewTree(pos geom.Point) *Tree {
-	t := &Tree{adj: make(map[int][]int)}
-	t.verts = append(t.verts, Vertex{ID: 0, Kind: Source, Pos: pos, Label: -1})
+	t := &Tree{}
+	t.Reset(pos)
 	return t
+}
+
+// Reset rewinds the tree to a bare source vertex at pos, retaining all
+// internal storage. It makes the zero Tree usable and lets builders reuse one
+// tree across constructions.
+func (t *Tree) Reset(pos geom.Point) {
+	t.verts = t.verts[:0]
+	t.edges = t.edges[:0]
+	t.adj = t.adj[:0]
+	t.nextSeq = 0
+	t.verts = append(t.verts, Vertex{ID: 0, Kind: Source, Pos: pos, Label: -1})
+	t.growAdj()
+}
+
+// growAdj extends the adjacency by one vertex slot, reusing retained edge-
+// index buffers from before the last Reset when available.
+func (t *Tree) growAdj() {
+	if len(t.adj) < cap(t.adj) {
+		t.adj = t.adj[:len(t.adj)+1]
+		t.adj[len(t.adj)-1] = t.adj[len(t.adj)-1][:0]
+	} else {
+		t.adj = append(t.adj, nil)
+	}
 }
 
 // AddTerminal appends a terminal vertex and returns its ID. Label is the
@@ -82,6 +113,7 @@ func NewTree(pos geom.Point) *Tree {
 func (t *Tree) AddTerminal(pos geom.Point, label int) int {
 	id := len(t.verts)
 	t.verts = append(t.verts, Vertex{ID: id, Kind: Terminal, Pos: pos, Label: label})
+	t.growAdj()
 	return id
 }
 
@@ -89,6 +121,7 @@ func (t *Tree) AddTerminal(pos geom.Point, label int) int {
 func (t *Tree) AddVirtual(pos geom.Point) int {
 	id := len(t.verts)
 	t.verts = append(t.verts, Vertex{ID: id, Kind: Virtual, Pos: pos, Label: -1})
+	t.growAdj()
 	return id
 }
 
@@ -177,6 +210,15 @@ func replaceInt(s []int, old, new int) []int {
 	return s
 }
 
+// edgeOther returns the endpoint of edges[idx] that is not v.
+func (t *Tree) edgeOther(idx, v int) int {
+	e := t.edges[idx]
+	if e.A == v {
+		return e.B
+	}
+	return e.A
+}
+
 // Neighbors returns the IDs adjacent to v, in no particular order.
 func (t *Tree) Neighbors(v int) []int {
 	idxs := t.adj[v]
@@ -199,10 +241,16 @@ func (t *Tree) Degree(v int) int { return len(t.adj[v]) }
 // ordered by edge insertion sequence (oldest first). parent must be v's
 // parent ID, or -1 when v is the source.
 func (t *Tree) Children(v, parent int) []int {
-	type child struct {
-		id, seq int
-	}
-	var cs []child
+	return t.AppendChildren(v, parent, make([]int, 0, len(t.adj[v])))
+}
+
+// AppendChildren appends the children of v (rooted at the source, given
+// parent) to buf in edge insertion-sequence order and returns the extended
+// slice. Pass buf[:0] of a reusable slice for an allocation-free call; the
+// ordering is identical to Children.
+func (t *Tree) AppendChildren(v, parent int, buf []int) []int {
+	start := len(buf)
+	seqs := t.seqBuf[:0]
 	for _, i := range t.adj[v] {
 		e := t.edges[i]
 		other := e.B
@@ -212,14 +260,21 @@ func (t *Tree) Children(v, parent int) []int {
 		if other == parent {
 			continue
 		}
-		cs = append(cs, child{other, e.Seq})
+		// Insertion sort by Seq; sequence numbers are unique, so this yields
+		// exactly the order sort-by-seq produced.
+		buf = append(buf, 0)
+		seqs = append(seqs, 0)
+		k := len(seqs) - 1
+		for k > 0 && seqs[k-1] > e.Seq {
+			seqs[k] = seqs[k-1]
+			buf[start+k] = buf[start+k-1]
+			k--
+		}
+		seqs[k] = e.Seq
+		buf[start+k] = other
 	}
-	sort.Slice(cs, func(i, j int) bool { return cs[i].seq < cs[j].seq })
-	out := make([]int, len(cs))
-	for i, c := range cs {
-		out[i] = c.id
-	}
-	return out
+	t.seqBuf = seqs[:0]
+	return buf
 }
 
 // LastChild returns the child of v (rooted at source, given parent) whose
@@ -258,6 +313,36 @@ func (t *Tree) SubtreeTerminals(root, parent int) []int {
 		}
 	})
 	return out
+}
+
+// AppendSubtreeLabels appends the Labels of the terminal vertices in the
+// subtree hanging off root (excluding the parent side) to buf and returns the
+// extended slice. The traversal is iterative and allocation-free when buf has
+// capacity; the append order is unspecified — callers that need a
+// deterministic order must sort (GMP's grouping does).
+func (t *Tree) AppendSubtreeLabels(root, parent int, buf []int) []int {
+	st := append(t.stackBuf[:0], root, parent)
+	for len(st) > 0 {
+		p := st[len(st)-1]
+		v := st[len(st)-2]
+		st = st[:len(st)-2]
+		vert := &t.verts[v]
+		if vert.Kind == Terminal {
+			buf = append(buf, vert.Label)
+		}
+		for _, i := range t.adj[v] {
+			e := t.edges[i]
+			other := e.B
+			if e.A != v {
+				other = e.A
+			}
+			if other != p {
+				st = append(st, other, v)
+			}
+		}
+	}
+	t.stackBuf = st[:0]
+	return buf
 }
 
 // walk visits the subtree under root (excluding the parent side) in DFS

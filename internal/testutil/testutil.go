@@ -1,0 +1,14 @@
+// Package testutil holds helpers shared by tests across packages.
+package testutil
+
+import "testing"
+
+// SkipIfRace skips allocation-budget tests under the race detector: race
+// instrumentation adds its own allocations, so AllocsPerRun numbers measured
+// there say nothing about the production hot path.
+func SkipIfRace(t *testing.T) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skip("allocation budgets are meaningless under -race")
+	}
+}

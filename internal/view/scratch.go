@@ -4,18 +4,43 @@ import (
 	"math"
 
 	"gmp/internal/geom"
+	"gmp/internal/steiner"
 )
 
 // Scratch is one node's reusable decision-time cache. It holds only
 // memoized pure computations (bearings to planar neighbors, distance terms
-// of the current decision), so reusing or discarding it never changes a
-// decision's outcome.
+// of the current decision) and arenas for value-identical recomputation
+// (tree construction, grouping worklists), so reusing or discarding it never
+// changes a decision's outcome.
+//
+// Buffer validity: every exported buffer below is valid for the duration of
+// one forwarding decision and is clobbered by the next decision on the same
+// node. Decisions must never return scratch-backed slices to the engine —
+// anything that outlives the decision (forward lists, packet destination
+// slices) must be freshly allocated or pooled via the sim layer.
 type Scratch struct {
 	// Memo caches per-decision distance terms for the group next-hop
 	// selection (see DistMemo).
 	Memo DistMemo
 	// ColBuf is a reusable column-index buffer for Memo lookups.
 	ColBuf []int
+
+	// Steiner is the node's tree-construction arena: GMP rebuilds an rrSTR
+	// (or ablation MST) tree here on every forwarding decision, reusing the
+	// vertex/edge/queue storage across decisions.
+	Steiner steiner.Builder
+
+	// GMP grouping-walk buffers (see routing.forwardGroups): the header
+	// destination records, the pivot worklist, the current group's labels,
+	// the void accumulator, and the per-next-hop label batches.
+	DestBuf     []steiner.Dest
+	Worklist    []int
+	GroupBuf    []int
+	VoidBuf     []int
+	BatchNext   []int
+	BatchLabels [][]int
+	// LocBuf backs the perimeter-entry centroid computation.
+	LocBuf []geom.Point
 
 	bearings     []float64
 	haveBearings bool
