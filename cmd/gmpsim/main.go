@@ -62,7 +62,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|all")
+		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|churn|all")
 		quick    = fs.Bool("quick", false, "scaled-down campaign for smoke runs")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut  = fs.Bool("json", false, "emit JSON instead of aligned tables")
@@ -351,6 +351,23 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, rep.Render())
 		if len(rep.Violations) > 0 {
 			return fmt.Errorf("chaos: %d invariant violations", len(rep.Violations))
+		}
+	case "churn":
+		cc := experiment.DefaultChurnConfig()
+		if *quick {
+			cc = experiment.QuickChurnConfig()
+		}
+		inheritRun(&cc.Base, cfg)
+		if *protos != "" {
+			cc.Protos = protoList
+		}
+		rep, err := experiment.RunChurn(cc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep.Render())
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("churn: %d invariant violations", len(rep.Violations))
 		}
 	case "compare":
 		parts := strings.Split(*pair, ",")

@@ -250,3 +250,12 @@ func TestProgressPrinter(t *testing.T) {
 		t.Fatalf("progress output %q", got)
 	}
 }
+
+func TestChurnQuick(t *testing.T) {
+	out := runCapture(t, "-experiment", "churn", "-quick", "-protocols", "GMP,LGS")
+	for _, want := range []string{"E-X11", "joins spliced", "PASS (0 violations)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

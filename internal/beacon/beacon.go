@@ -9,6 +9,8 @@ package beacon
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"math/rand"
 
 	"gmp/internal/geom"
@@ -75,10 +77,15 @@ func Static(pts []geom.Point) PositionsAt {
 
 // Sampled pre-steps a mobility model in dt increments up to horizon and
 // serves the nearest recorded snapshot for any queried time. The model is
-// consumed (advanced to horizon).
-func Sampled(m *mobility.Model, dt, horizon float64) PositionsAt {
-	if dt <= 0 {
-		dt = 0.1
+// consumed (advanced to horizon). Non-positive or non-finite dt/horizon are
+// rejected — a silently clamped step or an empty frame set would freeze the
+// stream and quietly void whatever staleness an experiment meant to measure.
+func Sampled(m *mobility.Model, dt, horizon float64) (PositionsAt, error) {
+	if math.IsNaN(dt) || math.IsInf(dt, 0) || dt <= 0 {
+		return nil, fmt.Errorf("beacon: sample step %v not a finite positive number", dt)
+	}
+	if math.IsNaN(horizon) || math.IsInf(horizon, 0) || horizon <= 0 {
+		return nil, fmt.Errorf("beacon: sample horizon %v not a finite positive number", horizon)
 	}
 	var frames [][]geom.Point
 	frames = append(frames, m.Positions())
@@ -96,7 +103,7 @@ func Sampled(m *mobility.Model, dt, horizon float64) PositionsAt {
 			idx = len(frames) - 1
 		}
 		return frames[idx]
-	}
+	}, nil
 }
 
 // Tables materializes every node's neighbor table as of time `at`, given
@@ -110,6 +117,12 @@ func Sampled(m *mobility.Model, dt, horizon float64) PositionsAt {
 func Tables(cfg Config, n int, pos PositionsAt, radioRange, at float64, r *rand.Rand) ([][]Entry, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if math.IsNaN(radioRange) || math.IsInf(radioRange, 0) || radioRange <= 0 {
+		return nil, fmt.Errorf("beacon: radio range %v not a finite positive number", radioRange)
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) || at < 0 {
+		return nil, fmt.Errorf("beacon: table time %v not a finite non-negative number", at)
 	}
 	phases := make([]float64, n)
 	for i := range phases {

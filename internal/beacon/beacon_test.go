@@ -93,7 +93,10 @@ func TestTablesMobileStaleness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pos := Sampled(model, 0.25, 40)
+		pos, err := Sampled(model, 0.25, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
 		cfg := DefaultConfig()
 		cfg.PeriodSec = period
 		tables, err := Tables(cfg, len(initial), pos, 150, 35, rand.New(rand.NewSource(9)))
@@ -138,18 +141,51 @@ func TestSampledClamping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pos := Sampled(model, 0.5, 10)
+	pos, err := Sampled(model, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := pos(-5); len(got) != 2 {
 		t.Fatal("negative time should clamp")
 	}
 	if got := pos(1e9); len(got) != 2 {
 		t.Fatal("far future should clamp")
 	}
-	// Zero dt falls back to a sane default.
-	model2, _ := mobility.NewRandomWaypoint(initial,
-		mobility.Config{Width: 100, Height: 100, SpeedMin: 1, SpeedMax: 2, Pause: 0},
-		rand.New(rand.NewSource(12)))
-	if got := Sampled(model2, 0, 1)(0.5); len(got) != 2 {
-		t.Fatal("zero dt fallback")
+}
+
+func TestSampledRejectsBadInputs(t *testing.T) {
+	newModel := func() *mobility.Model {
+		m, err := mobility.NewRandomWaypoint([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)},
+			mobility.Config{Width: 100, Height: 100, SpeedMin: 1, SpeedMax: 2, Pause: 0},
+			rand.New(rand.NewSource(12)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cases := []struct{ dt, horizon float64 }{
+		{0, 1}, {-0.5, 1}, {math.NaN(), 1}, {math.Inf(1), 1},
+		{0.5, 0}, {0.5, -1}, {0.5, math.NaN()}, {0.5, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := Sampled(newModel(), c.dt, c.horizon); err == nil {
+			t.Errorf("Sampled(dt=%v, horizon=%v) accepted", c.dt, c.horizon)
+		}
+	}
+}
+
+func TestTablesRejectsBadInputs(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)}
+	pos := Static(pts)
+	r := rand.New(rand.NewSource(1))
+	for _, rr := range []float64{0, -150, math.NaN(), math.Inf(1)} {
+		if _, err := Tables(DefaultConfig(), 2, pos, rr, 10, r); err == nil {
+			t.Errorf("Tables accepted radio range %v", rr)
+		}
+	}
+	for _, at := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := Tables(DefaultConfig(), 2, pos, 150, at, r); err == nil {
+			t.Errorf("Tables accepted time %v", at)
+		}
 	}
 }

@@ -1,0 +1,134 @@
+package beacon
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Tracker maintains every node's neighbor table incrementally as virtual
+// time advances: each emitter beacons on its jittered schedule, receivers in
+// true range at emission time record the advertised position, and entries
+// that go TTLPeriods × PeriodSec without a fresh beacon age out. This is the
+// standing-workload counterpart of the one-shot Tables generator — a churn
+// campaign advances one Tracker across session after session instead of
+// rebuilding history from scratch — and the two agree exactly: for the same
+// seed, AdvanceTo(at) followed by Tables() matches Tables(cfg, …, at, r)
+// entry for entry (asserted by TestTrackerMatchesTables).
+//
+// Aging is what keeps live views honest under mobility: a neighbor that
+// walked away stops being heard and falls out of the table after the TTL
+// instead of lingering as a permanent ghost, while a neighbor still in range
+// keeps re-advertising its (moving) position every period.
+type Tracker struct {
+	cfg    Config
+	pos    PositionsAt
+	r2     float64
+	now    float64
+	phases []float64
+	nextK  []int           // per emitter: index of its next undelivered beacon
+	heard  []map[int]Entry // receiver → emitter → newest heard beacon
+}
+
+// NewTracker builds a tracker over n nodes with true positions from pos and
+// the given radio range. The generator drives only the per-node phase
+// offsets — drawn exactly as Tables draws them, so the same seed yields the
+// same beacon schedule. Time starts at 0 with empty tables; nothing has
+// beaconed yet until the first AdvanceTo.
+func NewTracker(cfg Config, n int, pos PositionsAt, radioRange float64, r *rand.Rand) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errors.New("beacon: tracker needs at least one node")
+	}
+	if math.IsNaN(radioRange) || math.IsInf(radioRange, 0) || radioRange <= 0 {
+		return nil, fmt.Errorf("beacon: radio range %v not a finite positive number", radioRange)
+	}
+	if pos == nil {
+		return nil, errors.New("beacon: tracker needs a position stream")
+	}
+	tk := &Tracker{
+		cfg:    cfg,
+		pos:    pos,
+		r2:     radioRange * radioRange,
+		phases: make([]float64, n),
+		nextK:  make([]int, n),
+		heard:  make([]map[int]Entry, n),
+	}
+	for i := range tk.phases {
+		tk.phases[i] = r.Float64() * cfg.JitterFrac * cfg.PeriodSec
+	}
+	for i := range tk.heard {
+		tk.heard[i] = make(map[int]Entry)
+	}
+	return tk, nil
+}
+
+// Now returns the tracker's current virtual time.
+func (tk *Tracker) Now() float64 { return tk.now }
+
+// ttl returns the entry lifetime in seconds.
+func (tk *Tracker) ttl() float64 { return float64(tk.cfg.TTLPeriods) * tk.cfg.PeriodSec }
+
+// AdvanceTo plays out all beacons in (Now, t] and ages out entries whose
+// last beacon fell out of the TTL window. Time is monotonic: t must not be
+// before Now.
+func (tk *Tracker) AdvanceTo(t float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) || t < tk.now {
+		return fmt.Errorf("beacon: cannot advance to %v from %v", t, tk.now)
+	}
+	n := len(tk.phases)
+	for emitter := 0; emitter < n; emitter++ {
+		for {
+			bt := tk.phases[emitter] + float64(tk.nextK[emitter])*tk.cfg.PeriodSec
+			if bt > t {
+				break
+			}
+			tk.nextK[emitter]++
+			snapshot := tk.pos(bt)
+			ep := snapshot[emitter]
+			for rcv := 0; rcv < n; rcv++ {
+				if rcv == emitter {
+					continue
+				}
+				if snapshot[rcv].Dist2(ep) <= tk.r2 {
+					tk.heard[rcv][emitter] = Entry{ID: emitter, Pos: ep, HeardAt: bt}
+				}
+			}
+		}
+	}
+	tk.now = t
+	// Aging: prune entries whose newest beacon expired, so a departed
+	// neighbor cannot linger as a permanent ghost.
+	ttl := tk.ttl()
+	for rcv := range tk.heard {
+		for emitter, e := range tk.heard[rcv] {
+			if t-e.HeardAt > ttl {
+				delete(tk.heard[rcv], emitter)
+			}
+		}
+	}
+	return nil
+}
+
+// Tables snapshots every node's neighbor table as of Now, sorted by neighbor
+// ID. The returned slices are fresh copies; advancing the tracker does not
+// invalidate them.
+func (tk *Tracker) Tables() [][]Entry {
+	tables := make([][]Entry, len(tk.heard))
+	for rcv := range tk.heard {
+		if len(tk.heard[rcv]) == 0 {
+			continue
+		}
+		tbl := make([]Entry, 0, len(tk.heard[rcv]))
+		for _, e := range tk.heard[rcv] {
+			tbl = append(tbl, e)
+		}
+		sort.Slice(tbl, func(a, b int) bool { return tbl[a].ID < tbl[b].ID })
+		tables[rcv] = tbl
+	}
+	return tables
+}

@@ -1,0 +1,162 @@
+package beacon
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gmp/internal/geom"
+	"gmp/internal/mobility"
+)
+
+// sortTables ID-sorts every per-node table in place (the one-shot Tables
+// generator appends in map order; the Tracker sorts already).
+func sortTables(tables [][]Entry) [][]Entry {
+	for i := range tables {
+		sort.Slice(tables[i], func(a, b int) bool { return tables[i][a].ID < tables[i][b].ID })
+		if len(tables[i]) == 0 {
+			tables[i] = nil
+		}
+	}
+	return tables
+}
+
+// TestTrackerMatchesTables: for the same seed, an incrementally advanced
+// Tracker snapshot equals the one-shot Tables generator — static and mobile,
+// regardless of the advance step pattern.
+func TestTrackerMatchesTables(t *testing.T) {
+	const n, rr, at = 40, 150.0, 17.3
+	r := rand.New(rand.NewSource(3))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*500, r.Float64()*500)
+	}
+	model, err := mobility.NewRandomWaypoint(pts,
+		mobility.Config{Width: 500, Height: 500, SpeedMin: 5, SpeedMax: 15, Pause: 1},
+		rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobile, err := Sampled(model, 0.25, at+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, pos := range map[string]PositionsAt{"static": Static(pts), "mobile": mobile} {
+		cfg := DefaultConfig()
+		want, err := Tables(cfg, n, pos, rr, at, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := NewTracker(cfg, n, pos, rr, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, step := range []float64{0.7, 4.2, 11.9, at} {
+			if err := tk.AdvanceTo(step); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := tk.Tables(); !reflect.DeepEqual(sortTables(want), got) {
+			t.Errorf("%s: tracker snapshot diverges from one-shot Tables", name)
+		}
+	}
+}
+
+// twoNodeWalkabout scripts node 1 leaving radio range at t=5 and returning
+// at t=12; node 0 stays put.
+func twoNodeWalkabout(t float64) []geom.Point {
+	p1 := geom.Pt(100, 0)
+	if t >= 5 && t < 12 {
+		p1 = geom.Pt(10000, 0)
+	}
+	return []geom.Point{geom.Pt(0, 0), p1}
+}
+
+func TestTrackerAgingAndRefresh(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0 // beacons at integer seconds, deterministic
+	tk, err := NewTracker(cfg, 2, twoNodeWalkabout, 150, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(rcv, id int) bool {
+		for _, e := range tk.Tables()[rcv] {
+			if e.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	if err := tk.AdvanceTo(4.5); err != nil {
+		t.Fatal(err)
+	}
+	if !has(0, 1) || !has(1, 0) {
+		t.Fatal("in-range neighbors not heard")
+	}
+
+	// Node 1 left at t=5; its last beacon heard by node 0 was at t=4. Within
+	// the TTL (3 periods) it lingers as a ghost entry…
+	if err := tk.AdvanceTo(6.9); err != nil {
+		t.Fatal(err)
+	}
+	if !has(0, 1) {
+		t.Fatal("entry expired before its TTL")
+	}
+	// …and past the TTL it ages out instead of ghosting forever.
+	if err := tk.AdvanceTo(7.1); err != nil {
+		t.Fatal(err)
+	}
+	if has(0, 1) {
+		t.Fatal("expired entry still in table")
+	}
+
+	// Node 1 returns at t=12 and its next beacon re-advertises it.
+	if err := tk.AdvanceTo(12.5); err != nil {
+		t.Fatal(err)
+	}
+	if !has(0, 1) {
+		t.Fatal("returned neighbor not re-beaconed into the table")
+	}
+	if e := tk.Tables()[0][0]; e.HeardAt != 12 || e.Pos != geom.Pt(100, 0) {
+		t.Fatalf("refreshed entry = %+v", e)
+	}
+}
+
+func TestTrackerRejectsBadInputs(t *testing.T) {
+	pos := Static([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)})
+	r := rand.New(rand.NewSource(1))
+	if _, err := NewTracker(DefaultConfig(), 0, pos, 150, r); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	if _, err := NewTracker(DefaultConfig(), 2, nil, 150, r); err == nil {
+		t.Error("accepted nil position stream")
+	}
+	for _, rr := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewTracker(DefaultConfig(), 2, pos, rr, r); err == nil {
+			t.Errorf("accepted radio range %v", rr)
+		}
+	}
+	bad := DefaultConfig()
+	bad.PeriodSec = 0
+	if _, err := NewTracker(bad, 2, pos, 150, r); err == nil {
+		t.Error("accepted invalid beacon config")
+	}
+
+	tk, err := NewTracker(DefaultConfig(), 2, pos, 150, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.AdvanceTo(4); err == nil {
+		t.Error("time moved backwards")
+	}
+	if err := tk.AdvanceTo(math.NaN()); err == nil {
+		t.Error("accepted NaN time")
+	}
+}

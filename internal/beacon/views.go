@@ -16,6 +16,14 @@ import (
 // Each node's perimeter substrate is derived locally from its own table with
 // the given planarization rule, as a real node would compute it.
 func Views(selfPos []geom.Point, tables [][]Entry, radioRange float64, kind planar.Kind) view.Provider {
+	return ViewsArmed(selfPos, tables, radioRange, kind, view.WatchdogLimits{})
+}
+
+// ViewsArmed is Views with the perimeter watchdog armed on every view. Aged
+// or stale tables can leave neighboring local planarizations inconsistent,
+// and a face traversal over disagreeing adjacencies may never terminate —
+// any campaign routing over drifting tables wants the bound.
+func ViewsArmed(selfPos []geom.Point, tables [][]Entry, radioRange float64, kind planar.Kind, wd view.WatchdogLimits) view.Provider {
 	vt := make([][]view.Neighbor, len(tables))
 	for i, tbl := range tables {
 		nbrs := make([]view.Neighbor, len(tbl))
@@ -24,5 +32,5 @@ func Views(selfPos []geom.Point, tables [][]Entry, radioRange float64, kind plan
 		}
 		vt[i] = nbrs
 	}
-	return view.NewLive(selfPos, vt, view.LiveConfig{RadioRange: radioRange, Planarizer: kind})
+	return view.NewLive(selfPos, vt, view.LiveConfig{RadioRange: radioRange, Planarizer: kind, Watchdog: wd})
 }

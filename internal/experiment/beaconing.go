@@ -94,7 +94,10 @@ func RunBeaconing(bc BeaconConfig) (*BeaconResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			pos := beacon.Sampled(model, 0.25, bc.EvalAtSec+1)
+			pos, err := beacon.Sampled(model, 0.25, bc.EvalAtSec+1)
+			if err != nil {
+				return nil, err
+			}
 
 			// Mean degree at evaluation time, for the energy figure.
 			snapshot := pos(bc.EvalAtSec)

@@ -49,6 +49,10 @@ const (
 	chaosOffset = 424243
 	// chaosStride separates the chaos campaign's per-plan streams.
 	chaosStride = 611953
+	// churnOffset marks a network's churn-campaign stream family.
+	churnOffset = 524287
+	// churnStride separates the churn campaign's per-sweep-point streams.
+	churnStride = 786433
 )
 
 // seeds derives every RNG stream of one campaign from its base seed.
@@ -131,3 +135,15 @@ func (s seeds) chaosSeed(netIdx, pi int) int64 {
 // chaos draws plan pi's randomized fault schedule, table corruption and task
 // batch on network netIdx.
 func (s seeds) chaos(netIdx, pi int) *rand.Rand { return rng(s.chaosSeed(netIdx, pi)) }
+
+// churnSeed is the root of sweep point pi's stream family on network netIdx
+// in the churn campaign: it seeds the task/event draws and (offset by 1 and
+// 2) the mobility model and the beacon tracker's phase draws. Replay
+// determinism hangs on this derivation being pure.
+func (s seeds) churnSeed(netIdx, pi int) int64 {
+	return s.net(netIdx) + churnOffset + int64(pi)*churnStride
+}
+
+// churn draws sweep point pi's task batch and membership events on network
+// netIdx.
+func (s seeds) churn(netIdx, pi int) *rand.Rand { return rng(s.churnSeed(netIdx, pi)) }

@@ -30,6 +30,9 @@ type Metrics struct {
 	Messages int
 	// Operations counts Join/Leave/Members calls served.
 	Operations int
+	// Expirations counts leases pruned at their home node after expiring
+	// without a refresh (soft-state decay, not explicit leaves).
+	Expirations int
 }
 
 // Service is the membership service over one deployed network. It is a
@@ -200,7 +203,24 @@ func (s *Service) Leave(member int, group string) error {
 			s.version[group]++
 		}
 	}
+	s.purgeIfEmpty(home, group)
 	return nil
+}
+
+// purgeIfEmpty drops the group's table at its home node once the last entry
+// is gone, and the home's table map once its last group is gone — dead
+// groups must not linger in memory for the lifetime of the service.
+func (s *Service) purgeIfEmpty(home int, group string) {
+	groupTables := s.tables[home]
+	if groupTables == nil {
+		return
+	}
+	if set, ok := groupTables[group]; ok && len(set) == 0 {
+		delete(groupTables, group)
+	}
+	if len(groupTables) == 0 {
+		delete(s.tables, home)
+	}
 }
 
 // Members resolves the group's member list on behalf of requester.
@@ -226,10 +246,12 @@ func (s *Service) MembersAt(requester int, group string, now float64) ([]int, er
 	for m, expiry := range set {
 		if expiry <= now {
 			delete(set, m) // lazy lease expiry at the home node
+			s.metrics.Expirations++
 			continue
 		}
 		out = append(out, m)
 	}
+	s.purgeIfEmpty(home, group)
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%w: %q", ErrNoMembers, group)
 	}

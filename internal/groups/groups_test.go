@@ -239,3 +239,60 @@ func TestWithMaxHopsNonPositivePanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestExpirationCountAndTablePurge(t *testing.T) {
+	base := testService(t, 11, 600)
+	s := New(base.nw, base.pg, WithLease(30))
+	const g = "ephemeral"
+	if err := s.JoinAt(5, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JoinAt(9, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	home := s.Home(g)
+	if s.tables[home] == nil || s.tables[home][g] == nil {
+		t.Fatal("home table missing after joins")
+	}
+
+	// Both leases lapse: the lookup prunes them, counts the expirations, and
+	// the empty group (and empty home) tables are purged, not leaked.
+	if _, err := s.MembersAt(1, g, 500); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("expired group: %v", err)
+	}
+	if got := s.Metrics().Expirations; got != 2 {
+		t.Fatalf("Expirations = %d, want 2", got)
+	}
+	if _, ok := s.tables[home][g]; ok {
+		t.Fatal("expired group table lingers at its home node")
+	}
+	if _, ok := s.tables[home]; ok {
+		t.Fatal("empty home table lingers")
+	}
+
+	// The group is fully revivable after the purge.
+	if err := s.JoinAt(5, g, 600); err != nil {
+		t.Fatal(err)
+	}
+	if members, err := s.MembersAt(1, g, 610); err != nil || len(members) != 1 {
+		t.Fatalf("revived group: %v %v", members, err)
+	}
+}
+
+func TestLeavePurgesEmptyGroup(t *testing.T) {
+	s := testService(t, 12, 500)
+	const g = "transient"
+	if err := s.Join(4, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Leave(4, g); err != nil {
+		t.Fatal(err)
+	}
+	home := s.Home(g)
+	if _, ok := s.tables[home]; ok {
+		t.Fatal("explicit leave left an empty table behind")
+	}
+	if s.Metrics().Expirations != 0 {
+		t.Fatal("explicit leave must not count as an expiration")
+	}
+}

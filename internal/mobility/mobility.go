@@ -8,6 +8,7 @@ package mobility
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 
 	"gmp/internal/geom"
@@ -25,16 +26,24 @@ type Config struct {
 	Pause float64
 }
 
+// finitePos reports whether x is a finite positive number. NaN compares
+// false against everything, so the naive `x <= 0` guard lets NaN through —
+// and a NaN speed or area silently freezes every node (NaN positions
+// propagate to every Dist/lerp downstream).
+func finitePos(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0) && x > 0
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if c.Width <= 0 || c.Height <= 0 {
-		return errors.New("mobility: area must be positive")
+	if !finitePos(c.Width) || !finitePos(c.Height) {
+		return errors.New("mobility: area must be finite and positive")
 	}
-	if c.SpeedMin <= 0 || c.SpeedMax < c.SpeedMin {
-		return errors.New("mobility: need 0 < SpeedMin <= SpeedMax")
+	if !finitePos(c.SpeedMin) || !finitePos(c.SpeedMax) || c.SpeedMax < c.SpeedMin {
+		return errors.New("mobility: need 0 < SpeedMin <= SpeedMax, finite")
 	}
-	if c.Pause < 0 {
-		return errors.New("mobility: negative pause")
+	if math.IsNaN(c.Pause) || math.IsInf(c.Pause, 0) || c.Pause < 0 {
+		return errors.New("mobility: pause must be finite and non-negative")
 	}
 	return nil
 }

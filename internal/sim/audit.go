@@ -66,6 +66,14 @@ func AuditTask(m *TaskMetrics, cfg AuditConfig) error {
 		m.LinkFailures < 0 || m.InvalidSends < 0 {
 		return fmt.Errorf("negative traffic counter: %+v", m)
 	}
+	if m.JoinsSpliced < 0 || m.JoinsMissed < 0 {
+		return fmt.Errorf("negative churn counter: spliced %d, missed %d",
+			m.JoinsSpliced, m.JoinsMissed)
+	}
+	if m.JoinsSpliced > m.DestCount {
+		return fmt.Errorf("joins spliced %d exceed destination count %d",
+			m.JoinsSpliced, m.DestCount)
+	}
 	if m.Retransmissions > m.Transmissions {
 		return fmt.Errorf("retransmissions %d exceed transmissions %d",
 			m.Retransmissions, m.Transmissions)

@@ -163,6 +163,14 @@ const (
 	// ReasonInvalidSend: the decision addressed an out-of-range node or the
 	// sender itself (a protocol bug; see TaskMetrics.InvalidSends).
 	ReasonInvalidSend
+	// ReasonLeft: the destination left the multicast group mid-session (a
+	// ChurnPlan leave) and was retired from the packet header. Unlike every
+	// other reason this does not kill the copy — DropsByReason[ReasonLeft]
+	// counts retirement events, DestDropsByReason[ReasonLeft] the retired
+	// destinations — but it participates in the conservation invariant the
+	// same way, so delivered + dropped still accounts for every originated
+	// destination exactly.
+	ReasonLeft
 
 	// NumDropReasons sizes per-reason counter arrays.
 	NumDropReasons
@@ -189,6 +197,8 @@ func (r DropReason) String() string {
 		return "arq-exhausted"
 	case ReasonInvalidSend:
 		return "invalid-send"
+	case ReasonLeft:
+		return "left"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -249,8 +259,16 @@ type TaskMetrics struct {
 	// InvalidSends counts attempted transmissions to nodes out of radio
 	// range. Always zero for correct protocols; tests assert it.
 	InvalidSends int
-	// DestCount is the size of the task's destination set.
+	// DestCount is the size of the task's destination set, including
+	// mid-session joins spliced aboard by a ChurnPlan.
 	DestCount int
+	// JoinsSpliced counts churn joins that made it aboard the packet header
+	// mid-session (each also increments DestCount at splice time).
+	JoinsSpliced int
+	// JoinsMissed counts churn joins that never became destinations: the
+	// node was already a member, had already left, left again before any
+	// packet passed by, or the session finished first.
+	JoinsMissed int
 	// EnergyByNode, when per-node accounting is enabled via
 	// Engine.SetEnergyLedger, maps node IDs to joules drawn during the
 	// task (transmit energy at senders, receive energy at listeners).
@@ -294,6 +312,12 @@ func (m *TaskMetrics) DroppedDests() int {
 		total += n
 	}
 	return total
+}
+
+// EligibleDests counts the destinations that did not leave mid-session —
+// the fair denominator for delivery ratios under churn.
+func (m *TaskMetrics) EligibleDests() int {
+	return m.DestCount - m.DestDropsByReason[ReasonLeft]
 }
 
 // TotalHops is the paper's Figure 11 metric.
@@ -389,6 +413,10 @@ type sessionState struct {
 	// masks caches the masking views, one per banned-at node, invalidated
 	// whenever that node's ban set grows.
 	masks map[int]*view.Masked
+	// churn is the session's membership-change bookkeeping; nil for sessions
+	// the installed ChurnPlan schedules no events for (every session of a
+	// churn-free run).
+	churn *sessionChurn
 }
 
 // banLink adds (from → to) to a session's dead-link blacklist.
@@ -425,6 +453,7 @@ type Engine struct {
 	dynFrame  bool
 
 	faults FaultPlan
+	churn  ChurnPlan
 	arq    ARQConfig // normalized against radio when set
 	frand  *rand.Rand
 	dead   []bool // nil when the plan schedules no crashes
@@ -580,10 +609,21 @@ func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
 		}
 	}
 
+	if e.churn.hasEvents() {
+		for _, m := range append(append([]Membership(nil), e.churn.Joins...), e.churn.Leaves...) {
+			if m.Session >= len(sessions) {
+				panic(fmt.Sprintf("sim: churn event for session %d, script has %d", m.Session, len(sessions)))
+			}
+		}
+	}
+
 	for i, s := range sessions {
 		i, s := i, s
 		st := &e.sessions[i]
 		st.handler = s.Handler
+		if e.churn.hasEvents() {
+			st.churn = e.churn.newSessionChurn(i, s.Src, s.Dests)
+		}
 		st.metrics = SessionMetrics{
 			TaskMetrics: TaskMetrics{
 				Delivered: make(map[int]int, len(s.Dests)),
@@ -613,16 +653,44 @@ func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
 			e.sched.At(s.Start, func() {
 				e.cur = i
 				pkt := &Packet{Dests: remaining, Locs: locs, Session: i, Anchor: -1}
+				if st.churn != nil {
+					e.applyChurn(pkt, s.Src)
+					if len(pkt.Dests) == 0 {
+						// Everyone aboard left at or before the start; the
+						// retirements are already billed.
+						return
+					}
+				}
 				fwds := st.handler.Start(e.viewAt(s.Src), pkt)
 				if len(fwds) == 0 {
 					e.kill(pkt, ReasonStranded)
 					return
+				}
+				if st.churn != nil {
+					e.billUncovered(pkt, fwds)
 				}
 				e.apply(s.Src, fwds)
 			})
 		}
 	}
 	e.sched.Run()
+
+	// Joins that never fired (the session finished first) or fired with no
+	// packet left to splice into are accounted as missed, so every scheduled
+	// join shows up in exactly one of JoinsSpliced/JoinsMissed.
+	for i := range e.sessions {
+		sc := e.sessions[i].churn
+		if sc == nil {
+			continue
+		}
+		for ; sc.next < len(sc.events); sc.next++ {
+			if sc.events[sc.next].join {
+				e.sessions[i].metrics.JoinsMissed++
+			}
+		}
+		e.sessions[i].metrics.JoinsMissed += len(sc.ready)
+		sc.ready = nil
+	}
 
 	out := make([]SessionMetrics, len(sessions))
 	for i := range e.sessions {
@@ -733,6 +801,13 @@ func (e *Engine) transmit(from, to int, pkt *Packet, attempt int) {
 	// scheduler order); whether the receiver is alive is checked at arrival
 	// time, so a crash mid-flight loses the frame.
 	lost := e.linkLost(from, to)
+	if !lost && e.churn.Motion != nil && !e.motionInRange(from, to, txStart) {
+		// The nodes' true positions have drifted out of radio range: the
+		// frame is lost on the air regardless of what the routing state
+		// believes. ARQ retries re-sample the stream — a node that swings
+		// back into range can still be reached.
+		lost = true
+	}
 	e.sched.At(txStart+airtime, func() { e.receive(from, to, pkt, attempt, lost) })
 }
 
@@ -810,6 +885,9 @@ func (e *Engine) nack(nh NackHandler, from, to int, pkt *Packet) bool {
 	if len(fwds) == 0 {
 		return false
 	}
+	if e.sessions[pkt.Session].churn != nil {
+		e.billUncovered(pkt, fwds)
+	}
 	e.apply(from, fwds)
 	return true
 }
@@ -839,6 +917,16 @@ func (e *Engine) linkLost(from, to int) bool {
 func (e *Engine) arrive(node int, pkt *Packet) {
 	e.cur = pkt.Session
 	st := &e.sessions[pkt.Session]
+	if st.churn != nil {
+		e.applyChurn(pkt, node)
+		if len(pkt.Dests) == 0 {
+			// Every destination aboard left; the copy dissolves with the
+			// retirements already billed. Engine clone, never shown to a
+			// handler at this node.
+			freePacket(pkt)
+			return
+		}
+	}
 	kept := pkt.Dests[:0]
 	keptL := pkt.Locs[:0]
 	for i, d := range pkt.Dests {
@@ -866,6 +954,9 @@ func (e *Engine) arrive(node int, pkt *Packet) {
 	if len(fwds) == 0 {
 		e.kill(pkt, ReasonStranded)
 		return
+	}
+	if st.churn != nil {
+		e.billUncovered(pkt, fwds)
 	}
 	e.apply(node, fwds)
 }
