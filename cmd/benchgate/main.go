@@ -1,15 +1,26 @@
-// Command benchgate is the allocation-regression gate for the forwarding hot
-// path. It parses `go test -bench` output (stdin or a file argument), takes
-// the median allocs/op and B/op of each benchmark across -count repeats, and
-// compares them against the microbenchmark baselines recorded in a BENCH_*.json
-// file. Any benchmark whose measured allocs/op exceeds its baseline beyond
-// the configured slack fails the gate; benchmarks absent from the baseline
-// are reported but never fail. Wall-clock (ns/op) is printed for context and
-// never gated — CI time noise would make it flaky.
+// Command benchgate is the performance-regression gate. It parses `go test
+// -bench` output (stdin or a file argument), takes the median of each metric
+// across -count repeats, and compares against the baselines recorded in a
+// BENCH_*.json file. Two kinds of gates:
+//
+//   - Allocation gates: any benchmark whose measured allocs/op exceeds its
+//     microbenchmark baseline beyond the configured slack fails. Benchmarks
+//     absent from the baseline are reported but never fail. Wall-clock
+//     (ns/op) is printed for context and never gated — CI time noise would
+//     make it flaky.
+//   - Speedup gates (the baseline's "speedups" list): the ratio of two
+//     benchmarks' custom hops/s metrics must reach min_ratio. A throughput
+//     *ratio* measured in one process is robust to machine speed, so it can
+//     be gated where absolute ns/op cannot. The gate arms only when the
+//     benchmarks ran on more than one CPU (a GOMAXPROCS suffix ≥ 2, e.g.
+//     from -cpu 4) — a single CPU cannot exhibit parallel speedup — and
+//     skips benchmarks absent from the input, so alloc-only invocations
+//     are unaffected.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'Single' -benchtime=200x -count=3 ./... | benchgate -baseline BENCH_PR5.json
+//	go test -run '^$' -bench 'ScaleShards' -benchtime=1x -count=3 -cpu 4 ./internal/experiment/ | benchgate -baseline BENCH_PR7.json
 package main
 
 import (
@@ -30,22 +41,34 @@ import (
 type baselineFile struct {
 	Description     string               `json:"description"`
 	Microbenchmarks map[string]benchLine `json:"microbenchmarks"`
+	Speedups        []speedupGate        `json:"speedups"`
 }
 
 type benchLine struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	HopsPerSec  float64 `json:"hops_per_sec,omitempty"`
+	cpus        int
+}
+
+// speedupGate requires benchmark Fast's median hops/s to be at least
+// MinRatio times benchmark Slow's. Skipped unless both ran on ≥ 2 CPUs.
+type speedupGate struct {
+	Fast     string  `json:"fast"`
+	Slow     string  `json:"slow"`
+	MinRatio float64 `json:"min_ratio"`
 }
 
 // benchRe matches a `go test -bench` result line with -benchmem metrics, e.g.
 //
 //	BenchmarkSingleGMPDecision        200    4822 ns/op    512 B/op    4 allocs/op
 //
-// The -cpu/GOMAXPROCS suffix (-8) is stripped so names match baseline keys.
-var benchRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+// The -cpu/GOMAXPROCS suffix (-8) is stripped so names match baseline keys;
+// its value is kept as the run's CPU count (no suffix = GOMAXPROCS 1).
+var benchRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(.*)$`)
 
-var metricRe = regexp.MustCompile(`([\d.]+) (B/op|allocs/op)`)
+var metricRe = regexp.MustCompile(`(\S+) (B/op|allocs/op|hops/s)`)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -75,8 +98,8 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("%s: %w", *basePath, err)
 	}
-	if len(base.Microbenchmarks) == 0 {
-		return fmt.Errorf("%s: no microbenchmarks", *basePath)
+	if len(base.Microbenchmarks) == 0 && len(base.Speedups) == 0 {
+		return fmt.Errorf("%s: no microbenchmarks or speedup gates", *basePath)
 	}
 
 	in := stdin
@@ -125,9 +148,38 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		fmt.Fprintf(w, "%-34s %12.0f B %12.0f B   (ns/op %.0f → %.0f, not gated)\n",
 			"", want.BytesPerOp, cur.BytesPerOp, want.NsPerOp, cur.NsPerOp)
 	}
+	for _, g := range base.Speedups {
+		fastRuns, okF := got[g.Fast]
+		slowRuns, okS := got[g.Slow]
+		if !okF || !okS {
+			fmt.Fprintf(w, "speedup %s / %s: skipped (benchmarks not in input)\n", g.Fast, g.Slow)
+			continue
+		}
+		fast, slow := median(fastRuns), median(slowRuns)
+		if fast.cpus < 2 {
+			fmt.Fprintf(w, "speedup %s / %s: skipped (single-CPU run cannot show parallel speedup)\n",
+				g.Fast, g.Slow)
+			continue
+		}
+		if slow.HopsPerSec <= 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s reported no hops/s to ratio against", g.Slow))
+			continue
+		}
+		ratio := fast.HopsPerSec / slow.HopsPerSec
+		status := "ok"
+		if ratio < g.MinRatio {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s speedup %.2fx below required %.2fx (%.0f vs %.0f hops/s)",
+				g.Fast, g.Slow, ratio, g.MinRatio, fast.HopsPerSec, slow.HopsPerSec))
+		}
+		fmt.Fprintf(w, "speedup %s / %s: %.2fx (need %.2fx, %.0f vs %.0f hops/s) %s\n",
+			g.Fast, g.Slow, ratio, g.MinRatio, fast.HopsPerSec, slow.HopsPerSec, status)
+	}
 	w.Flush()
 	if len(failures) > 0 {
-		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(failures, "\n  "))
+		return fmt.Errorf("benchmark regressions:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }
@@ -142,12 +194,17 @@ func parseBench(r io.Reader) (map[string][]benchLine, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
-		line := benchLine{NsPerOp: ns}
-		for _, mm := range metricRe.FindAllStringSubmatch(m[3], -1) {
+		line := benchLine{NsPerOp: ns, cpus: 1}
+		if m[2] != "" {
+			if c, err := strconv.Atoi(m[2]); err == nil {
+				line.cpus = c
+			}
+		}
+		for _, mm := range metricRe.FindAllStringSubmatch(m[4], -1) {
 			v, err := strconv.ParseFloat(mm[1], 64)
 			if err != nil {
 				continue
@@ -157,6 +214,8 @@ func parseBench(r io.Reader) (map[string][]benchLine, error) {
 				line.BytesPerOp = v
 			case "allocs/op":
 				line.AllocsPerOp = v
+			case "hops/s":
+				line.HopsPerSec = v
 			}
 		}
 		out[m[1]] = append(out[m[1]], line)
@@ -179,10 +238,18 @@ func median(runs []benchLine) benchLine {
 			return (vs[n/2-1] + vs[n/2]) / 2
 		}
 	}
+	cpus := 0
+	for _, r := range runs {
+		if r.cpus > cpus {
+			cpus = r.cpus
+		}
+	}
 	return benchLine{
 		NsPerOp:     pick(func(l benchLine) float64 { return l.NsPerOp }),
 		BytesPerOp:  pick(func(l benchLine) float64 { return l.BytesPerOp }),
 		AllocsPerOp: pick(func(l benchLine) float64 { return l.AllocsPerOp }),
+		HopsPerSec:  pick(func(l benchLine) float64 { return l.HopsPerSec }),
+		cpus:        cpus,
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -88,5 +89,83 @@ func TestGateIgnoresUnknownBenchmarks(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "new") {
 		t.Fatalf("unknown benchmark not reported:\n%s", out.String())
+	}
+}
+
+const speedupBaseline = `{
+  "description": "speedup baseline",
+  "speedups": [
+    { "fast": "BenchmarkScaleShards4", "slow": "BenchmarkScaleShards1", "min_ratio": 2.0 }
+  ]
+}`
+
+func writeSpeedupBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "speedup.json")
+	if err := os.WriteFile(path, []byte(speedupBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func speedupOutput(cpuSuffix string, slow, fast int) string {
+	return "goos: linux\n" +
+		"BenchmarkScaleShards1" + cpuSuffix + " \t       1\t 400000000 ns/op\t     " + itoa(slow) + " hops/s\n" +
+		"BenchmarkScaleShards4" + cpuSuffix + " \t       1\t 100000000 ns/op\t     " + itoa(fast) + " hops/s\n" +
+		"PASS\n"
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func TestSpeedupGatePasses(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-baseline", writeSpeedupBaseline(t)},
+		strings.NewReader(speedupOutput("-4", 25000, 60000)), &out)
+	if err != nil {
+		t.Fatalf("2.4x speedup failed a 2.0x gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2.40x") {
+		t.Fatalf("report missing ratio:\n%s", out.String())
+	}
+}
+
+func TestSpeedupGateFailsBelowRatio(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-baseline", writeSpeedupBaseline(t)},
+		strings.NewReader(speedupOutput("-4", 40000, 60000)), &out)
+	if err == nil {
+		t.Fatalf("1.5x speedup passed a 2.0x gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "speedup") {
+		t.Fatalf("failure does not mention the speedup gate: %v", err)
+	}
+}
+
+// A single-CPU run (no GOMAXPROCS suffix) cannot exhibit parallel speedup:
+// the ratio gate must skip, not fail, so local 1-core runs stay green while
+// multi-CPU CI enforces the ratio.
+func TestSpeedupGateSkipsSingleCPU(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-baseline", writeSpeedupBaseline(t)},
+		strings.NewReader(speedupOutput("", 60000, 60000)), &out)
+	if err != nil {
+		t.Fatalf("single-CPU run failed the ratio gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "skipped (single-CPU") {
+		t.Fatalf("no skip notice:\n%s", out.String())
+	}
+}
+
+// The alloc-only CI invocation never runs the scale benchmarks; a baseline
+// with speedup gates must skip them when the benchmarks are absent.
+func TestSpeedupGateSkipsMissingBenchmarks(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-baseline", writeSpeedupBaseline(t)},
+		strings.NewReader("BenchmarkSomethingElse-4 \t 100\t 1000 ns/op\n"), &out)
+	if err != nil {
+		t.Fatalf("missing benchmarks failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "not in input") {
+		t.Fatalf("no skip notice:\n%s", out.String())
 	}
 }

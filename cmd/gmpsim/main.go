@@ -11,6 +11,7 @@
 //	gmpsim -experiment loss                 # Figure 15 under link loss, ± ARQ
 //	gmpsim -experiment lambda               # PBM λ ablation (A-3)
 //	gmpsim -experiment setup                # Table 1 parameters
+//	gmpsim -experiment scale -shards 4      # E-X10: 10⁴ → 10⁶ nodes, sharded kernel
 //	gmpsim -experiment all                  # everything
 //
 // The -quick flag runs a scaled-down campaign (seconds instead of minutes);
@@ -62,7 +63,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|churn|all")
+		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|churn|scale|all")
 		quick    = fs.Bool("quick", false, "scaled-down campaign for smoke runs")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut  = fs.Bool("json", false, "emit JSON instead of aligned tables")
@@ -82,6 +83,7 @@ func run(args []string, out io.Writer) error {
 		crash    = fs.Float64("crash", 0, "crash this fraction of nodes at random times early in each task")
 		arq      = fs.Bool("arq", false, "enable hop-by-hop ARQ (ACKs + retransmissions)")
 		workers  = fs.Int("workers", 0, "max concurrent simulation cells (0 = one per CPU); output is identical for any value")
+		shards   = fs.Int("shards", 0, "for -experiment scale: sharded-kernel worker count (0 = one per CPU); deterministic output is identical for any value")
 		progress = fs.Bool("progress", false, "render a live cells-completed counter on stderr")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -368,6 +370,29 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, rep.Render())
 		if len(rep.Violations) > 0 {
 			return fmt.Errorf("churn: %d invariant violations", len(rep.Violations))
+		}
+	case "scale":
+		sc := experiment.DefaultScaleConfig()
+		if *quick {
+			sc = experiment.QuickScaleConfig()
+		}
+		sc.Seed = cfg.Seed
+		sc.Progress = cfg.Progress
+		sc.Shards = *shards
+		if *protos != "" {
+			sc.Protos = protoList
+		}
+		rep, err := experiment.RunScale(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep.Render())
+		var violations int
+		for _, a := range rep.Arms {
+			violations += len(a.Violations)
+		}
+		if violations > 0 {
+			return fmt.Errorf("scale: %d invariant violations", violations)
 		}
 	case "compare":
 		parts := strings.Split(*pair, ",")

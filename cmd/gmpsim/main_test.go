@@ -259,3 +259,38 @@ func TestChurnQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestScaleQuick(t *testing.T) {
+	// Two shard counts through the CLI: both must pass the oracle, and the
+	// deterministic columns (everything up to the timing fields) must agree.
+	one := runCapture(t, "-experiment", "scale", "-quick", "-shards", "1")
+	four := runCapture(t, "-experiment", "scale", "-quick", "-shards", "4")
+	for _, out := range []string{one, four} {
+		for _, want := range []string{"E-X10", "GMP+f", "hops/s", "PASS (0 violations)"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q:\n%s", want, out)
+			}
+		}
+	}
+	deterministic := func(out string) string {
+		var s string
+		for _, line := range strings.Split(out, "\n") {
+			f := strings.Fields(line)
+			if len(f) >= 11 && f[0] != "nodes" {
+				s += strings.Join(f[:6], " ") + "\n" // nodes proto tiles deliv/dests tx energy
+			}
+		}
+		return s
+	}
+	if d1, d4 := deterministic(one), deterministic(four); d1 != d4 {
+		t.Fatalf("deterministic columns diverged:\n-shards 1:\n%s\n-shards 4:\n%s", d1, d4)
+	}
+}
+
+func TestNegativeShardsRejected(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-experiment", "scale", "-quick", "-shards", "-3"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("err = %v, want shard-count validation error", err)
+	}
+}

@@ -1,0 +1,19 @@
+//go:build linux
+
+package experiment
+
+import "syscall"
+
+// peakRSSBytes returns the process's peak resident set size in bytes, via
+// getrusage(2). The value is a process-lifetime high-water mark, so within a
+// sweep it is monotone: an arm's reading reflects the largest deployment
+// built so far, which for the ascending node-count order of E-X10 is the
+// arm's own. On error it returns 0 (reported as "unknown", never fabricated).
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	// Linux reports ru_maxrss in kibibytes.
+	return int64(ru.Maxrss) * 1024
+}

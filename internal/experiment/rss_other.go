@@ -1,0 +1,7 @@
+//go:build !linux
+
+package experiment
+
+// peakRSSBytes is unavailable off Linux (ru_maxrss units differ per OS);
+// the report renders 0 as "unknown" rather than guessing.
+func peakRSSBytes() int64 { return 0 }

@@ -53,6 +53,12 @@ const (
 	churnOffset = 524287
 	// churnStride separates the churn campaign's per-sweep-point streams.
 	churnStride = 786433
+	// scaleOffset marks the scale sweep's stream family.
+	scaleOffset = 1299709
+	// scaleStride separates the scale sweep's per-node-count streams. It is
+	// deliberately distinct from the sim kernel's per-tile fault-stream
+	// stride (15485863), so no (node count, tile) pair can alias.
+	scaleStride = 15485867
 )
 
 // seeds derives every RNG stream of one campaign from its base seed.
@@ -147,3 +153,25 @@ func (s seeds) churnSeed(netIdx, pi int) int64 {
 // churn draws sweep point pi's task batch and membership events on network
 // netIdx.
 func (s seeds) churn(netIdx, pi int) *rand.Rand { return rng(s.churnSeed(netIdx, pi)) }
+
+// scaleSeed is the root of node-count point ni's stream family in the scale
+// sweep (E-X10): it seeds the deployment (+0), the session workload (+1),
+// the fault-arm schedule draws (+2) and the fault-arm engine fault stream
+// (+3). Shard-count invariance hangs on this derivation being pure: the
+// sharded kernel re-derives its per-tile streams from the engine seed, never
+// from worker identity.
+func (s seeds) scaleSeed(ni int) int64 {
+	return s.base + scaleOffset + int64(ni)*scaleStride
+}
+
+// scaleDeploy draws node-count point ni's node placement.
+func (s seeds) scaleDeploy(ni int) *rand.Rand { return rng(s.scaleSeed(ni)) }
+
+// scaleTasks draws node-count point ni's session batch.
+func (s seeds) scaleTasks(ni int) *rand.Rand { return rng(s.scaleSeed(ni) + 1) }
+
+// scaleChurn draws the fault arm's crash and membership-event schedule.
+func (s seeds) scaleChurn(ni int) *rand.Rand { return rng(s.scaleSeed(ni) + 2) }
+
+// scaleFault is the fault arm's engine fault-stream seed.
+func (s seeds) scaleFault(ni int) int64 { return s.scaleSeed(ni) + 3 }

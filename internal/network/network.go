@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"gmp/internal/geom"
 	"gmp/internal/steiner"
@@ -37,6 +39,16 @@ type Network struct {
 	cols     int
 	rows     int
 	cells    [][]int // cell index -> node IDs
+
+	// Coarse tile layer above the cells: tileSpan×tileSpan blocks of grid
+	// cells, the unit of spatial decomposition the sharded simulation kernel
+	// partitions work by. The tiling is a pure function of the region
+	// geometry and radio range — never of how many workers will process it —
+	// which is what lets the kernel stay byte-identical for any shard count.
+	tileCols int
+	tileRows int
+	tiles    [][]int // tile index -> node IDs, ascending
+	nodeTile []int32 // node ID -> tile index
 
 	adj [][]int // node ID -> sorted neighbor IDs
 
@@ -91,9 +103,53 @@ func New(nodes []Node, width, height, radioRange float64) (*Network, error) {
 		c := nw.cellOf(n.Pos)
 		nw.cells[c] = append(nw.cells[c], n.ID)
 	}
+	nw.buildTiles()
 	nw.buildAdjacency()
 	return nw, nil
 }
+
+// TileSpan is the tile edge length in grid cells: a tile covers a
+// TileSpan×TileSpan block of cells, i.e. a square of TileSpan radio ranges
+// per side. The constant is frozen — the sharded kernel's event order ties
+// break on tile indices, so changing it changes every sharded run.
+const TileSpan = 4
+
+// buildTiles derives the coarse tile layer from the cell grid: tile (tx, ty)
+// covers cells [tx·TileSpan, (tx+1)·TileSpan) × [ty·TileSpan, (ty+1)·TileSpan).
+// Cell membership already owns the border conventions (cellOf clamps and
+// assigns a coordinate exactly on a cell edge to the higher cell), so a node
+// exactly on a tile border belongs to exactly one tile, consistently with its
+// cell.
+func (nw *Network) buildTiles() {
+	nw.tileCols = (nw.cols + TileSpan - 1) / TileSpan
+	nw.tileRows = (nw.rows + TileSpan - 1) / TileSpan
+	nw.tiles = make([][]int, nw.tileCols*nw.tileRows)
+	nw.nodeTile = make([]int32, len(nw.nodes))
+	for _, n := range nw.nodes {
+		c := nw.cellOf(n.Pos)
+		cx, cy := c%nw.cols, c/nw.cols
+		t := (cy/TileSpan)*nw.tileCols + cx/TileSpan
+		nw.nodeTile[n.ID] = int32(t)
+	}
+	// Nodes are iterated in ID order above, but build the per-tile lists in a
+	// second pass so each list is ascending by construction.
+	for id := range nw.nodes {
+		t := nw.nodeTile[id]
+		nw.tiles[t] = append(nw.tiles[t], id)
+	}
+}
+
+// Tiles returns the number of coarse spatial tiles. The tiling depends only
+// on the region geometry and radio range (TileSpan cells per side), so it is
+// identical for every network built over the same region.
+func (nw *Network) Tiles() int { return len(nw.tiles) }
+
+// Tile returns the tile index of node id.
+func (nw *Network) Tile(id int) int { return int(nw.nodeTile[id]) }
+
+// TileNodes returns the IDs of the nodes in tile t, ascending. The returned
+// slice is shared; callers must not mutate it.
+func (nw *Network) TileNodes(t int) []int { return nw.tiles[t] }
 
 func (nw *Network) cellOf(p geom.Point) int {
 	cx := int(p.X / nw.cellSize)
@@ -113,12 +169,45 @@ func clampInt(v, lo, hi int) int {
 	return v
 }
 
+// adjParallelThreshold is the node count above which buildAdjacency fans out
+// over all CPUs. Small networks stay on the serial path: the goroutine setup
+// would dominate, and tests compare the two paths for equivalence anyway.
+const adjParallelThreshold = 4096
+
 // buildAdjacency precomputes sorted unit-disk neighbor lists using the grid:
 // candidates for a node can only lie in its own or the eight adjacent cells.
+// Each node's list is an independent, deterministic function of the (already
+// built) cell index, so large networks compute rows in parallel chunks —
+// byte-identical to the serial build, just faster (a 10⁶-node deployment
+// would otherwise spend most of an E-X10 arm's setup here).
 func (nw *Network) buildAdjacency() {
 	nw.adj = make([][]int, len(nw.nodes))
+	workers := runtime.NumCPU()
+	if len(nw.nodes) < adjParallelThreshold || workers < 2 {
+		nw.buildAdjacencyRange(0, len(nw.nodes))
+		return
+	}
+	chunk := (len(nw.nodes) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(nw.nodes); lo += chunk {
+		hi := lo + chunk
+		if hi > len(nw.nodes) {
+			hi = len(nw.nodes)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			nw.buildAdjacencyRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// buildAdjacencyRange fills adjacency rows for node IDs in [lo, hi). Rows are
+// disjoint across ranges, so concurrent calls on disjoint ranges are safe.
+func (nw *Network) buildAdjacencyRange(lo, hi int) {
 	r2 := nw.rng * nw.rng
-	for _, n := range nw.nodes {
+	for _, n := range nw.nodes[lo:hi] {
 		cx := clampInt(int(n.Pos.X/nw.cellSize), 0, nw.cols-1)
 		cy := clampInt(int(n.Pos.Y/nw.cellSize), 0, nw.rows-1)
 		var nbrs []int

@@ -458,6 +458,10 @@ type Engine struct {
 	frand  *rand.Rand
 	dead   []bool // nil when the plan schedules no crashes
 	runSeq int64  // runs since SetFaults, for per-run fault seed derivation
+
+	// sharding, when non-zero, routes RunScript through the tiled kernel in
+	// shard.go instead of the single-queue scheduler below.
+	sharding ShardConfig
 }
 
 // NewEngine builds an engine over net. maxHops is the per-packet hop budget
@@ -581,8 +585,13 @@ func (e *Engine) RunTask(h Handler, src int, dests []int) TaskMetrics {
 }
 
 // RunScript simulates overlapping multicast sessions on the shared medium
-// and returns per-session metrics in input order.
+// and returns per-session metrics in input order. With SetSharding installed
+// the run executes on the tiled kernel (shard.go); otherwise on the
+// single-queue scheduler below.
 func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
+	if e.sharding != (ShardConfig{}) {
+		return e.runSharded(sessions)
+	}
 	e.sched = &Scheduler{}
 	e.busyUntil = make([]float64, e.net.Len())
 	e.sessions = make([]sessionState, len(sessions))

@@ -8,9 +8,14 @@
 // reports — hops, energy, failed tasks — is a deterministic function of
 // forwarding decisions and neighborhoods, so an 802.11 contention model would
 // only add noise, not change the comparison (see DESIGN.md §3).
+//
+// The kernel runs in one of two modes. The default is the single-queue
+// Scheduler below: one virtual clock, strictly (time, seq)-ordered, single
+// threaded. Engine.SetSharding switches a run to the tiled kernel in
+// shard.go: per-tile event queues advanced in conservative time windows, so
+// one large network saturates many cores while staying byte-identical for
+// any shard count (see DESIGN.md §2.4).
 package sim
-
-import "container/heap"
 
 // event is a scheduled callback. seq breaks time ties FIFO so runs are
 // deterministic.
@@ -20,29 +25,81 @@ type event struct {
 	fn   func()
 }
 
+// eventQueue is a min-heap of events ordered by (time, seq). It is
+// hand-rolled rather than built on container/heap: the standard heap boxes
+// every element into an interface{}, one allocation per Push, which a
+// million-node event loop cannot afford. The ordering is a strict total
+// order — seq is unique per scheduler — so every pop returns the unique
+// minimum and the execution sequence is identical to the container/heap
+// version (TestEventQueueMatchesContainerHeap proves this on randomized
+// workloads).
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+// before reports whether event i fires before event j.
+func (q eventQueue) before(i, j int) bool {
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	q.up(len(*q) - 1)
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	e := h[n]
+	h[n] = event{} // drop the fn reference so the GC can collect the closure
+	*q = h[:n]
+	if n > 0 {
+		h[:n].down(0)
+	}
 	return e
 }
 
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && q.before(r, l) {
+			best = r
+		}
+		if !q.before(best, i) {
+			return
+		}
+		q[i], q[best] = q[best], q[i]
+		i = best
+	}
+}
+
 // Scheduler is a discrete-event virtual clock. The zero value is ready to
-// use. Not safe for concurrent use: simulations are single-threaded by
-// design (determinism first), and experiments parallelize across independent
-// Scheduler instances instead.
+// use: Now and Processed start at 0, Pending at 0, and the first At may be
+// called without any initialization. Not safe for concurrent use: a
+// Scheduler is single-threaded by design (determinism first). Parallelism
+// lives elsewhere — experiments fan out across independent Scheduler
+// instances, and the sharded kernel (shard.go) runs one logical clock as
+// per-tile queues whose aggregate Pending/Processed counts keep the same
+// meaning: events queued but not yet executed, and events executed so far,
+// over the whole run.
 type Scheduler struct {
 	now       float64
 	seq       int64
@@ -66,7 +123,7 @@ func (s *Scheduler) At(t float64, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
-	heap.Push(&s.queue, event{time: t, seq: s.seq, fn: fn})
+	s.queue.push(event{time: t, seq: s.seq, fn: fn})
 	s.seq++
 }
 
@@ -79,7 +136,7 @@ func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(event)
+	e := s.queue.pop()
 	s.now = e.time
 	s.processed++
 	e.fn()

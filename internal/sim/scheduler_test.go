@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"container/heap"
+	"math/rand"
 	"testing"
 )
 
@@ -98,5 +100,67 @@ func TestSchedulerStepEmpty(t *testing.T) {
 	var s Scheduler
 	if s.Step() {
 		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+// containerHeapQueue is the container/heap implementation the hand-rolled
+// eventQueue replaced, kept as the reference for the randomized equivalence
+// test below.
+type containerHeapQueue []event
+
+func (q containerHeapQueue) Len() int { return len(q) }
+func (q containerHeapQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q containerHeapQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *containerHeapQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *containerHeapQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// TestEventQueueMatchesContainerHeap proves the hand-rolled heap pops in
+// exactly the order the container/heap version did: (time, seq) is a strict
+// total order, so the sequences must match element for element under any
+// interleaving of pushes and pops.
+func TestEventQueueMatchesContainerHeap(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		var got eventQueue
+		var want containerHeapQueue
+		var seq int64
+		for op := 0; op < 400; op++ {
+			if len(want) > 0 && r.Intn(3) == 0 {
+				g := got.pop()
+				w := heap.Pop(&want).(event)
+				if g.time != w.time || g.seq != w.seq {
+					t.Fatalf("trial %d op %d: popped (%v,%d), container/heap popped (%v,%d)",
+						trial, op, g.time, g.seq, w.time, w.seq)
+				}
+				continue
+			}
+			// Coarse times force frequent exact ties so the seq tie-break is
+			// exercised, not just the time ordering.
+			e := event{time: float64(r.Intn(20)), seq: seq}
+			seq++
+			got.push(e)
+			heap.Push(&want, e)
+		}
+		for len(want) > 0 {
+			g := got.pop()
+			w := heap.Pop(&want).(event)
+			if g.time != w.time || g.seq != w.seq {
+				t.Fatalf("trial %d drain: popped (%v,%d), want (%v,%d)", trial, g.time, g.seq, w.time, w.seq)
+			}
+		}
+		if len(got) != 0 {
+			t.Fatalf("trial %d: %d events left in hand-rolled queue", trial, len(got))
+		}
 	}
 }

@@ -32,6 +32,12 @@ func NewOracle(nw *network.Network, pg *planar.Graph) *Oracle {
 	for i := range o.nodes {
 		o.nodes[i] = oracleView{o: o, id: i}
 	}
+	if pg != nil {
+		// Allocated eagerly (not on first use) so that under the sharded
+		// kernel concurrent tiles only ever write disjoint per-node entries,
+		// never the slice header itself.
+		o.altAdj = make([][]int, nw.Len())
+	}
 	return o
 }
 
@@ -48,9 +54,6 @@ func (o *Oracle) SetWatchdog(w WatchdogLimits) { o.wd = w }
 func (o *Oracle) altNeighbors(id int) []int {
 	if o.pg == nil {
 		return nil
-	}
-	if o.altAdj == nil {
-		o.altAdj = make([][]int, o.nw.Len())
 	}
 	if o.altAdj[id] == nil {
 		nw := o.pg.Network()
