@@ -12,6 +12,7 @@
 //	gmpsim -experiment lambda               # PBM λ ablation (A-3)
 //	gmpsim -experiment setup                # Table 1 parameters
 //	gmpsim -experiment scale -shards 4      # E-X10: 10⁴ → 10⁶ nodes, sharded kernel
+//	gmpsim -experiment delivery             # E-X12: delivery guarantee on adversarial topologies
 //	gmpsim -experiment all                  # everything
 //
 // The -quick flag runs a scaled-down campaign (seconds instead of minutes);
@@ -63,7 +64,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|churn|scale|all")
+		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|churn|scale|delivery|all")
 		quick    = fs.Bool("quick", false, "scaled-down campaign for smoke runs")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut  = fs.Bool("json", false, "emit JSON instead of aligned tables")
@@ -72,7 +73,8 @@ func run(args []string, out io.Writer) error {
 		networks = fs.Int("networks", 0, "override number of deployments")
 		tasks    = fs.Int("tasks", 0, "override tasks per deployment")
 		ks       = fs.String("ks", "", "override destination-count sweep, e.g. 3,5,10")
-		protos   = fs.String("protocols", "", "comma-separated protocol subset (default: the paper's set)")
+		protos   = fs.String("protocols", "", "comma-separated protocol subset (default: the paper's set; registered: "+
+			strings.Join(experiment.RegisteredProtocols(), ",")+")")
 		confPath = fs.String("config", "", "JSON campaign config file (see -dumpconfig for the schema)")
 		dumpConf = fs.Bool("dumpconfig", false, "print the effective campaign config as JSON and exit")
 		pair     = fs.String("pair", "GMP,LGS", "for -experiment compare: the two protocols, A,B")
@@ -393,6 +395,26 @@ func run(args []string, out io.Writer) error {
 		}
 		if violations > 0 {
 			return fmt.Errorf("scale: %d invariant violations", violations)
+		}
+	case "delivery":
+		dc := experiment.DefaultDeliveryConfig()
+		if *quick {
+			dc = experiment.QuickDeliveryConfig()
+		}
+		if *seed != 0 {
+			dc.Seed = *seed
+		}
+		dc.Progress = cfg.Progress
+		if *protos != "" {
+			dc.Protos = protoList
+		}
+		rep, err := experiment.RunDelivery(dc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep.Render())
+		if v := rep.Violations(); len(v) > 0 {
+			return fmt.Errorf("delivery: %d invariant violations", len(v))
 		}
 	case "compare":
 		parts := strings.Split(*pair, ",")

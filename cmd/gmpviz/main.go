@@ -40,16 +40,17 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gmpviz", flag.ContinueOnError)
 	var (
-		protoName = fs.String("protocol", "GMP", "GMP|GMPnr|LGS|LGK|PBM|GRD|SMT")
-		nodes     = fs.Int("nodes", 600, "deployed node count")
-		k         = fs.Int("k", 5, "number of destinations")
-		seed      = fs.Int64("seed", 1, "deployment and task seed")
-		lambda    = fs.Float64("lambda", 0.3, "PBM trade-off parameter")
-		out       = fs.String("o", "", "output file (default stdout)")
-		treeMode  = fs.Bool("tree", false, "render an rrSTR tree for explicit coordinates instead of a simulation")
-		srcFlag   = fs.String("source", "0,0", "tree mode: source coordinate x,y")
-		destFlag  = fs.String("dests", "", "tree mode: destinations x,y;x,y;…")
-		rr        = fs.Float64("rr", 150, "tree mode: radio range")
+		protoName = fs.String("protocol", "GMP", "registered protocol to trace: "+
+			strings.Join(registeredNames(), "|"))
+		nodes    = fs.Int("nodes", 600, "deployed node count")
+		k        = fs.Int("k", 5, "number of destinations")
+		seed     = fs.Int64("seed", 1, "deployment and task seed")
+		lambda   = fs.Float64("lambda", 0.3, "PBM trade-off parameter")
+		out      = fs.String("o", "", "output file (default stdout)")
+		treeMode = fs.Bool("tree", false, "render an rrSTR tree for explicit coordinates instead of a simulation")
+		srcFlag  = fs.String("source", "0,0", "tree mode: source coordinate x,y")
+		destFlag = fs.String("dests", "", "tree mode: destinations x,y;x,y;…")
+		rr       = fs.Float64("rr", 150, "tree mode: radio range")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +78,16 @@ func run(args []string, stdout io.Writer) error {
 	return os.WriteFile(*out, []byte(svg), 0o644)
 }
 
+// registeredNames lists the registry's protocol names in display order.
+func registeredNames() []string {
+	specs := routing.Specs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
 func renderSim(protoName string, nodes, k int, seed int64, lambda float64) (string, error) {
 	r := rand.New(rand.NewSource(seed))
 	deployed := network.DeployUniform(nodes, 1000, 1000, r)
@@ -88,24 +99,23 @@ func renderSim(protoName string, nodes, k int, seed int64, lambda float64) (stri
 	en := sim.NewEngine(nw, sim.DefaultRadioParams(), 100)
 	en.SetViews(view.NewOracle(nw, pg))
 
+	// Case-insensitive lookup against the protocol registry: gmpviz renders
+	// whatever is registered, with no per-protocol wiring of its own.
 	var proto gmp.Protocol
-	switch strings.ToUpper(protoName) {
-	case "GMP":
-		proto = routing.NewGMP()
-	case "GMPNR":
-		proto = routing.NewGMPnr()
-	case "LGS":
-		proto = routing.NewLGS()
-	case "LGK":
-		proto = routing.NewLGK(2)
-	case "PBM":
-		proto = routing.NewPBM(lambda)
-	case "GRD":
-		proto = routing.NewGRD()
-	case "SMT":
-		proto = routing.NewSMT(nw)
-	default:
-		return "", fmt.Errorf("unknown protocol %q", protoName)
+	for _, spec := range routing.Specs() {
+		if strings.EqualFold(spec.Name, protoName) {
+			p, err := routing.Make(spec.Name,
+				routing.Ctx{Network: nw, Lambda: lambda, LambdaSet: true})
+			if err != nil {
+				return "", err
+			}
+			proto = p
+			break
+		}
+	}
+	if proto == nil {
+		return "", fmt.Errorf("unknown protocol %q (registered: %s)",
+			protoName, strings.Join(registeredNames(), ", "))
 	}
 
 	task, err := workload.Generate(r, nodes, k)

@@ -5,7 +5,6 @@ import (
 	"reflect"
 
 	"gmp/internal/geom"
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/view"
 	"gmp/internal/workload"
@@ -226,16 +225,6 @@ func chaosViews(cfg ChaosConfig, d *deployment, p chaosPlan, netIdx, pi int) vie
 	return o
 }
 
-// chaosProtocol instantiates a protocol for the chaos campaign. PBM runs at
-// a fixed λ — the best-of-λ rule would run each task seven times and is
-// irrelevant to invariant checking.
-func chaosProtocol(d *deployment, name string) routing.Protocol {
-	if name == ProtoPBM {
-		return routing.NewPBM(0.3)
-	}
-	return (&bench{nw: d.nw, pg: d.pg}).protocol(name)
-}
-
 // runChaosArm runs one (network, plan, protocol) arm from scratch: fresh
 // engine, fresh views, the plan's faults and ARQ installed, the whole task
 // batch executed in order. It is a pure function of (cfg, netIdx, pi, proto)
@@ -251,7 +240,9 @@ func runChaosArm(cfg ChaosConfig, d *deployment, p chaosPlan, netIdx, pi int, pr
 	}
 	out := make([]sim.TaskMetrics, len(p.tasks))
 	for ti, task := range p.tasks {
-		out[ti] = en.RunTask(chaosProtocol(d, proto), task.Source, task.Dests)
+		// PBM runs at a fixed λ — the best-of-λ rule would run each task
+		// seven times and is irrelevant to invariant checking.
+		out[ti] = en.RunTask(makeProtocol(d.nw, proto, 0.3), task.Source, task.Dests)
 	}
 	return out, nil
 }
@@ -290,6 +281,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			var cell chaosCell
 			audit := sim.AuditConfig{MaxHops: cfg.Base.MaxHops, AllowInvalidSends: plan.corrupted}
 			for _, proto := range cfg.Protos {
+				// Concurrent protocols duplicate deliveries by design; the
+				// audit tolerates that for them and no one else.
+				audit.AllowDuplicates = concurrentProto(proto)
 				metrics, err := runChaosArm(cfg, d, plan, netIdx, pi, proto)
 				if err != nil {
 					return chaosCell{}, err

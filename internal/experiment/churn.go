@@ -11,7 +11,6 @@ import (
 	"gmp/internal/groups"
 	"gmp/internal/mobility"
 	"gmp/internal/network"
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/view"
 	"gmp/internal/workload"
@@ -347,15 +346,6 @@ func buildChurnCell(cfg ChurnConfig, d *deployment, netIdx, pi int) (*churnCellD
 	return data, nil
 }
 
-// churnProtocol instantiates a protocol over one session's ground-truth
-// network. PBM runs at a fixed λ, as in the chaos campaign.
-func churnProtocol(nw *network.Network, name string) routing.Protocol {
-	if name == ProtoPBM {
-		return routing.NewPBM(0.3)
-	}
-	return (&bench{nw: nw}).protocol(name)
-}
-
 // runChurnArm runs one (network, sweep-point, protocol) arm from scratch:
 // per session a fresh engine over that session's ground truth, views over
 // its aged tables, and the session's churn plan installed. It is a pure
@@ -372,7 +362,9 @@ func runChurnArm(cfg ChurnConfig, data *churnCellData, proto string) ([]sim.Task
 		if err := en.SetChurn(cs.plan); err != nil {
 			return nil, err
 		}
-		out[i] = en.RunTask(churnProtocol(cs.nw, proto), cs.src, cs.dests)
+		// Each protocol is built over the session's ground-truth network;
+		// PBM runs at a fixed λ, as in the chaos campaign.
+		out[i] = en.RunTask(makeProtocol(cs.nw, proto, 0.3), cs.src, cs.dests)
 	}
 	return out, nil
 }
@@ -454,6 +446,9 @@ func RunChurn(cfg ChurnConfig) (*ChurnReport, error) {
 			// bug, so the audit tolerates them on mobile points only.
 			audit := sim.AuditConfig{MaxHops: cfg.Base.MaxHops, AllowInvalidSends: data.speed > 0}
 			for protoIdx, proto := range cfg.Protos {
+				// Concurrent protocols duplicate deliveries by design; the
+				// audit tolerates that for them and no one else.
+				audit.AllowDuplicates = concurrentProto(proto)
 				metrics, err := runChurnArm(cfg, data, proto)
 				if err != nil {
 					return churnCell{}, err

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"gmp/internal/routing"
 	"gmp/internal/stats"
 	"gmp/internal/workload"
 )
@@ -82,13 +81,7 @@ func RunClustering(cc ClusteringConfig, protos []string) (*stats.Table, error) {
 					return nil, err
 				}
 				for pi, proto := range protos {
-					var p routing.Protocol
-					if proto == ProtoPBM {
-						p = routing.NewPBM(cc.PBMLambda)
-					} else {
-						p = b.protocol(proto)
-					}
-					m := b.en.RunTask(p, task.Source, task.Dests)
+					m := b.en.RunTask(makeProtocol(b.nw, proto, cc.PBMLambda), task.Source, task.Dests)
 					cells[pi].hops += float64(m.TotalHops())
 					cells[pi].tasks++
 				}

@@ -12,6 +12,7 @@ import (
 
 	"gmp/internal/network"
 	"gmp/internal/planar"
+	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/view"
 )
@@ -34,9 +35,20 @@ const (
 	ProtoGMPsmst = "GMPsmst"
 )
 
-// AllProtocols lists every protocol in the order the paper's figures use.
-func AllProtocols() []string {
-	return []string{ProtoPBM, ProtoLGS, ProtoGMP, ProtoGMPnr, ProtoSMT, ProtoGRD}
+// AllProtocols lists the paper's protocol set in the order its figures use,
+// derived from the routing registry (the Spec PaperRank ordering).
+func AllProtocols() []string { return routing.PaperSet() }
+
+// RegisteredProtocols lists every protocol the routing registry knows —
+// the paper's set first, then extras (ablations, post-paper families) in
+// name order. This is the full set campaign -protocols flags accept.
+func RegisteredProtocols() []string {
+	specs := routing.Specs()
+	out := make([]string, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.Name
+	}
+	return out
 }
 
 // Config describes one experiment campaign. Default reproduces Table 1.
@@ -185,14 +197,12 @@ func (c Config) Validate(protos []string) error {
 		return fmt.Errorf("experiment: CrashFraction %v outside [0, 1)", c.CrashFraction)
 	}
 	for _, p := range protos {
-		switch p {
-		case ProtoGMP, ProtoGMPnr, ProtoLGS, ProtoLGK, ProtoSMT, ProtoGRD, ProtoGMPmst, ProtoGMPsmst:
-		case ProtoPBM:
-			if len(c.Lambdas) == 0 {
-				return ErrNoLambdas
-			}
-		default:
+		sp, ok := routing.Lookup(p)
+		if !ok {
 			return fmt.Errorf("%w: %q", ErrBadProtocol, p)
+		}
+		if sp.Flags&routing.FlagLambda != 0 && len(c.Lambdas) == 0 {
+			return ErrNoLambdas
 		}
 	}
 	return nil

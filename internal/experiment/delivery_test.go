@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"gmp/internal/sim"
+)
+
+// TestDeliveryGuaranteeNonVacuous pins E-X12's reason to exist: on every
+// adversarial topology GMP provably strands destinations — including
+// watchdog give-ups, the drop class the campaign is about — while MCFR
+// delivers every destination of every task. The campaign's own oracle
+// (sim.AuditTask on each task, duplicate-tolerant for MCFR, plus the
+// from-scratch replay) must hold throughout.
+func TestDeliveryGuaranteeNonVacuous(t *testing.T) {
+	cfg := QuickDeliveryConfig()
+	rep, err := RunDelivery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("oracle violations: %v", v)
+	}
+	if len(rep.Arms) != len(cfg.Topologies)*len(cfg.Protos) {
+		t.Fatalf("got %d arms, want %d", len(rep.Arms), len(cfg.Topologies)*len(cfg.Protos))
+	}
+	gmpWatchdog := 0
+	for _, a := range rep.Arms {
+		if a.DestCount == 0 || a.Tasks != cfg.TasksPerArm {
+			t.Fatalf("%s %s: empty arm: %+v", a.Topology, a.Proto, a)
+		}
+		switch a.Proto {
+		case "MCFR":
+			if a.DeliveredDests != a.DestCount || a.FailedTasks != 0 {
+				t.Fatalf("%s MCFR: delivered %d of %d (drops %v) — the guarantee is the point",
+					a.Topology, a.DeliveredDests, a.DestCount, a.DestDropsByReason)
+			}
+		case ProtoGMP:
+			if a.DeliveredDests == a.DestCount {
+				t.Fatalf("%s GMP delivered everything — the topology is not adversarial", a.Topology)
+			}
+			gmpWatchdog += a.DestDropsByReason[sim.ReasonWatchdog]
+		}
+	}
+	if gmpWatchdog == 0 {
+		t.Fatal("no GMP watchdog drops anywhere — the campaign no longer exercises the give-up path")
+	}
+}
+
+func TestDeliveryConfigValidate(t *testing.T) {
+	bad := []func(*DeliveryConfig){
+		func(c *DeliveryConfig) { c.Nodes = 1 },
+		func(c *DeliveryConfig) { c.Width = 0 },
+		func(c *DeliveryConfig) { c.MaxHops = 0 },
+		func(c *DeliveryConfig) { c.TasksPerArm = 0 },
+		func(c *DeliveryConfig) { c.K = 0 },
+		func(c *DeliveryConfig) { c.Topologies = nil },
+		func(c *DeliveryConfig) { c.Topologies = []string{"moat"} },
+		func(c *DeliveryConfig) { c.Protos = nil },
+		func(c *DeliveryConfig) { c.Protos = []string{"NoSuchProto"} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultDeliveryConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultDeliveryConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	// Unregistered protocols surface the shared typed error, so callers can
+	// errors.Is their way to a usable message.
+	cfg := DefaultDeliveryConfig()
+	cfg.Protos = []string{"NoSuchProto"}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "NoSuchProto") {
+		t.Fatalf("unregistered protocol error unhelpful: %v", err)
+	}
+}

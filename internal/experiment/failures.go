@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"gmp/internal/routing"
 	"gmp/internal/stats"
 	"gmp/internal/workload"
 )
@@ -76,7 +75,9 @@ func RunFailures(fc FailureConfig, protos []string) (*stats.Table, error) {
 			failures := make([]int, len(protos))
 			for pi, proto := range protos {
 				for _, task := range tasks {
-					if m := b.en.RunTask(failureProtocol(b, proto, fc.PBMLambda), task.Source, task.Dests); m.Failed() {
+					// PBM runs at a fixed λ here (the sweep would hide
+					// failures behind best-case picks).
+					if m := b.en.RunTask(makeProtocol(b.nw, proto, fc.PBMLambda), task.Source, task.Dests); m.Failed() {
 						failures[pi]++
 					}
 				}
@@ -112,16 +113,6 @@ func RunFailures(fc FailureConfig, protos []string) (*stats.Table, error) {
 	return table, nil
 }
 
-// failureProtocol instantiates protocols for the failure experiment; PBM
-// runs at a fixed λ here (the sweep would hide failures behind best-case
-// picks).
-func failureProtocol(b *bench, name string, lambda float64) routing.Protocol {
-	if name == ProtoPBM {
-		return routing.NewPBM(lambda)
-	}
-	return b.protocol(name)
-}
-
 // lambdaCell is one (network, λ) cell's raw samples.
 type lambdaCell struct {
 	totals, perDest []float64
@@ -151,7 +142,7 @@ func LambdaSweep(cfg Config, k int) (*stats.Table, error) {
 				totals:  make([]float64, len(tasks)),
 				perDest: make([]float64, len(tasks)),
 			}
-			p := routing.NewPBM(cfg.Lambdas[li])
+			p := makeProtocol(b.nw, ProtoPBM, cfg.Lambdas[li])
 			for ti, task := range tasks {
 				m := b.en.RunTask(p, task.Source, task.Dests)
 				cell.totals[ti] = float64(m.TotalHops())

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"gmp/internal/workload"
+)
+
+func TestBestLambdaPickRule(t *testing.T) {
+	// The §5.1 pick: non-failed beats failed at any hop count; among equal
+	// failure states, lower total hops wins; ties keep the earlier λ.
+	ok10 := taskMetrics{totalHops: 10}
+	ok20 := taskMetrics{totalHops: 20}
+	bad10 := taskMetrics{totalHops: 10, failed: true}
+	bad5 := taskMetrics{totalHops: 5, failed: true}
+	cases := []struct {
+		name     string
+		tm, cur  taskMetrics
+		replaces bool
+	}{
+		{"non-failed replaces failed at equal hops", ok10, bad10, true},
+		{"non-failed replaces failed even with more hops", ok20, bad5, true},
+		{"failed never replaces non-failed", bad5, ok20, false},
+		{"lower hops wins among non-failed", ok10, ok20, true},
+		{"higher hops loses among non-failed", ok20, ok10, false},
+		{"lower hops wins among failed", bad5, bad10, true},
+		{"exact tie keeps the earlier λ", ok10, ok10, false},
+	}
+	for _, c := range cases {
+		if got := c.tm.better(c.cur); got != c.replaces {
+			t.Errorf("%s: better(%+v, %+v) = %v, want %v", c.name, c.tm, c.cur, got, c.replaces)
+		}
+	}
+}
+
+func TestRunBestLambdaMatchesManualSweep(t *testing.T) {
+	// The shared helper must reproduce exactly what a driver-local sweep
+	// computed before the registry refactor: run every λ in order, keep the
+	// rule's pick.
+	cfg := Quick()
+	b, err := buildBench(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := workload.GenerateBatch(cfg.seeds().tasks(0, 8), cfg.Nodes, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, task := range tasks {
+		got := b.runBestLambda(ProtoPBM, cfg.Lambdas, task)
+		var want taskMetrics
+		for li, lambda := range cfg.Lambdas {
+			tm := toTaskMetrics(b.en.RunTask(makeProtocol(b.nw, ProtoPBM, lambda), task.Source, task.Dests))
+			if li == 0 || tm.better(want) {
+				want = tm
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("task %d: runBestLambda = %+v, manual sweep = %+v", ti, got, want)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"gmp/internal/planar"
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/stats"
 )
@@ -152,14 +151,7 @@ func runLifetimeStream(lc LifetimeConfig, bs *benches, proto string, batteryJ fl
 			break
 		}
 		src, dests := pickAliveTask(taskR, alive, lc.K)
-		var p routing.Protocol
-		if proto == ProtoPBM {
-			p = routing.NewPBM(lc.PBMLambda)
-		} else {
-			b := &bench{nw: nw, pg: pg, en: en}
-			p = b.protocol(proto)
-		}
-		m := en.RunTask(p, src, dests)
+		m := en.RunTask(makeProtocol(nw, proto, lc.PBMLambda), src, dests)
 		if m.Failed() && firstFailure == lc.MaxTasks {
 			firstFailure = taskNo
 			break

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/stats"
 	"gmp/internal/workload"
@@ -109,7 +108,7 @@ func RunLoad(lc LoadConfig, protos []string) (*stats.Table, error) {
 						task := tasks[chunk+i]
 						sessions[i] = sim.Session{
 							Start:   starts[chunk+i],
-							Handler: loadProtocol(b, proto, lc.PBMLambda),
+							Handler: makeProtocol(b.nw, proto, lc.PBMLambda),
 							Src:     task.Source,
 							Dests:   task.Dests,
 						}
@@ -159,13 +158,4 @@ func RunLoad(lc LoadConfig, protos []string) (*stats.Table, error) {
 			stats.Series{Label: proto + " p95", Y: p95})
 	}
 	return table, nil
-}
-
-// loadProtocol builds a fresh handler per session (sessions must not share
-// stateful handlers).
-func loadProtocol(b *bench, proto string, lambda float64) routing.Protocol {
-	if proto == ProtoPBM {
-		return routing.NewPBM(lambda)
-	}
-	return b.protocol(proto)
 }

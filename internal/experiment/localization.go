@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"gmp/internal/planar"
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/stats"
 	"gmp/internal/workload"
@@ -94,14 +93,7 @@ func RunLocalization(lc LocalizationConfig, protos []string) (*LocalizationResul
 			cells := make([]locCell, len(protos))
 			for _, task := range tasks {
 				for pi, proto := range protos {
-					var p routing.Protocol
-					if proto == ProtoPBM {
-						p = routing.NewPBM(lc.PBMLambda)
-					} else {
-						nb := &bench{nw: noisy, pg: pg, en: en}
-						p = nb.protocol(proto)
-					}
-					m := en.RunTask(p, task.Source, task.Dests)
+					m := en.RunTask(makeProtocol(noisy, proto, lc.PBMLambda), task.Source, task.Dests)
 					cells[pi].delivered += len(m.Delivered)
 					cells[pi].total += m.DestCount
 					cells[pi].hops += m.Transmissions

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/stats"
 	"gmp/internal/workload"
@@ -117,7 +116,7 @@ func RunLoss(lc LossConfig, protos []string) (*LossResults, error) {
 					}
 					c := &cells[2*pi+arm]
 					for _, task := range tasks {
-						m := b.en.RunTask(lossProtocol(b, proto, lc.PBMLambda), task.Source, task.Dests)
+						m := b.en.RunTask(makeProtocol(b.nw, proto, lc.PBMLambda), task.Source, task.Dests)
 						if m.Failed() {
 							c.failures++
 						}
@@ -174,16 +173,4 @@ func RunLoss(lc LossConfig, protos []string) (*LossResults, error) {
 		}
 	}
 	return res, nil
-}
-
-// lossProtocol instantiates protocols for the loss sweep; PBM runs at a
-// fixed λ (a best-of-λ pick would hide loss-driven failures behind lucky
-// draws). Dead-link state no longer lives in the protocols — the engine's
-// per-session blacklist resets with each task — but a fresh instance per
-// task stays as cheap insurance against future per-instance state.
-func lossProtocol(b *bench, name string, lambda float64) routing.Protocol {
-	if name == ProtoPBM {
-		return routing.NewPBM(lambda)
-	}
-	return b.protocol(name)
 }

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"gmp/internal/network"
+	"gmp/internal/routing"
+	"gmp/internal/workload"
+)
+
+// makeProtocol instantiates the named registered protocol for one engine's
+// network. Every campaign driver funnels through here — the routing registry
+// is the single instantiation plane, so a protocol registered once
+// (routing.Register) is picked up by every campaign with no driver edits.
+// Callers run after validation, so instantiation failures are programming
+// errors, not user input.
+func makeProtocol(nw *network.Network, name string, lambda float64) routing.Protocol {
+	p, err := routing.Make(name, routing.Ctx{Network: nw, Lambda: lambda, LambdaSet: true})
+	if err != nil {
+		panic("experiment: " + err.Error())
+	}
+	return p
+}
+
+// needsLambdaSweep reports whether proto is parameterized by PBM's λ
+// (registry FlagLambda) and therefore takes the paper's §5.1 best-of-λ rule.
+func needsLambdaSweep(proto string) bool {
+	sp, ok := routing.Lookup(proto)
+	return ok && sp.Flags&routing.FlagLambda != 0
+}
+
+// concurrentProto reports whether proto routes redundant concurrent copies
+// (registry FlagConcurrent). Audits of its tasks must set AllowDuplicates.
+func concurrentProto(proto string) bool {
+	sp, ok := routing.Lookup(proto)
+	return ok && sp.Flags&routing.FlagConcurrent != 0
+}
+
+// runBestLambda runs one task once per λ and keeps the paper's §5.1 pick:
+// the λ minimizing total hops, preferring non-failed runs over failed ones
+// at equal hop counts. This is the single home of the best-of-λ rule every
+// driver shares.
+func (b *bench) runBestLambda(proto string, lambdas []float64, task workload.Task) taskMetrics {
+	best := taskMetrics{totalHops: -1}
+	for _, lambda := range lambdas {
+		m := b.en.RunTask(makeProtocol(b.nw, proto, lambda), task.Source, task.Dests)
+		tm := toTaskMetrics(m)
+		if best.totalHops < 0 || tm.better(best) {
+			best = tm
+		}
+	}
+	return best
+}

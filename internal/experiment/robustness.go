@@ -4,7 +4,6 @@ import (
 	"math/rand"
 
 	"gmp/internal/planar"
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/stats"
 )
@@ -86,14 +85,7 @@ func RunRobustness(rc RobustnessConfig, protos []string) (*stats.Table, error) {
 			for t := 0; t < rc.Base.TasksPerNet; t++ {
 				src, dests := pickAliveTask(r, alive, rc.K)
 				for pi, proto := range protos {
-					var p routing.Protocol
-					if proto == ProtoPBM {
-						p = routing.NewPBM(rc.PBMLambda)
-					} else {
-						db := &bench{nw: degraded, pg: pg, en: en}
-						p = db.protocol(proto)
-					}
-					m := en.RunTask(p, src, dests)
+					m := en.RunTask(makeProtocol(degraded, proto, rc.PBMLambda), src, dests)
 					cells[pi].delivered += len(m.Delivered)
 					cells[pi].total += m.DestCount
 				}

@@ -5,7 +5,6 @@ import (
 
 	"gmp/internal/network"
 	"gmp/internal/planar"
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/stats"
 	"gmp/internal/workload"
@@ -167,51 +166,12 @@ func applyFaults(cfg Config, netIdx int, en *sim.Engine) error {
 }
 
 // runTask executes one task under the named protocol, applying the paper's
-// best-of-λ rule for PBM.
+// best-of-λ rule to λ-parameterized protocols (registry FlagLambda).
 func (b *bench) runTask(cfg Config, proto string, task workload.Task) taskMetrics {
-	switch proto {
-	case ProtoPBM:
-		best := taskMetrics{totalHops: -1}
-		for _, lambda := range cfg.Lambdas {
-			m := b.en.RunTask(routing.NewPBM(lambda), task.Source, task.Dests)
-			tm := toTaskMetrics(m)
-			// §5.1: keep the λ minimizing total hops; prefer non-failed
-			// runs over failed ones at equal hop counts.
-			if best.totalHops < 0 || tm.better(best) {
-				best = tm
-			}
-		}
-		return best
-	default:
-		return toTaskMetrics(b.en.RunTask(b.protocol(proto), task.Source, task.Dests))
+	if needsLambdaSweep(proto) {
+		return b.runBestLambda(proto, cfg.Lambdas, task)
 	}
-}
-
-// protocol instantiates the named protocol. Only the centralized SMT
-// baseline gets the bench's network; every distributed protocol routes from
-// per-node views alone.
-func (b *bench) protocol(name string) routing.Protocol {
-	switch name {
-	case ProtoGMP:
-		return routing.NewGMP()
-	case ProtoGMPnr:
-		return routing.NewGMPnr()
-	case ProtoGMPmst:
-		return routing.NewGMPWithOptions(routing.GMPOptions{MSTGrouping: true}, ProtoGMPmst)
-	case ProtoGMPsmst:
-		return routing.NewGMPWithOptions(routing.GMPOptions{SteinerizedGrouping: true}, ProtoGMPsmst)
-	case ProtoLGS:
-		return routing.NewLGS()
-	case ProtoLGK:
-		return routing.NewLGK(2)
-	case ProtoSMT:
-		return routing.NewSMT(b.nw)
-	case ProtoGRD:
-		return routing.NewGRD()
-	default:
-		// Validate rejects unknown names before any run starts.
-		panic("experiment: unvalidated protocol " + name)
-	}
+	return toTaskMetrics(b.en.RunTask(makeProtocol(b.nw, proto, 0), task.Source, task.Dests))
 }
 
 func toTaskMetrics(m sim.TaskMetrics) taskMetrics {

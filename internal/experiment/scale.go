@@ -8,7 +8,6 @@ import (
 
 	"gmp/internal/network"
 	"gmp/internal/planar"
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/view"
 	"gmp/internal/workload"
@@ -143,7 +142,7 @@ func (cfg ScaleConfig) Validate() error {
 		return fmt.Errorf("experiment: scale needs at least one protocol")
 	}
 	known := make(map[string]bool)
-	for _, p := range AllProtocols() {
+	for _, p := range RegisteredProtocols() {
 		known[p] = true
 	}
 	for _, p := range cfg.Protos {
@@ -297,16 +296,6 @@ func buildScaleBench(cfg ScaleConfig, ni int) (*scaleBench, error) {
 	}, nil
 }
 
-// scaleProtocol instantiates a fresh handler per session (stateful handlers
-// must never be shared across sessions). PBM runs at a fixed λ, as in the
-// chaos and churn campaigns.
-func scaleProtocol(nw *network.Network, name string) routing.Protocol {
-	if name == ProtoPBM {
-		return routing.NewPBM(0.3)
-	}
-	return (&bench{nw: nw}).protocol(name)
-}
-
 // scaleFaultPlans draws the fault arm's crash schedule and per-session
 // membership churn from the scaleChurn stream — a pure function of (cfg,
 // bench), so every shard count sees the identical plan.
@@ -375,9 +364,11 @@ func runScaleArm(cfg ScaleConfig, b *scaleBench, proto string, faulted bool) (Sc
 
 	script := make([]sim.Session, len(b.tasks))
 	for i, task := range b.tasks {
+		// A fresh handler per session (stateful handlers must never be
+		// shared); PBM runs at a fixed λ, as in the chaos campaign.
 		script[i] = sim.Session{
 			Start:   float64(i) * cfg.SessionIntervalSec,
-			Handler: scaleProtocol(b.nw, proto),
+			Handler: makeProtocol(b.nw, proto, 0.3),
 			Src:     task.Source,
 			Dests:   task.Dests,
 		}
@@ -386,7 +377,7 @@ func runScaleArm(cfg ScaleConfig, b *scaleBench, proto string, faulted bool) (Sc
 	metrics := en.RunScript(script)
 	arm.RunSec = time.Since(start).Seconds()
 
-	audit := sim.AuditConfig{MaxHops: cfg.MaxHops}
+	audit := sim.AuditConfig{MaxHops: cfg.MaxHops, AllowDuplicates: concurrentProto(proto)}
 	for si := range metrics {
 		m := &metrics[si]
 		arm.Transmissions += m.Transmissions

@@ -59,6 +59,10 @@ const (
 	// deliberately distinct from the sim kernel's per-tile fault-stream
 	// stride (15485863), so no (node count, tile) pair can alias.
 	scaleStride = 15485867
+	// deliveryOffset marks the delivery-guarantee campaign's stream family.
+	deliveryOffset = 2750159
+	// deliveryStride separates the delivery campaign's per-arm streams.
+	deliveryStride = 1046527
 )
 
 // seeds derives every RNG stream of one campaign from its base seed.
@@ -175,3 +179,16 @@ func (s seeds) scaleChurn(ni int) *rand.Rand { return rng(s.scaleSeed(ni) + 2) }
 
 // scaleFault is the fault arm's engine fault-stream seed.
 func (s seeds) scaleFault(ni int) int64 { return s.scaleSeed(ni) + 3 }
+
+// deliverySeed is the root of topology arm ai's stream family in the
+// delivery-guarantee campaign (E-X12): it seeds the deployment (+0) and the
+// task draws (+1).
+func (s seeds) deliverySeed(ai int) int64 {
+	return s.base + deliveryOffset + int64(ai)*deliveryStride
+}
+
+// deliveryDeploy draws topology arm ai's node placement.
+func (s seeds) deliveryDeploy(ai int) *rand.Rand { return rng(s.deliverySeed(ai)) }
+
+// deliveryTasks draws topology arm ai's task batch.
+func (s seeds) deliveryTasks(ai int) *rand.Rand { return rng(s.deliverySeed(ai) + 1) }

@@ -7,7 +7,6 @@ import (
 	"gmp/internal/mobility"
 	"gmp/internal/network"
 	"gmp/internal/planar"
-	"gmp/internal/routing"
 	"gmp/internal/sim"
 	"gmp/internal/stats"
 	"gmp/internal/workload"
@@ -155,14 +154,7 @@ func runStalenessNetwork(sc StalenessConfig, protos []string, netIdx int) ([][]s
 			en := sim.NewEngine(overlay, radio, sc.Base.MaxHops)
 			en.SetViews(sc.Base.views(overlay, pg))
 			for pi, proto := range protos {
-				var p routing.Protocol
-				vb := &bench{nw: overlay, pg: pg, en: en}
-				if proto == ProtoPBM {
-					p = routing.NewPBM(0.3)
-				} else {
-					p = vb.protocol(proto)
-				}
-				m := en.RunTask(p, task.Source, task.Dests)
+				m := en.RunTask(makeProtocol(overlay, proto, 0.3), task.Source, task.Dests)
 				out[pi][si].delivered += len(m.Delivered)
 				out[pi][si].total += m.DestCount
 			}

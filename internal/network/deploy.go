@@ -77,6 +77,70 @@ func CShapedObstacle(center geom.Point, innerR, outerR float64) func(geom.Point)
 	}
 }
 
+// CombObstacle returns an exclusion predicate describing a comb of
+// alternating wall teeth spanning the rectangle [x0,x1]×[y0,y1]: even teeth
+// grow from the bottom edge, odd teeth from the top, each stopping gap short
+// of the opposite edge. The only free path past the comb snakes around every
+// tooth, so greedy forwarding toward a destination behind it stalls in a
+// local minimum at each tooth. Make thickness larger than the radio range so
+// teeth cannot be jumped, and gap comfortably larger than the radio range so
+// the serpentine corridor stays connected.
+func CombObstacle(x0, x1, y0, y1 float64, teeth int, thickness, gap float64) func(geom.Point) bool {
+	pitch := (x1 - x0) / float64(teeth+1)
+	return func(p geom.Point) bool {
+		if p.X < x0 || p.X > x1 || p.Y < y0 || p.Y > y1 {
+			return false
+		}
+		for i := 0; i < teeth; i++ {
+			cx := x0 + float64(i+1)*pitch
+			if math.Abs(p.X-cx) > thickness/2 {
+				continue
+			}
+			if i%2 == 0 {
+				// Bottom tooth: wall except for the top gap.
+				if p.Y < y1-gap {
+					return true
+				}
+			} else if p.Y > y0+gap {
+				// Top tooth: wall except for the bottom gap.
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// SpiralObstacle returns an exclusion predicate describing an Archimedean
+// spiral wall winding the given number of turns around center out to maxR.
+// The only free path to the spiral's core is the corridor between successive
+// windings, traversed from the outside in — the worst case for greedy
+// forwarding, which aims straight at the core and stalls against every
+// winding. Make thickness larger than the radio range so the wall cannot be
+// jumped; the corridor width is roughly maxR/turns − thickness and must stay
+// comfortably above the radio range. The disk of radius thickness/2 around
+// center is kept clear so a destination can sit at the core.
+func SpiralObstacle(center geom.Point, turns int, maxR, thickness float64) func(geom.Point) bool {
+	// Radial growth per radian of winding angle.
+	b := maxR / (2 * math.Pi * float64(turns))
+	return func(p geom.Point) bool {
+		d := p.Dist(center)
+		if d > maxR || d < thickness/2 {
+			return false
+		}
+		ang := geom.Bearing(center, p)
+		for k := 0; k <= turns; k++ {
+			armR := b * (ang + math.Pi + 2*math.Pi*float64(k))
+			if armR > maxR+thickness/2 {
+				break
+			}
+			if math.Abs(d-armR) < thickness/2 {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 // FromPoints wraps explicit coordinates as nodes with dense IDs. Useful for
 // golden-topology tests reproducing the paper's figures.
 func FromPoints(pts []geom.Point) []Node {

@@ -85,6 +85,10 @@ func NextHopLocal(cur int, pos geom.Point, nbrs []int, nbrPos func(int) geom.Poi
 			b = geom.Bearing(pos, nbrPos(n))
 		}
 		d := geom.CCWDelta(ref, b)
+		if st.Reverse {
+			// Left-hand rule: sweep clockwise from the reference instead.
+			d = geom.CCWDelta(b, ref)
+		}
 		if n == st.Prev || d < 1e-12 {
 			d = 2 * 3.141592653589793
 		}
@@ -107,6 +111,101 @@ func NextHopLocal(cur int, pos geom.Point, nbrs []int, nbrPos func(int) geom.Poi
 			if cross, okc := edge.CrossingPoint(lfd); okc &&
 				cross.Dist(st.Target) < st.FaceEntry.Dist(st.Target)-geom.Eps {
 				st.FaceEntry = cross
+				idx = (idx + 1) % len(cands)
+				continue
+			}
+		}
+		break
+	}
+	chosen := cands[idx].id
+	st.Prev = cur
+	return chosen, st, true
+}
+
+// NextHopLocalFace2 advances one face-routing step with side-aware face
+// changes. It orders candidates exactly like NextHopLocal, but where the
+// GPSR-style sweep unconditionally skips every edge that crosses the
+// FaceEntry→Target segment strictly closer to the target, this variant first
+// checks which side of the crossed edge the segment continues on. The
+// right-hand tour keeps the current face's interior on the walk's right
+// (left under st.Reverse); if the target-side continuation lies on the
+// interior side, the segment re-enters the current face, so the walk
+// advances FaceEntry and keeps touring it — traversing the crossing edge as
+// an ordinary boundary step. Only when the continuation lies on the exterior
+// side does the walk switch to the adjacent face (the skip). GPSR's
+// unconditional skip can land the tour on the wrong side of a non-convex
+// face and stall with no strictly-closer crossing left — GMP escapes that
+// through its greedy fallback and watchdog, but a pure face-routing protocol
+// (MCFR) cannot, so it needs this variant for "the walk retakes the face's
+// first directed edge" to be a sound unreachability test. NextHopLocal's
+// sweep is kept verbatim for the GMP/PBM perimeter modes, whose recovery
+// machinery assumes it.
+func NextHopLocalFace2(cur int, pos geom.Point, nbrs []int, nbrPos func(int) geom.Point, bearings []float64, st State) (next int, out State, ok bool) {
+	if len(nbrs) == 0 {
+		return -1, st, false
+	}
+
+	var ref float64
+	if st.Prev == -1 {
+		ref = geom.Bearing(pos, st.Target)
+	} else {
+		ref = geom.Bearing(pos, nbrPos(st.Prev))
+	}
+
+	type cand struct {
+		id    int
+		delta float64
+	}
+	cands := make([]cand, 0, len(nbrs))
+	for i, n := range nbrs {
+		var b float64
+		if bearings != nil {
+			b = bearings[i]
+		} else {
+			b = geom.Bearing(pos, nbrPos(n))
+		}
+		d := geom.CCWDelta(ref, b)
+		if st.Reverse {
+			// Left-hand rule: sweep clockwise from the reference instead.
+			d = geom.CCWDelta(b, ref)
+		}
+		if n == st.Prev || d < 1e-12 {
+			d = 2 * 3.141592653589793
+		}
+		cands = append(cands, cand{n, d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].delta != cands[j].delta {
+			return cands[i].delta < cands[j].delta
+		}
+		return cands[i].id < cands[j].id
+	})
+
+	// Side-aware face-change sweep.
+	idx := 0
+	for sweep := 0; sweep < len(cands); sweep++ {
+		n := cands[idx].id
+		npos := nbrPos(n)
+		edge := geom.Seg(pos, npos)
+		lfd := geom.Seg(st.FaceEntry, st.Target)
+		if edge.ProperlyIntersects(lfd) {
+			if cross, okc := edge.CrossingPoint(lfd); okc &&
+				cross.Dist(st.Target) < st.FaceEntry.Dist(st.Target)-geom.Eps {
+				st.FaceEntry = cross
+				// side > 0: the target lies left of the directed edge
+				// cur→n; side < 0: right. The tour's interior side is right
+				// for the right-hand rule, left under Reverse.
+				side := (npos.X-pos.X)*(st.Target.Y-cross.Y) -
+					(npos.Y-pos.Y)*(st.Target.X-cross.X)
+				interior := side < 0
+				if st.Reverse {
+					interior = side > 0
+				}
+				if interior {
+					// The segment re-enters the current face: keep touring
+					// it, crossing edge included.
+					break
+				}
 				idx = (idx + 1) % len(cands)
 				continue
 			}

@@ -129,6 +129,14 @@ type State struct {
 	// AltPlanar routes the restarted walk over the alternate planarization.
 	Restarted bool
 	AltPlanar bool
+
+	// Reverse flips the traversal to the left-hand rule (clockwise sweep),
+	// giving concurrent face-routing protocols (MCFR) the second of the two
+	// face directions. False preserves GPSR's right-hand rule exactly.
+	Reverse bool
+	// Junior marks the copy exploring the secondary direction of a
+	// concurrent traversal; protocol-level, never consulted here.
+	Junior bool
 }
 
 // Enter returns the initial perimeter state for a packet entering perimeter

@@ -79,6 +79,37 @@ func BenchmarkTaskSMT(b *testing.B) {
 	})
 }
 
+// BenchmarkSingleMCFRDecision measures one bare MCFR relay decision — a
+// single face-routing step of an in-flight thread, the per-hop cost every
+// concurrent copy pays — invoked directly on a NodeView with no engine
+// around it. The benchgate watches its allocs/op.
+func BenchmarkSingleMCFRDecision(b *testing.B) {
+	b.ReportAllocs()
+	r := rand.New(rand.NewSource(1))
+	nw, err := network.New(network.DeployUniform(1000, 1000, 1000, r), 1000, 1000, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pg := planar.Planarize(nw, planar.Gabriel)
+	v := view.NewOracle(nw, pg).At(0)
+	mcfr := NewMCFR()
+	dests := []int{100, 250, 400, 550, 700, 850, 950, 50, 300, 600, 750, 900}
+	locs := make([]geom.Point, len(dests))
+	for i, d := range dests {
+		locs[i] = nw.Pos(d)
+	}
+	anchor := dests[0]
+	st := view.PerimeterEnter(v, nw.Pos(anchor))
+	pkt := &sim.Packet{Dests: dests, Locs: locs, Anchor: anchor,
+		Perimeter: true, Peri: st}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fwds := mcfr.Decide(v, pkt); len(fwds) == 0 {
+			b.Fatal("no forwards")
+		}
+	}
+}
+
 // BenchmarkSingleGMPDecision measures one bare GMP decision core — group
 // split plus next-hop selection for 12 destinations — invoked directly on a
 // NodeView with no engine around it. Steady-state allocations exercise the

@@ -48,6 +48,17 @@ type GMP struct {
 
 var _ Protocol = (*GMP)(nil)
 
+func init() {
+	MustRegister(Spec{Name: "GMP", PaperRank: 3,
+		New: func(Ctx) Protocol { return NewGMP() }})
+	MustRegister(Spec{Name: "GMPnr", PaperRank: 4,
+		New: func(Ctx) Protocol { return NewGMPnr() }})
+	MustRegister(Spec{Name: "GMPmst",
+		New: func(Ctx) Protocol { return NewGMPWithOptions(GMPOptions{MSTGrouping: true}, "GMPmst") }})
+	MustRegister(Spec{Name: "GMPsmst",
+		New: func(Ctx) Protocol { return NewGMPWithOptions(GMPOptions{SteinerizedGrouping: true}, "GMPsmst") }})
+}
+
 // NewGMP returns the full radio-range-aware protocol.
 func NewGMP() *GMP {
 	return &GMP{opts: GMPOptions{RadioAware: true}, name: "GMP"}

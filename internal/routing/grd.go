@@ -15,6 +15,11 @@ type GRD struct{}
 
 var _ Protocol = (*GRD)(nil)
 
+func init() {
+	MustRegister(Spec{Name: "GRD", PaperRank: 6,
+		New: func(Ctx) Protocol { return NewGRD() }})
+}
+
 // NewGRD returns the multiple-unicast baseline.
 func NewGRD() *GRD { return &GRD{} }
 

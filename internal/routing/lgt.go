@@ -26,6 +26,19 @@ type LGS struct{}
 
 var _ Protocol = (*LGS)(nil)
 
+func init() {
+	MustRegister(Spec{Name: "LGS", PaperRank: 2,
+		New: func(Ctx) Protocol { return NewLGS() }})
+	MustRegister(Spec{Name: "LGK",
+		New: func(c Ctx) Protocol {
+			k := c.K
+			if k == 0 {
+				k = 2 // [5] evaluates k=2; Ctx.K overrides
+			}
+			return NewLGK(k)
+		}})
+}
+
 // NewLGS returns the LGS baseline.
 func NewLGS() *LGS { return &LGS{} }
 

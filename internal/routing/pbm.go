@@ -37,6 +37,11 @@ type PBM struct {
 
 var _ Protocol = (*PBM)(nil)
 
+func init() {
+	MustRegister(Spec{Name: "PBM", PaperRank: 1, Flags: FlagLambda,
+		New: func(c Ctx) Protocol { return NewPBM(c.Lambda) }})
+}
+
 // NewPBM returns a PBM instance with the given trade-off parameter λ.
 func NewPBM(lambda float64) *PBM {
 	return &PBM{lambda: lambda}

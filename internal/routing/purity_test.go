@@ -20,6 +20,15 @@ type purityChecker struct {
 
 func (c purityChecker) Name() string { return c.p.Name() }
 
+// RedundantCopies forwards the wrapped protocol's redundancy trait, so the
+// engine accounts a wrapped concurrent protocol (MCFR) exactly like the bare
+// instance — otherwise the wrapper would silently disable deferred drop
+// billing and the doubled run's metrics could never match the plain run's.
+func (c purityChecker) RedundantCopies() bool {
+	rh, ok := c.p.(sim.RedundantHandler)
+	return ok && rh.RedundantCopies()
+}
+
 func (c purityChecker) Start(v view.NodeView, pkt *sim.Packet) []sim.Forward {
 	first := c.p.Start(v, pkt.Clone())
 	second := c.p.Start(v, pkt)

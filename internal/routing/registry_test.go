@@ -1,0 +1,192 @@
+package routing
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/sim"
+	"gmp/internal/view"
+)
+
+// registryCtx is the full Ctx every registered protocol can be built from.
+func registryCtx(nw *network.Network) Ctx {
+	return Ctx{Network: nw, Lambda: 0.3, LambdaSet: true}
+}
+
+// registryBed is denseBed with a hop budget generous enough for every
+// registered protocol — MCFR's concurrent face walks legitimately exceed the
+// tight budget the paper-set tests run under.
+func registryBed(t *testing.T, seed int64, n int) *testBed {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 10; attempt++ {
+		nodes := network.DeployUniform(n, 1000, 1000, r)
+		nw, err := network.New(nodes, 1000, 1000, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nw.Connected() {
+			continue
+		}
+		pg := planar.Planarize(nw, planar.Gabriel)
+		en := sim.NewEngine(nw, sim.DefaultRadioParams(), 600)
+		en.SetViews(view.NewOracle(nw, pg))
+		return &testBed{nw: nw, pg: pg, en: en}
+	}
+	t.Fatal("could not generate a connected deployment")
+	return nil
+}
+
+func TestRegistryNamesUniqueAndRanked(t *testing.T) {
+	specs := Specs()
+	if len(specs) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		if sp.Name == "" {
+			t.Fatal("registered Spec with empty name")
+		}
+		if seen[sp.Name] {
+			t.Fatalf("duplicate Spec name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		if sp.New == nil {
+			t.Fatalf("%s: nil constructor", sp.Name)
+		}
+	}
+	// The paper's §5 set renders in figure order and stays frozen: campaign
+	// tables, flag defaults and README all derive from it.
+	want := []string{"PBM", "LGS", "GMP", "GMPnr", "SMT", "GRD"}
+	if got := PaperSet(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PaperSet() = %v, want %v", got, want)
+	}
+	// Extras (ablations, post-paper families) follow the ranked set in name
+	// order, so Specs() ordering is deterministic end to end.
+	for i := 1; i < len(specs); i++ {
+		a, b := specs[i-1], specs[i]
+		if a.PaperRank == 0 && b.PaperRank == 0 && a.Name > b.Name {
+			t.Fatalf("extras out of name order: %q before %q", a.Name, b.Name)
+		}
+	}
+}
+
+func TestRegistryMakesEveryProtocol(t *testing.T) {
+	// Every registered protocol must instantiate from the Ctx surface alone
+	// and run a task with sane, deterministic accounting. This is the
+	// conformance gate a new registration has to clear — nothing else in the
+	// harness is allowed to special-case a protocol name.
+	bed := registryBed(t, 211, 800)
+	src, dests := pickTask(rand.New(rand.NewSource(19)), bed.nw.Len(), 8)
+	for _, sp := range Specs() {
+		p, err := Make(sp.Name, registryCtx(bed.nw))
+		if err != nil {
+			t.Fatalf("Make(%q): %v", sp.Name, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s: empty instance name", sp.Name)
+		}
+		m := bed.en.RunTask(p, src, dests)
+		if m.InvalidSends != 0 {
+			t.Fatalf("%s: %d invalid sends", sp.Name, m.InvalidSends)
+		}
+		audit := sim.AuditConfig{MaxHops: 600,
+			AllowDuplicates: sp.Flags&FlagConcurrent != 0}
+		if err := sim.AuditTask(&m, audit); err != nil {
+			t.Fatalf("%s: audit: %v", sp.Name, err)
+		}
+		// A second instance from the same Ctx must reproduce the run exactly:
+		// constructors carry no hidden state.
+		p2, err := Make(sp.Name, registryCtx(bed.nw))
+		if err != nil {
+			t.Fatalf("Make(%q) again: %v", sp.Name, err)
+		}
+		if m2 := bed.en.RunTask(p2, src, dests); !reflect.DeepEqual(m, m2) {
+			t.Fatalf("%s: fresh instance diverged:\n%+v\nvs\n%+v", sp.Name, m, m2)
+		}
+	}
+}
+
+func TestRegistryDecisionsArePure(t *testing.T) {
+	// The purity contract extends to every registered protocol, concurrent
+	// ones included — the wrapper forwards RedundantCopies so the engine's
+	// deferred settlement stays in effect.
+	bed := registryBed(t, 223, 800)
+	src, dests := pickTask(rand.New(rand.NewSource(23)), bed.nw.Len(), 8)
+	for _, sp := range Specs() {
+		p, err := Make(sp.Name, registryCtx(bed.nw))
+		if err != nil {
+			t.Fatalf("Make(%q): %v", sp.Name, err)
+		}
+		doubled := purityChecker{t: t, p: p}
+		m := bed.en.RunTask(doubled, src, dests)
+		if m.InvalidSends != 0 {
+			t.Fatalf("%s: invalid sends under purity wrapper", sp.Name)
+		}
+		plain := bed.en.RunTask(p, src, dests)
+		if !reflect.DeepEqual(m, plain) {
+			t.Fatalf("%s: purity wrapper changed task metrics:\n%+v\nvs\n%+v", sp.Name, m, plain)
+		}
+	}
+}
+
+func TestRegistryTypedErrors(t *testing.T) {
+	nw := mustGrid(t)
+	if _, err := Make("NoSuchProto", registryCtx(nw)); !errors.Is(err, ErrUnknownProtocol) {
+		t.Fatalf("unknown name: %v", err)
+	}
+	if _, err := Make("PBM", Ctx{Network: nw}); !errors.Is(err, ErrNeedLambda) {
+		t.Fatalf("PBM without λ: %v", err)
+	}
+	if _, err := Make("SMT", Ctx{Lambda: 0.3, LambdaSet: true}); !errors.Is(err, ErrNeedNetwork) {
+		t.Fatalf("SMT without network: %v", err)
+	}
+	if err := Register(Spec{}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("empty Spec: %v", err)
+	}
+	if err := Register(Spec{Name: "NoCtor"}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("nil constructor: %v", err)
+	}
+	temp := Spec{Name: "ZZRegistryTestTemp", New: func(Ctx) Protocol { return NewGRD() }}
+	if err := Register(temp); err != nil {
+		t.Fatalf("temp registration: %v", err)
+	}
+	defer delete(registry, temp.Name)
+	if err := Register(temp); !errors.Is(err, ErrDuplicateSpec) {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+func mustGrid(t *testing.T) *network.Network {
+	t.Helper()
+	nw, err := network.New(network.DeployGrid(3, 3, 100), 300, 300, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestMCFRDeliversEverywhereOnConnectedNetwork(t *testing.T) {
+	// The delivery guarantee on a plain connected deployment: every
+	// destination of every task, no watchdog, no greedy fallback.
+	bed := registryBed(t, 227, 800)
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 5; trial++ {
+		src, dests := pickTask(r, bed.nw.Len(), 8)
+		m := bed.en.RunTask(NewMCFR(), src, dests)
+		if m.InvalidSends != 0 {
+			t.Fatalf("trial %d: %d invalid sends", trial, m.InvalidSends)
+		}
+		if m.Failed() {
+			t.Fatalf("trial %d: MCFR missed destinations: delivered %d of %d (drops %v)",
+				trial, len(m.Delivered), m.DestCount, m.DestDropsByReason)
+		}
+		if err := sim.AuditTask(&m, sim.AuditConfig{MaxHops: 600, AllowDuplicates: true}); err != nil {
+			t.Fatalf("trial %d: audit: %v", trial, err)
+		}
+	}
+}

@@ -25,6 +25,11 @@ type SMT struct {
 
 var _ Protocol = (*SMT)(nil)
 
+func init() {
+	MustRegister(Spec{Name: "SMT", PaperRank: 5, Flags: FlagCentralized,
+		New: func(c Ctx) Protocol { return NewSMT(c.Network) }})
+}
+
 // NewSMT returns the centralized source-routed baseline over nw.
 func NewSMT(nw *network.Network) *SMT { return &SMT{nw: nw} }
 

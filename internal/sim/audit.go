@@ -12,6 +12,13 @@ type AuditConfig struct {
 	// out-of-range nodes, and the engine bills those as invalid-send drops.
 	// Zero-corruption audits must leave this false.
 	AllowInvalidSends bool
+	// AllowDuplicates tolerates DuplicateDeliveries > 0: redundant-copy
+	// protocols (routing.FlagConcurrent, e.g. MCFR's two concurrent face
+	// directions) deliver a destination via whichever copy arrives first and
+	// count later arrivals as duplicates. The engine's deferred settlement
+	// keeps the conservation invariant exact for them, so everything else in
+	// the audit still applies.
+	AllowDuplicates bool
 }
 
 // AuditTask checks a finished task's metrics against the engine's accounting
@@ -40,9 +47,12 @@ func AuditTask(m *TaskMetrics, cfg AuditConfig) error {
 		return fmt.Errorf("conservation violated: %d delivered + %d dropped != %d originated (drops by reason: %v)",
 			len(m.Delivered), m.DroppedDests(), m.DestCount, m.DestDropsByReason)
 	}
-	if m.DuplicateDeliveries != 0 {
+	if !cfg.AllowDuplicates && m.DuplicateDeliveries != 0 {
 		return fmt.Errorf("%d duplicate deliveries (partition discipline violated)",
 			m.DuplicateDeliveries)
+	}
+	if m.DuplicateDeliveries < 0 {
+		return fmt.Errorf("negative duplicate-delivery counter %d", m.DuplicateDeliveries)
 	}
 	for d, h := range m.Delivered {
 		if h < 0 {

@@ -271,6 +271,7 @@ func (e *Engine) applyChurn(pkt *Packet, at int) {
 // protocol had no plan for the destination. Only churn-affected sessions run
 // this scan, so churn-free runs stay byte-identical.
 func (e *Engine) billUncovered(pkt *Packet, fwds []Forward) {
+	st := &e.sessions[pkt.Session]
 	var n int
 	for _, d := range pkt.Dests {
 		covered := false
@@ -285,12 +286,18 @@ func (e *Engine) billUncovered(pkt *Packet, fwds []Forward) {
 		}
 		if !covered {
 			n++
+			if st.pending != nil {
+				if _, seen := st.pending[d]; !seen {
+					st.pending[d] = ReasonStranded
+				}
+			}
 		}
 	}
 	if n > 0 {
-		m := &e.sessions[pkt.Session].metrics
-		m.DropsByReason[ReasonStranded]++
-		m.DestDropsByReason[ReasonStranded] += n
+		st.metrics.DropsByReason[ReasonStranded]++
+		if st.pending == nil {
+			st.metrics.DestDropsByReason[ReasonStranded] += n
+		}
 	}
 }
 

@@ -221,6 +221,28 @@ type Handler interface {
 	Decide(v view.NodeView, pkt *Packet) []Forward
 }
 
+// RedundantHandler marks handlers that intentionally route redundant
+// concurrent copies toward the same destination (MCFR's two face
+// directions). For their sessions the engine tolerates duplicate deliveries
+// (first copy wins, later ones count DuplicateDeliveries) and defers the
+// per-destination half of drop billing to end-of-run settlement: a
+// destination is charged its first drop reason only if no copy ever
+// delivered it, which keeps delivered+dropped == DestCount exact even though
+// several copies carry the same destination. Copy-level drop counters stay
+// immediate.
+type RedundantHandler interface {
+	Handler
+	// RedundantCopies reports that the protocol duplicates destinations
+	// across concurrent copies by design.
+	RedundantCopies() bool
+}
+
+// redundantCopies reports whether h opts into redundant-copy accounting.
+func redundantCopies(h Handler) bool {
+	rh, ok := h.(RedundantHandler)
+	return ok && rh.RedundantCopies()
+}
+
 // TaskMetrics aggregates what the paper measures for one multicast task.
 type TaskMetrics struct {
 	// Transmissions is the total number of packet transmissions — the
@@ -417,6 +439,10 @@ type sessionState struct {
 	// the installed ChurnPlan schedules no events for (every session of a
 	// churn-free run).
 	churn *sessionChurn
+	// pending, non-nil only for RedundantHandler sessions, defers the
+	// per-destination half of drop billing: destination → first drop reason
+	// observed, settled after the run against the delivered set.
+	pending map[int]DropReason
 }
 
 // banLink adds (from → to) to a session's dead-link blacklist.
@@ -630,6 +656,9 @@ func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
 		i, s := i, s
 		st := &e.sessions[i]
 		st.handler = s.Handler
+		if redundantCopies(s.Handler) {
+			st.pending = make(map[int]DropReason)
+		}
 		if e.churn.hasEvents() {
 			st.churn = e.churn.newSessionChurn(i, s.Src, s.Dests)
 		}
@@ -701,6 +730,26 @@ func (e *Engine) RunScript(sessions []Session) []SessionMetrics {
 		sc.ready = nil
 	}
 
+	// Settle deferred per-destination drop billing for redundant-copy
+	// sessions: a destination some copy dropped is charged its first drop
+	// reason unless another copy delivered it (or churn retired it, already
+	// billed as ReasonLeft).
+	for i := range e.sessions {
+		st := &e.sessions[i]
+		if st.pending == nil {
+			continue
+		}
+		for d, r := range st.pending {
+			if _, ok := st.metrics.Delivered[d]; ok {
+				continue
+			}
+			if st.churn != nil && st.churn.retired[d] {
+				continue
+			}
+			st.metrics.DestDropsByReason[r]++
+		}
+	}
+
 	out := make([]SessionMetrics, len(sessions))
 	for i := range e.sessions {
 		out[i] = e.sessions[i].metrics
@@ -731,9 +780,25 @@ func (e *Engine) apply(from int, fwds []Forward) {
 // destinations still aboard, both indexed by reason and billed to the
 // packet's own session.
 func (e *Engine) kill(pkt *Packet, r DropReason) {
-	m := &e.sessions[pkt.Session].metrics
-	m.DropsByReason[r]++
-	m.DestDropsByReason[r] += len(pkt.Dests)
+	st := &e.sessions[pkt.Session]
+	st.metrics.DropsByReason[r]++
+	e.billDests(st, pkt.Dests, r)
+}
+
+// billDests charges the per-destination half of a drop. Ordinary sessions
+// are billed immediately; redundant-copy sessions defer into the pending map
+// (first reason wins — another live copy may still deliver the destination)
+// for end-of-run settlement.
+func (e *Engine) billDests(st *sessionState, dests []int, r DropReason) {
+	if st.pending != nil {
+		for _, d := range dests {
+			if _, seen := st.pending[d]; !seen {
+				st.pending[d] = r
+			}
+		}
+		return
+	}
+	st.metrics.DestDropsByReason[r] += len(dests)
 }
 
 // send transmits a copy of pkt from node `from` to its neighbor `to`. It
@@ -746,11 +811,12 @@ func (e *Engine) kill(pkt *Packet, r DropReason) {
 func (e *Engine) send(from, to int, pkt *Packet) {
 	// Packets are attributed to the session whose handler is executing;
 	// handlers never need to stamp session IDs themselves.
-	m := &e.sessions[e.cur].metrics
+	st := &e.sessions[e.cur]
+	m := &st.metrics
 	if to < 0 || to >= e.net.Len() || from == to || !e.net.InRange(from, to) {
 		m.InvalidSends++
 		m.DropsByReason[ReasonInvalidSend]++
-		m.DestDropsByReason[ReasonInvalidSend] += len(pkt.Dests)
+		e.billDests(st, pkt.Dests, ReasonInvalidSend)
 		return
 	}
 	copyPkt := pkt.Clone()

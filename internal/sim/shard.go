@@ -213,6 +213,17 @@ type laneSession struct {
 	m      SessionMetrics
 	banned map[int]map[int]bool
 	masks  map[int]*view.Masked
+	// pending defers per-destination drop billing for redundant-copy
+	// sessions (RedundantHandler): destination → first drop observed in this
+	// lane, with its lane time so merge can pick the globally-first one
+	// deterministically. Lazily allocated; nil for ordinary sessions.
+	pending map[int]pendingDrop
+}
+
+// pendingDrop is one deferred per-destination drop charge.
+type pendingDrop struct {
+	reason DropReason
+	at     float64
 }
 
 // lane is the per-tile execution context. During a round a lane is advanced
@@ -293,6 +304,7 @@ type shardRun struct {
 	busyUntil []float64
 	dead      []bool
 	handlers  []Handler
+	redundant []bool
 	churn     []*shardChurn
 	// base holds the coordinator-owned part of each session's metrics:
 	// prologue deliveries at the source, churn counters, and barrier-time
@@ -327,6 +339,7 @@ func (e *Engine) runSharded(sessions []Session) []SessionMetrics {
 		window:    e.sharding.Window,
 		busyUntil: make([]float64, e.net.Len()),
 		handlers:  make([]Handler, len(sessions)),
+		redundant: make([]bool, len(sessions)),
 		base:      make([]SessionMetrics, len(sessions)),
 	}
 	r.lanes = make([]*lane, e.net.Tiles())
@@ -361,6 +374,7 @@ func (e *Engine) runSharded(sessions []Session) []SessionMetrics {
 
 	for i, s := range sessions {
 		r.handlers[i] = s.Handler
+		r.redundant[i] = redundantCopies(s.Handler)
 		if r.churn != nil {
 			if sc := e.churn.newSessionChurn(i, s.Src, s.Dests); sc != nil {
 				r.churn[i] = &shardChurn{
@@ -564,9 +578,27 @@ func (r *shardRun) viewFor(ln *lane, node int) view.NodeView { return r.viewAt(l
 
 // kill mirrors Engine.kill into the lane's session partial.
 func (r *shardRun) kill(ln *lane, pkt *Packet, reason DropReason) {
-	m := &ln.sess[pkt.Session].m
-	m.DropsByReason[reason]++
-	m.DestDropsByReason[reason] += len(pkt.Dests)
+	ls := &ln.sess[pkt.Session]
+	ls.m.DropsByReason[reason]++
+	r.billDests(ln, ls, pkt.Session, pkt.Dests, reason)
+}
+
+// billDests mirrors Engine.billDests: immediate per-destination billing for
+// ordinary sessions, lane-local deferral (stamped with the lane clock, so
+// merge can settle the globally-first drop) for redundant-copy sessions.
+func (r *shardRun) billDests(ln *lane, ls *laneSession, si int, dests []int, reason DropReason) {
+	if !r.redundant[si] {
+		ls.m.DestDropsByReason[reason] += len(dests)
+		return
+	}
+	if ls.pending == nil {
+		ls.pending = make(map[int]pendingDrop)
+	}
+	for _, d := range dests {
+		if _, seen := ls.pending[d]; !seen {
+			ls.pending[d] = pendingDrop{reason: reason, at: ln.now}
+		}
+	}
 }
 
 // billUncovered mirrors Engine.billUncovered: only sessions with churn
@@ -589,12 +621,23 @@ func (r *shardRun) billUncovered(ln *lane, pkt *Packet, fwds []Forward) {
 		}
 		if !covered {
 			n++
+			if r.redundant[pkt.Session] {
+				ls := &ln.sess[pkt.Session]
+				if ls.pending == nil {
+					ls.pending = make(map[int]pendingDrop)
+				}
+				if _, seen := ls.pending[d]; !seen {
+					ls.pending[d] = pendingDrop{reason: ReasonStranded, at: ln.now}
+				}
+			}
 		}
 	}
 	if n > 0 {
 		m := &ln.sess[pkt.Session].m
 		m.DropsByReason[ReasonStranded]++
-		m.DestDropsByReason[ReasonStranded] += n
+		if !r.redundant[pkt.Session] {
+			m.DestDropsByReason[ReasonStranded] += n
+		}
 	}
 }
 
@@ -614,11 +657,12 @@ func (r *shardRun) apply(ln *lane, from int, fwds []Forward) {
 
 // sendPkt mirrors Engine.send: clone, budget, transmit.
 func (r *shardRun) sendPkt(ln *lane, from, to int, pkt *Packet) {
-	m := &ln.sess[ln.cur].m
+	ls := &ln.sess[ln.cur]
+	m := &ls.m
 	if to < 0 || to >= r.e.net.Len() || from == to || !r.e.net.InRange(from, to) {
 		m.InvalidSends++
 		m.DropsByReason[ReasonInvalidSend]++
-		m.DestDropsByReason[ReasonInvalidSend] += len(pkt.Dests)
+		r.billDests(ln, ls, ln.cur, pkt.Dests, ReasonInvalidSend)
 		return
 	}
 	copyPkt := ln.clonePkt(pkt)
@@ -852,6 +896,38 @@ func (r *shardRun) merge() []SessionMetrics {
 					o.EnergyByNode[n] += j
 				}
 			}
+		}
+	}
+
+	// Settle deferred per-destination billing for redundant-copy sessions,
+	// against the now-complete delivered set. Each destination is charged its
+	// globally-first drop — earliest lane time, ties broken by lane order
+	// (the scan keeps the first lane's entry on equal times) — unless some
+	// copy delivered it or churn retired it (already billed as ReasonLeft).
+	for si := range r.base {
+		if !r.redundant[si] {
+			continue
+		}
+		var best map[int]pendingDrop
+		for _, ln := range r.lanes {
+			for d, pd := range ln.sess[si].pending {
+				if best == nil {
+					best = make(map[int]pendingDrop)
+				}
+				if cur, ok := best[d]; !ok || pd.at < cur.at {
+					best[d] = pd
+				}
+			}
+		}
+		o := &r.base[si]
+		for d, pd := range best {
+			if _, ok := o.Delivered[d]; ok {
+				continue
+			}
+			if r.churn != nil && r.churn[si] != nil && r.churn[si].retired[d] {
+				continue
+			}
+			o.DestDropsByReason[pd.reason]++
 		}
 	}
 	return r.base

@@ -21,6 +21,18 @@ func PerimeterNextHop(v NodeView, st planar.State) (next int, out planar.State, 
 		v.PlanarPos, PlanarBearings(v), st)
 }
 
+// FaceNextHop advances one face-routing step (planar.NextHopLocalFace2)
+// using v's local planar adjacency: face changes are side-aware — the walk
+// only switches to the adjacent face when the target-side continuation of
+// the entry→target segment leaves the current face — which makes
+// full-face-tour detection a sound unreachability test. This is the
+// traversal core for protocols that have no greedy fallback and no watchdog
+// (MCFR).
+func FaceNextHop(v NodeView, st planar.State) (next int, out planar.State, ok bool) {
+	return planar.NextHopLocalFace2(v.Self(), v.PlanarSelfPos(), v.PlanarNeighbors(),
+		v.PlanarPos, PlanarBearings(v), st)
+}
+
 // StepVerdict classifies one supervised perimeter step.
 type StepVerdict int
 
