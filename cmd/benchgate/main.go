@@ -9,7 +9,9 @@
 //     (ns/op) is printed for context and never gated — CI time noise would
 //     make it flaky.
 //   - Speedup gates (the baseline's "speedups" list): the ratio of two
-//     benchmarks' custom hops/s metrics must reach min_ratio. A throughput
+//     benchmarks' custom throughput metrics (hops/s from the sim kernel,
+//     decisions/s from the serve daemon — both land in the same
+//     hops_per_sec baseline slot) must reach min_ratio. A throughput
 //     *ratio* measured in one process is robust to machine speed, so it can
 //     be gated where absolute ns/op cannot. The gate arms only when the
 //     benchmarks ran on more than one CPU (a GOMAXPROCS suffix ≥ 2, e.g.
@@ -68,7 +70,7 @@ type speedupGate struct {
 // its value is kept as the run's CPU count (no suffix = GOMAXPROCS 1).
 var benchRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(.*)$`)
 
-var metricRe = regexp.MustCompile(`(\S+) (B/op|allocs/op|hops/s)`)
+var metricRe = regexp.MustCompile(`(\S+) (B/op|allocs/op|hops/s|decisions/s)`)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -214,7 +216,9 @@ func parseBench(r io.Reader) (map[string][]benchLine, error) {
 				line.BytesPerOp = v
 			case "allocs/op":
 				line.AllocsPerOp = v
-			case "hops/s":
+			case "hops/s", "decisions/s":
+				// Both are "useful work per second" metrics; they share the
+				// baseline's hops_per_sec slot (no benchmark reports both).
 				line.HopsPerSec = v
 			}
 		}

@@ -156,6 +156,23 @@ func TestSpeedupGateSkipsSingleCPU(t *testing.T) {
 	}
 }
 
+// decisions/s (the serve daemon's throughput metric) feeds the same ratio
+// gate as hops/s.
+func TestSpeedupGateParsesDecisionsPerSec(t *testing.T) {
+	in := "goos: linux\n" +
+		"BenchmarkScaleShards1-4 \t       1\t 400000000 ns/op\t     25000 decisions/s\n" +
+		"BenchmarkScaleShards4-4 \t       1\t 100000000 ns/op\t     60000 decisions/s\n" +
+		"PASS\n"
+	var out strings.Builder
+	err := run([]string{"-baseline", writeSpeedupBaseline(t)}, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatalf("decisions/s ratio failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2.40x") {
+		t.Fatalf("report missing ratio:\n%s", out.String())
+	}
+}
+
 // The alloc-only CI invocation never runs the scale benchmarks; a baseline
 // with speedup gates must skip them when the benchmarks are absent.
 func TestSpeedupGateSkipsMissingBenchmarks(t *testing.T) {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"gmp/internal/planar"
+	"gmp/internal/serve"
+)
+
+// TestLoadAgainstDaemon runs the generator against an in-process server and
+// checks the rendered ledger: every offered request answered as FORWARDS,
+// latency percentiles present, no transport errors.
+func TestLoadAgainstDaemon(t *testing.T) {
+	dep, err := serve.NewDeployment(serve.DeployConfig{
+		Nodes: 150, Width: 500, Height: 500, RadioRange: 100,
+		Planarizer: planar.Gabriel, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(dep, serve.Config{})
+	go srv.Serve(ln)
+	defer srv.Drain()
+
+	var out strings.Builder
+	err = run([]string{
+		"-addr", ln.Addr().String(),
+		"-conns", "2", "-n", "5", "-k", "3",
+		"-width", "500", "-height", "500",
+		"-timeout", "10s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"10 answered", "forwards 10", "transport-errors 0", "latency p50"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestNoDaemon(t *testing.T) {
+	// A port nothing listens on: every dial fails, and that must be an error,
+	// not a silent zero-row report.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	var out strings.Builder
+	if err := run([]string{"-addr", addr, "-conns", "1", "-n", "1", "-timeout", "500ms"}, &out); err == nil {
+		t.Fatalf("want error when no daemon listens:\n%s", out.String())
+	}
+}

@@ -13,6 +13,7 @@
 //	gmpsim -experiment setup                # Table 1 parameters
 //	gmpsim -experiment scale -shards 4      # E-X10: 10⁴ → 10⁶ nodes, sharded kernel
 //	gmpsim -experiment delivery             # E-X12: delivery guarantee on adversarial topologies
+//	gmpsim -experiment serve                # E-X13: gmpd under overload and transport chaos
 //	gmpsim -experiment all                  # everything
 //
 // The -quick flag runs a scaled-down campaign (seconds instead of minutes);
@@ -35,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,12 +44,14 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"gmp/internal/experiment"
 	"gmp/internal/sim"
@@ -64,7 +68,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|churn|scale|delivery|all")
+		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|churn|scale|delivery|serve|all")
 		quick    = fs.Bool("quick", false, "scaled-down campaign for smoke runs")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut  = fs.Bool("json", false, "emit JSON instead of aligned tables")
@@ -101,6 +105,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer stopProf()
+
+	// SIGINT/SIGTERM cancel the campaign between cells: the runner stops
+	// handing out work, in-flight cells finish, and the run exits with the
+	// context's error instead of an interrupted half-written table.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	cfg := experiment.Default()
 	if *quick {
@@ -154,6 +164,7 @@ func run(args []string, out io.Writer) error {
 	if *progress {
 		cfg.Progress = progressPrinter(os.Stderr)
 	}
+	cfg.Ctx = ctx
 	protoList := experiment.AllProtocols()
 	if *protos != "" {
 		protoList = strings.Split(*protos, ",")
@@ -380,6 +391,7 @@ func run(args []string, out io.Writer) error {
 		}
 		sc.Seed = cfg.Seed
 		sc.Progress = cfg.Progress
+		sc.Ctx = ctx
 		sc.Shards = *shards
 		if *protos != "" {
 			sc.Protos = protoList
@@ -405,6 +417,7 @@ func run(args []string, out io.Writer) error {
 			dc.Seed = *seed
 		}
 		dc.Progress = cfg.Progress
+		dc.Ctx = ctx
 		if *protos != "" {
 			dc.Protos = protoList
 		}
@@ -415,6 +428,24 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, rep.Render())
 		if v := rep.Violations(); len(v) > 0 {
 			return fmt.Errorf("delivery: %d invariant violations", len(v))
+		}
+	case "serve":
+		sc := experiment.DefaultServeConfig()
+		if *quick {
+			sc = experiment.QuickServeConfig()
+		}
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		sc.Progress = cfg.Progress
+		sc.Ctx = ctx
+		rep, err := experiment.RunServe(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep.Render())
+		if v := rep.Violations(); len(v) > 0 {
+			return fmt.Errorf("serve: %d invariant violations", len(v))
 		}
 	case "compare":
 		parts := strings.Split(*pair, ",")

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,11 +26,25 @@ type ProgressFunc func(done, total int)
 type campaign struct {
 	workers  int
 	progress ProgressFunc
+	ctx      context.Context // nil = never cancelled
 }
 
 // newCampaign resolves a config's execution knobs.
 func newCampaign(cfg Config) campaign {
-	return campaign{workers: cfg.workerCount(), progress: cfg.Progress}
+	return campaign{workers: cfg.workerCount(), progress: cfg.Progress, ctx: cfg.Ctx}
+}
+
+// cancelled reports whether the campaign's context is done.
+func (c campaign) cancelled() bool {
+	if c.ctx == nil {
+		return false
+	}
+	select {
+	case <-c.ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // runCells fans out over networks × points cells on a bounded worker pool
@@ -38,7 +53,9 @@ func newCampaign(cfg Config) campaign {
 // handed out in index order. The grid layout is position-determined, so
 // callers that reduce it in index order produce identical output regardless
 // of worker count or completion order. The first error aborts the remaining
-// cells.
+// cells. A cancelled campaign context stops cell hand-out: in-flight cells
+// finish, every worker returns, and runCells reports the context's error —
+// no goroutine outlives the call either way.
 func runCells[T any](c campaign, networks, points int, cell func(netIdx, ptIdx int) (T, error)) ([][]T, error) {
 	total := networks * points
 	flat := make([]T, total)
@@ -67,6 +84,9 @@ func runCells[T any](c campaign, networks, points int, cell func(netIdx, ptIdx i
 		go func() {
 			defer wg.Done()
 			for {
+				if c.cancelled() {
+					return
+				}
 				idx := int(next.Add(1)) - 1
 				if idx >= total || failed.Load() {
 					return
@@ -92,6 +112,9 @@ func runCells[T any](c campaign, networks, points int, cell func(netIdx, ptIdx i
 		if err != nil {
 			return nil, err
 		}
+	}
+	if c.cancelled() {
+		return nil, c.ctx.Err()
 	}
 	return grid, nil
 }

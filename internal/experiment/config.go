@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -95,6 +96,13 @@ type Config struct {
 	// it after every completed cell with (completed, total). Calls are
 	// serialized. Not part of the JSON config surface.
 	Progress ProgressFunc `json:"-"`
+	// Ctx, when non-nil, cancels the campaign: the runner stops handing out
+	// cells once Ctx is done and the driver returns Ctx's error. In-flight
+	// cells finish (a cell is pure compute; there is nothing to interrupt
+	// mid-cell), so cancellation is prompt at cell granularity and leaks no
+	// goroutines. Nil means run to completion. Not part of the JSON config
+	// surface.
+	Ctx context.Context `json:"-"`
 	// Views, when non-nil, builds the per-node view provider handed to the
 	// forwarding decisions of every engine the campaign constructs, from the
 	// engine's network (whose positions may be overlaid with reported or

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gmp/internal/testutil"
+)
+
+// TestRunCellsCancellation cancels a campaign mid-flight: the runner must
+// stop handing out cells, return the context's error promptly, and leave no
+// worker goroutine behind.
+func TestRunCellsCancellation(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	c := campaign{workers: 2, ctx: ctx}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := runCells(c, 10, 10, func(_, _ int) (int, error) {
+			if started.Add(1) <= 2 {
+				<-release // park the first wave so cancel lands mid-campaign
+			}
+			return 0, nil
+		})
+		done <- err
+	}()
+
+	for started.Load() < 2 { // both workers inside a cell
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("runCells returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled campaign did not return promptly")
+	}
+	// In-flight cells finish, but nothing new starts: at most the two parked
+	// cells plus at most one more each claimed before observing the cancel.
+	if n := started.Load(); n > 4 {
+		t.Fatalf("%d cells ran after cancellation, want <= 4", n)
+	}
+}
+
+// TestDriverHonorsCtx checks the public surface: a Run* driver given an
+// already-cancelled context returns its error without running any cells.
+func TestDriverHonorsCtx(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Quick()
+	cfg.Networks = 1
+	cfg.TasksPerNet = 1
+	cfg.Ks = []int{3}
+	cfg.Ctx = ctx
+	if _, err := RunMain(cfg, []string{ProtoGRD}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunMain returned %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 
@@ -69,6 +70,8 @@ type DeliveryConfig struct {
 	Seed int64
 	// Progress, when non-nil, observes per-arm completion.
 	Progress ProgressFunc
+	// Ctx, when non-nil, cancels the campaign between cells (see Config.Ctx).
+	Ctx context.Context
 }
 
 // DefaultDeliveryConfig sizes the obstacles so that a single no-progress
@@ -318,7 +321,7 @@ func RunDelivery(cfg DeliveryConfig) (*DeliveryReport, error) {
 		return nil, err
 	}
 	type deliveryCell struct{ arms []DeliveryArm }
-	runner := campaign{workers: Config{}.workerCount(), progress: cfg.Progress}
+	runner := campaign{workers: Config{}.workerCount(), progress: cfg.Progress, ctx: cfg.Ctx}
 	grid, err := runCells(runner, len(cfg.Topologies), 1,
 		func(ai, _ int) (deliveryCell, error) {
 			data, err := buildDeliveryCell(cfg, ai)

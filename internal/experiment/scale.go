@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -70,6 +71,8 @@ type ScaleConfig struct {
 	Seed int64
 	// Progress, when non-nil, observes per-arm completion.
 	Progress ProgressFunc
+	// Ctx, when non-nil, cancels the sweep between arms (see Config.Ctx).
+	Ctx context.Context
 }
 
 // DefaultScaleConfig is the paper-scale sweep: 10⁴ → 10⁶ nodes at constant
@@ -444,6 +447,9 @@ func RunScale(cfg ScaleConfig) (*ScaleReport, error) {
 		}
 	}
 	for ni := range cfg.NodeCounts {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return nil, cfg.Ctx.Err()
+		}
 		b, err := buildScaleBench(cfg, ni)
 		if err != nil {
 			return nil, err

@@ -63,6 +63,10 @@ const (
 	deliveryOffset = 2750159
 	// deliveryStride separates the delivery campaign's per-arm streams.
 	deliveryStride = 1046527
+	// serveOffset marks the overload/chaos service campaign's stream family.
+	serveOffset = 3001039
+	// serveStride separates the service campaign's per-arm streams.
+	serveStride = 2097593
 )
 
 // seeds derives every RNG stream of one campaign from its base seed.
@@ -192,3 +196,17 @@ func (s seeds) deliveryDeploy(ai int) *rand.Rand { return rng(s.deliverySeed(ai)
 
 // deliveryTasks draws topology arm ai's task batch.
 func (s seeds) deliveryTasks(ai int) *rand.Rand { return rng(s.deliverySeed(ai) + 1) }
+
+// serveSeed is the root of arm ai's stream family in the E-X13 service
+// campaign: it seeds the arm's load workload (+0) and the post-chaos clean
+// probe's workload (+1). (Chaos affliction needs no stream: the listener's
+// quota rule is deterministic.)
+func (s seeds) serveSeed(ai int) int64 {
+	return s.base + serveOffset + int64(ai)*serveStride
+}
+
+// serveLoad is arm ai's load-generator workload seed.
+func (s seeds) serveLoad(ai int) int64 { return s.serveSeed(ai) }
+
+// serveProbe is arm ai's clean-probe workload seed.
+func (s seeds) serveProbe(ai int) int64 { return s.serveSeed(ai) + 1 }

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"gmp/internal/serve"
+)
+
+// TestRunServeQuick runs the CI-sized E-X13 campaign end to end: every arm
+// must complete with zero oracle violations — conservation holds on each
+// daemon, chaos arms actually afflict, the overload arm actually sheds, and
+// every post-chaos probe is 100% FORWARDS.
+func TestRunServeQuick(t *testing.T) {
+	cfg := QuickServeConfig()
+	rep, err := RunServe(cfg)
+	if err != nil {
+		t.Fatalf("RunServe: %v", err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("oracle violations:\n%s", strings.Join(v, "\n"))
+	}
+	if len(rep.Arms) != len(cfg.Arms) {
+		t.Fatalf("got %d arms, want %d", len(rep.Arms), len(cfg.Arms))
+	}
+	for _, a := range rep.Arms {
+		if a.Load.Forwards == 0 {
+			t.Errorf("arm %s: no decision ever succeeded", a.Name)
+		}
+	}
+	out := rep.Render()
+	for _, want := range []string{"E-X13", "overload", "trickle", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*ServeConfig)
+	}{
+		{"no arms", func(c *ServeConfig) { c.Arms = nil }},
+		{"centralized protocol", func(c *ServeConfig) { c.Protocol = "SMT" }},
+		{"unnamed arm", func(c *ServeConfig) { c.Arms[0].Name = "" }},
+		{"zero conns", func(c *ServeConfig) { c.Arms[0].Conns = 0 }},
+		{"chaos without fraction", func(c *ServeConfig) {
+			c.Arms[0].Chaos = serve.ChaosCut
+			c.Arms[0].ChaosFraction = 0
+		}},
+		{"empty probe", func(c *ServeConfig) { c.ProbeConns = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultServeConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate passed, want error", tc.name)
+		}
+	}
+}

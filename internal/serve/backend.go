@@ -1,0 +1,335 @@
+// Package serve implements gmpd's decision-service core: a hardened TCP
+// daemon that answers stateless routing-decision requests over the wire
+// package's session protocol.
+//
+// The service exists because the paper's §2 addressing model makes it
+// possible: a location *is* the address, and the frame header carries
+// everything a hop needs — source, marked next hop, remaining destination
+// locations, PERIMODE state. A decision is therefore a pure function of
+// (deployment, frame), which is exactly what the routing package's decision
+// cores compute. gmpd holds the deployment (network + planar substrate) and
+// turns frames into decisions for any distributed protocol in the registry.
+//
+// Hardening is the point, not an afterthought: bounded admission with typed
+// SHED answers (never a silent drop), per-request deadlines, per-session
+// idle timeouts, send backpressure with slow-client eviction, panic-isolated
+// decision workers, and graceful drain. The invariant the E-X13 campaign
+// audits is conservation: every admitted request is answered exactly once —
+// FORWARDS, ERROR, or SHED.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gmp/internal/geom"
+	"gmp/internal/network"
+	"gmp/internal/planar"
+	"gmp/internal/routing"
+	"gmp/internal/sim"
+	"gmp/internal/view"
+	"gmp/internal/wire"
+)
+
+// DeployConfig describes the deployment a daemon serves decisions for.
+type DeployConfig struct {
+	Nodes      int
+	Width      float64
+	Height     float64
+	RadioRange float64
+	Planarizer planar.Kind
+	Seed       int64
+}
+
+// DefaultDeploy is the paper's baseline field: 600 nodes on 1200×1200 with
+// radio range 100 (the §5 setup the sim campaigns default to).
+func DefaultDeploy() DeployConfig {
+	return DeployConfig{Nodes: 600, Width: 1200, Height: 1200,
+		RadioRange: 100, Planarizer: planar.Gabriel, Seed: 1}
+}
+
+// Deployment is the immutable field a daemon serves: the ground-truth
+// network and its planar substrate. Both are safe for concurrent readers,
+// so one Deployment is shared by every worker and session.
+type Deployment struct {
+	NW *network.Network
+	PG *planar.Graph
+}
+
+// NewDeployment deploys a seeded uniform field and planarizes it.
+func NewDeployment(dc DeployConfig) (*Deployment, error) {
+	nodes := network.DeployUniform(dc.Nodes, dc.Width, dc.Height,
+		rand.New(rand.NewSource(dc.Seed)))
+	nw, err := network.New(nodes, dc.Width, dc.Height, dc.RadioRange)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{NW: nw, PG: planar.Planarize(nw, dc.Planarizer)}, nil
+}
+
+// Request-mapping errors; all answered as ERROR CodeBadRequest.
+var (
+	ErrBadFrame    = errors.New("serve: frame does not decode")
+	ErrBadOp       = errors.New("serve: malformed request for op")
+	ErrBadAnchor   = errors.New("serve: anchor location is not a destination")
+	ErrUnservable  = errors.New("serve: protocol cannot be served")
+	ErrFrameEncode = errors.New("serve: decision result does not encode")
+)
+
+// decider is one worker's private decision backend: its own view provider
+// (NodeView scratch is not safe for concurrent use) and its own protocol
+// instances. The deployment itself is shared and read-only.
+type decider struct {
+	dep    *Deployment
+	views  view.Provider
+	protos map[string]routing.Protocol
+	lambda float64
+	k      int
+}
+
+func newDecider(dep *Deployment, lambda float64, k int) *decider {
+	return &decider{
+		dep:    dep,
+		views:  view.NewOracle(dep.NW, dep.PG),
+		protos: make(map[string]routing.Protocol),
+		lambda: lambda,
+		k:      k,
+	}
+}
+
+// CheckServable validates that the named protocol exists and is servable by
+// a stateless decision daemon. Centralized protocols (SMT) are rejected:
+// their Start consumes the ground-truth network, which is not the §2
+// knowledge model the service exposes.
+func CheckServable(name string) error {
+	sp, ok := routing.Lookup(name)
+	if !ok {
+		return fmt.Errorf("%w: %w: %q", ErrUnservable, routing.ErrUnknownProtocol, name)
+	}
+	if sp.Flags&routing.FlagCentralized != 0 {
+		return fmt.Errorf("%w: %q is centralized", ErrUnservable, name)
+	}
+	return nil
+}
+
+// protocol returns the worker's instance of the named protocol, building it
+// on first use.
+func (d *decider) protocol(name string) (routing.Protocol, error) {
+	if p, ok := d.protos[name]; ok {
+		return p, nil
+	}
+	if err := CheckServable(name); err != nil {
+		return nil, err
+	}
+	p, err := routing.Make(name, routing.Ctx{Lambda: d.lambda, LambdaSet: true, K: d.k})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrUnservable, err)
+	}
+	d.protos[name] = p
+	return p, nil
+}
+
+// decide answers one DECIDE request: decode the frame, reconstruct the
+// routing state, run the protocol's pure decision core at the deciding
+// node, and re-encode the forward set. It is called inside the worker's
+// panic isolation — a panicking protocol (or a frame crafted to trip one)
+// costs an ERROR answer, never the daemon.
+func (d *decider) decide(protoName string, req wire.DecideBody) ([]wire.ForwardReply, error) {
+	p, err := d.protocol(protoName)
+	if err != nil {
+		return nil, err
+	}
+	f, err := wire.Decode(req.Frame)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadFrame, err)
+	}
+	node, pkt, err := d.frameToPacket(req.Op, f)
+	if err != nil {
+		return nil, err
+	}
+	if pkt == nil { // every destination resolved to the deciding node
+		return []wire.ForwardReply{}, nil
+	}
+	var fwds []sim.Forward
+	if req.Op == wire.OpStart {
+		fwds = p.Start(d.views.At(node), pkt)
+	} else {
+		fwds = p.Decide(d.views.At(node), pkt)
+	}
+	return d.forwardsToReplies(f, node, fwds)
+}
+
+// frameToPacket reconstructs the deciding node and the in-flight packet from
+// a frame, mirroring the simulation engine's Start/arrive semantics:
+//
+//   - the deciding node is the one closest to the marked next-hop location
+//     (§2: "the corresponding node picks up the packet");
+//   - destination locations resolve to node IDs the same way; locations
+//     that resolve to the same node merge into one destination (keeping the
+//     first carried location) — under location-as-address, co-located
+//     subscribers *are* the same destination;
+//   - destinations equal to the deciding node are delivered here and
+//     stripped, exactly as the engine's arrive does;
+//   - OpStart sorts destinations ascending and restamps header locations
+//     from the network's advertised positions (the engine's Start path);
+//     OpDecide keeps the header locations as carried — staleness in the
+//     header is part of the model.
+//
+// A nil packet with nil error means every destination was the deciding node:
+// fully delivered, the answer is an empty FORWARDS.
+//
+// Fidelity note: the wire format does not carry the perimeter watchdog
+// fields or the previous hop, so a reconstructed perimeter state re-enters
+// with Prev = -1 and a fresh (disarmed) watchdog — the documented cost of
+// statelessness, identical to what a node would know after a neighbor
+// table flush.
+func (d *decider) frameToPacket(op byte, f *wire.Frame) (int, *sim.Packet, error) {
+	nw := d.dep.NW
+	node := nw.ClosestNode(f.NextHop)
+	pkt := &sim.Packet{Hops: int(f.Hops), Anchor: -1}
+
+	switch op {
+	case wire.OpStart:
+		if f.HasAnchor() {
+			return 0, nil, fmt.Errorf("%w: anchor on a start request", ErrBadOp)
+		}
+		if f.Perimeter() {
+			return 0, nil, fmt.Errorf("%w: PERIMODE on a start request", ErrBadOp)
+		}
+		ids := make([]int, 0, len(f.Dests))
+		seen := make(map[int]bool, len(f.Dests))
+		for _, loc := range f.Dests {
+			id := nw.ClosestNode(loc)
+			if seen[id] {
+				continue // co-located subscribers merge
+			}
+			seen[id] = true
+			if id == node {
+				continue // delivered at the source, hop 0
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			return node, nil, nil
+		}
+		sort.Ints(ids)
+		locs := make([]geom.Point, len(ids))
+		for i, id := range ids {
+			locs[i] = nw.Pos(id)
+		}
+		pkt.Dests, pkt.Locs = ids, locs
+
+	case wire.OpDecide:
+		ids := make([]int, 0, len(f.Dests))
+		locs := make([]geom.Point, 0, len(f.Dests))
+		seen := make(map[int]bool, len(f.Dests))
+		anchor := -1
+		for _, loc := range f.Dests {
+			id := nw.ClosestNode(loc)
+			if f.HasAnchor() && loc == f.Anchor && anchor < 0 {
+				anchor = id
+			}
+			if seen[id] {
+				continue // co-located subscribers merge
+			}
+			seen[id] = true
+			if id == node {
+				continue // delivered here
+			}
+			ids = append(ids, id)
+			locs = append(locs, loc)
+		}
+		if f.HasAnchor() {
+			if anchor < 0 {
+				return 0, nil, ErrBadAnchor
+			}
+			if anchor == node {
+				// The anchor was delivered here; the protocol re-partitions
+				// from the remaining set, which is what Anchor = -1 means.
+				anchor = -1
+			}
+		}
+		if len(ids) == 0 {
+			return node, nil, nil
+		}
+		pkt.Dests, pkt.Locs, pkt.Anchor = ids, locs, anchor
+		if f.Perimeter() {
+			pkt.Perimeter = true
+			pkt.Peri = planar.State{
+				Target:    f.PeriTarget,
+				Entry:     f.PeriEntry,
+				FaceEntry: f.PeriFaceEntry,
+				Prev:      -1,
+				FirstFrom: -1,
+				FirstTo:   -1,
+			}
+		}
+
+	default:
+		return 0, nil, fmt.Errorf("%w: op %d", ErrBadOp, op)
+	}
+	return node, pkt, nil
+}
+
+// forwardsToReplies re-encodes a decision's forward list as wire replies,
+// each frame ready to transmit: hop count bumped (saturating, as the engine
+// does per transmission), next hop marked with the receiver's advertised
+// position, routing state (PERIMODE, anchor) carried per copy, and the
+// request's source and payload preserved.
+func (d *decider) forwardsToReplies(req *wire.Frame, node int, fwds []sim.Forward) ([]wire.ForwardReply, error) {
+	nw := d.dep.NW
+	out := make([]wire.ForwardReply, 0, len(fwds))
+	hops := req.Hops
+	if hops < 255 {
+		hops++
+	}
+	for _, fwd := range fwds {
+		pkt := fwd.Pkt
+		of := &wire.Frame{
+			Hops:    hops,
+			Source:  req.Source,
+			Payload: req.Payload,
+		}
+		if fwd.To >= 0 {
+			of.NextHop = nw.Pos(fwd.To)
+		} else {
+			of.NextHop = nw.Pos(node) // dropped copy dies where it stands
+		}
+		of.Dests = make([]geom.Point, len(pkt.Locs))
+		copy(of.Dests, pkt.Locs)
+		if pkt.Perimeter {
+			of.Flags |= wire.FlagPerimeter
+			of.PeriTarget = pkt.Peri.Target
+			of.PeriEntry = pkt.Peri.Entry
+			of.PeriFaceEntry = pkt.Peri.FaceEntry
+		}
+		if pkt.Anchor >= 0 {
+			loc, ok := locOf(pkt, pkt.Anchor)
+			if !ok {
+				return nil, fmt.Errorf("%w: anchor %d not in forward's header", ErrFrameEncode, pkt.Anchor)
+			}
+			of.Flags |= wire.FlagAnchor
+			of.Anchor = loc
+		}
+		data, err := wire.Encode(of, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrFrameEncode, err)
+		}
+		out = append(out, wire.ForwardReply{To: int32(fwd.To), Frame: data})
+	}
+	return out, nil
+}
+
+// locOf is Packet.LocOf without the panic: the service reports a missing
+// anchor as a typed error instead of trusting protocol invariants with the
+// daemon's life.
+func locOf(p *sim.Packet, id int) (geom.Point, bool) {
+	for i, d := range p.Dests {
+		if d == id {
+			return p.Locs[i], true
+		}
+	}
+	return geom.Point{}, false
+}

@@ -1,0 +1,229 @@
+package serve
+
+// ChaosListener wraps a net.Listener with deterministic transport adversity
+// for the E-X13 campaign: byte-trickling slow clients, mid-frame
+// disconnects, corrupted frames, and connection-reset storms. Affliction is
+// quota-based — the afflicted count tracks ceil(accepted × Fraction) — so
+// any positive Fraction is guaranteed to hit connections (the first one
+// immediately), and an arm's adversity never no-ops on an unlucky draw.
+// Disable() turns the listener transparent for the post-chaos clean-traffic
+// probe.
+
+import (
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosMode is one transport-adversity family.
+type ChaosMode int
+
+const (
+	// ChaosNone leaves the connection untouched.
+	ChaosNone ChaosMode = iota
+	// ChaosTrickle throttles the connection to tiny reads and writes with a
+	// delay between each — the classic slow client, which must trip the
+	// server's backpressure eviction rather than pin its memory.
+	ChaosTrickle
+	// ChaosCut closes the connection after a fixed number of bytes in
+	// either direction — a mid-frame disconnect.
+	ChaosCut
+	// ChaosCorrupt flips a bit in periodic bytes read from the client —
+	// frames arrive damaged and must be rejected, never crash the daemon.
+	ChaosCorrupt
+	// ChaosReset closes the connection immediately on accept — a
+	// connection-reset storm.
+	ChaosReset
+)
+
+// String implements fmt.Stringer.
+func (m ChaosMode) String() string {
+	switch m {
+	case ChaosNone:
+		return "none"
+	case ChaosTrickle:
+		return "trickle"
+	case ChaosCut:
+		return "cut"
+	case ChaosCorrupt:
+		return "corrupt"
+	case ChaosReset:
+		return "reset"
+	default:
+		return "chaos?"
+	}
+}
+
+// ChaosPlan configures a ChaosListener.
+type ChaosPlan struct {
+	// Mode is the adversity family applied to afflicted connections.
+	Mode ChaosMode
+	// Fraction of accepted connections afflicted (0..1].
+	Fraction float64
+	// TrickleBytes/TrickleDelay shape ChaosTrickle: at most TrickleBytes
+	// move per I/O call, with TrickleDelay between calls.
+	TrickleBytes int
+	TrickleDelay time.Duration
+	// CutAfter is ChaosCut's byte budget across both directions.
+	CutAfter int
+	// CorruptEvery flips a bit in every Nth byte read under ChaosCorrupt.
+	CorruptEvery int
+}
+
+func (p ChaosPlan) withDefaults() ChaosPlan {
+	if p.Fraction <= 0 {
+		p.Fraction = 0.3
+	}
+	if p.TrickleBytes <= 0 {
+		p.TrickleBytes = 3
+	}
+	if p.TrickleDelay <= 0 {
+		p.TrickleDelay = 2 * time.Millisecond
+	}
+	if p.CutAfter <= 0 {
+		p.CutAfter = 40
+	}
+	if p.CorruptEvery <= 0 {
+		p.CorruptEvery = 7
+	}
+	return p
+}
+
+// ChaosListener afflicts a fraction of accepted connections per its plan.
+type ChaosListener struct {
+	net.Listener
+	plan     ChaosPlan
+	mu       sync.Mutex // guards accepted/hit
+	accepted int64      // connections seen while enabled
+	hit      int64      // connections afflicted so far
+	disabled atomic.Bool
+	// Afflicted counts connections that received adversity.
+	afflicted atomic.Int64
+}
+
+// NewChaosListener wraps ln. Mode ChaosNone (or Fraction 0 before
+// defaulting) still wraps, but afflicts nothing.
+func NewChaosListener(ln net.Listener, plan ChaosPlan) *ChaosListener {
+	return &ChaosListener{Listener: ln, plan: plan.withDefaults()}
+}
+
+// Disable turns the listener transparent: subsequent accepts are untouched.
+// Used for the post-chaos clean-traffic probe.
+func (l *ChaosListener) Disable() { l.disabled.Store(true) }
+
+// Afflicted reports how many connections received adversity.
+func (l *ChaosListener) Afflicted() int64 { return l.afflicted.Load() }
+
+// Accept implements net.Listener.
+func (l *ChaosListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if l.disabled.Load() || l.plan.Mode == ChaosNone {
+		return conn, nil
+	}
+	l.mu.Lock()
+	l.accepted++
+	hit := float64(l.hit) < math.Ceil(float64(l.accepted)*l.plan.Fraction)
+	if hit {
+		l.hit++
+	}
+	l.mu.Unlock()
+	if !hit {
+		return conn, nil
+	}
+	l.afflicted.Add(1)
+	if l.plan.Mode == ChaosReset {
+		// The storm: the connection dies before a single byte.
+		conn.Close()
+		return conn, nil
+	}
+	return &chaosConn{Conn: conn, plan: l.plan, budget: l.plan.CutAfter}, nil
+}
+
+// chaosConn applies per-connection adversity on the server side of the
+// stream. The server reads requests and writes replies through it.
+type chaosConn struct {
+	net.Conn
+	plan   ChaosPlan
+	budget int // ChaosCut: bytes remaining before the cut
+	seen   int // ChaosCorrupt: bytes read so far
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	switch c.plan.Mode {
+	case ChaosTrickle:
+		time.Sleep(c.plan.TrickleDelay)
+		if len(p) > c.plan.TrickleBytes {
+			p = p[:c.plan.TrickleBytes]
+		}
+		return c.Conn.Read(p)
+	case ChaosCut:
+		if c.budget <= 0 {
+			c.Conn.Close()
+			return 0, net.ErrClosed
+		}
+		if len(p) > c.budget {
+			p = p[:c.budget]
+		}
+		n, err := c.Conn.Read(p)
+		c.budget -= n
+		return n, err
+	case ChaosCorrupt:
+		n, err := c.Conn.Read(p)
+		for i := 0; i < n; i++ {
+			c.seen++
+			if c.seen%c.plan.CorruptEvery == 0 {
+				p[i] ^= 0x20
+			}
+		}
+		return n, err
+	default:
+		return c.Conn.Read(p)
+	}
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	switch c.plan.Mode {
+	case ChaosTrickle:
+		// Replies to a trickling client drain slowly: this is what backs the
+		// server's send queue up and must end in eviction, not a wedged
+		// worker. Total stall respects the connection's write deadline via
+		// the underlying writes.
+		written := 0
+		for written < len(p) {
+			time.Sleep(c.plan.TrickleDelay)
+			end := written + c.plan.TrickleBytes
+			if end > len(p) {
+				end = len(p)
+			}
+			n, err := c.Conn.Write(p[written:end])
+			written += n
+			if err != nil {
+				return written, err
+			}
+		}
+		return written, nil
+	case ChaosCut:
+		if c.budget <= 0 {
+			c.Conn.Close()
+			return 0, net.ErrClosed
+		}
+		cut := false
+		if len(p) > c.budget {
+			p, cut = p[:c.budget], true
+		}
+		n, err := c.Conn.Write(p)
+		c.budget -= n
+		if err == nil && cut {
+			c.Conn.Close()
+			return n, net.ErrClosed
+		}
+		return n, err
+	default:
+		return c.Conn.Write(p)
+	}
+}

@@ -1,0 +1,260 @@
+package serve
+
+// Client side of the session protocol: a synchronous one-request-at-a-time
+// client (gmpload and the E-X13 campaign open many of them), plus the
+// retry policy that turns SHED answers into jittered exponential backoff
+// under a hard attempt/time budget — the cooperative half of the server's
+// load-shedding contract.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"gmp/internal/wire"
+)
+
+// Client errors.
+var (
+	ErrHandshake   = errors.New("serve: handshake failed")
+	ErrServerError = errors.New("serve: server answered ERROR")
+	ErrDrained     = errors.New("serve: server is draining")
+	ErrRetryBudget = errors.New("serve: retry budget exhausted")
+	ErrBadReply    = errors.New("serve: malformed reply")
+)
+
+// Reply is one server answer to a DECIDE.
+type Reply struct {
+	// Kind is wire.MsgForwards, wire.MsgError, or wire.MsgShed.
+	Kind     byte
+	Forwards []wire.ForwardReply
+	Err      wire.ErrorBody
+	Shed     wire.ShedBody
+}
+
+// Client is a synchronous session client: one outstanding request at a
+// time, matched by request ID. Not safe for concurrent use; open one per
+// goroutine.
+type Client struct {
+	conn     net.Conn
+	nextID   uint64
+	protocol string
+	nodes    uint32
+	// Drained flips when the server broadcasts DRAIN; callers should stop
+	// issuing new requests.
+	Drained bool
+	// Timeout bounds each request round-trip (read deadline on the reply).
+	Timeout time.Duration
+}
+
+// Dial connects, performs the HELLO handshake for the named protocol, and
+// returns a ready client.
+func Dial(addr, protocol string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, protocol: protocol, Timeout: timeout}
+	if err := c.hello(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) hello() error {
+	c.nextID++
+	m := wire.Msg{Type: wire.MsgHello, ID: c.nextID, Body: wire.EncodeHello(wire.HelloBody{
+		Version: wire.SessionVersion, Protocol: c.protocol})}
+	c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	if _, err := c.conn.Write(wire.AppendMsg(nil, m)); err != nil {
+		return fmt.Errorf("%w: %w", ErrHandshake, err)
+	}
+	rm, err := c.readMatching(c.nextID)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrHandshake, err)
+	}
+	switch rm.Type {
+	case wire.MsgHello:
+		h, err := wire.DecodeHello(rm.Body)
+		if err != nil {
+			return fmt.Errorf("%w: %w", ErrHandshake, err)
+		}
+		c.nodes = h.Nodes
+		return nil
+	case wire.MsgError:
+		e, _ := wire.DecodeError(rm.Body)
+		return fmt.Errorf("%w: %s (code %d)", ErrHandshake, e.Msg, e.Code)
+	default:
+		return fmt.Errorf("%w: unexpected %s", ErrHandshake, wire.MsgName(rm.Type))
+	}
+}
+
+// Nodes reports the deployment size the server announced in its HELLO echo.
+func (c *Client) Nodes() int { return int(c.nodes) }
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readMatching reads envelopes until one matches the request ID, absorbing
+// server-initiated DRAIN broadcasts (ID 0) along the way.
+func (c *Client) readMatching(id uint64) (wire.Msg, error) {
+	for {
+		m, err := wire.ReadMsg(c.conn)
+		if err != nil {
+			return wire.Msg{}, err
+		}
+		if m.Type == wire.MsgDrain {
+			c.Drained = true
+			continue
+		}
+		if m.ID != id {
+			return wire.Msg{}, fmt.Errorf("%w: reply ID %d for request %d", ErrBadReply, m.ID, id)
+		}
+		return m, nil
+	}
+}
+
+// Do issues one DECIDE and returns the server's answer. Transport failures
+// (connection gone, reply timeout) return an error; protocol-level refusals
+// (ERROR, SHED) are answers, returned in the Reply.
+func (c *Client) Do(body wire.DecideBody) (Reply, error) {
+	id, err := c.Send(body)
+	if err != nil {
+		return Reply{}, err
+	}
+	rm, err := c.readMatching(id)
+	if err != nil {
+		return Reply{}, err
+	}
+	return parseReply(rm)
+}
+
+// Send issues a DECIDE without waiting for its answer — the pipelined half
+// of the protocol, which carries request IDs precisely so a client can keep
+// several requests in flight. Collect answers with Recv; request IDs
+// correlate them.
+func (c *Client) Send(body wire.DecideBody) (uint64, error) {
+	c.nextID++
+	id := c.nextID
+	m := wire.Msg{Type: wire.MsgDecide, ID: id, Body: wire.EncodeDecide(body)}
+	c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	if _, err := c.conn.Write(wire.AppendMsg(nil, m)); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Recv reads the next answer for any outstanding pipelined request,
+// absorbing DRAIN broadcasts along the way.
+func (c *Client) Recv() (uint64, Reply, error) {
+	c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
+	for {
+		m, err := wire.ReadMsg(c.conn)
+		if err != nil {
+			return 0, Reply{}, err
+		}
+		if m.Type == wire.MsgDrain {
+			c.Drained = true
+			continue
+		}
+		rep, err := parseReply(m)
+		return m.ID, rep, err
+	}
+}
+
+// parseReply decodes one answer envelope into a Reply.
+func parseReply(rm wire.Msg) (Reply, error) {
+	rep := Reply{Kind: rm.Type}
+	var err error
+	switch rm.Type {
+	case wire.MsgForwards:
+		if rep.Forwards, err = wire.DecodeForwards(rm.Body); err != nil {
+			return Reply{}, fmt.Errorf("%w: %w", ErrBadReply, err)
+		}
+	case wire.MsgError:
+		if rep.Err, err = wire.DecodeError(rm.Body); err != nil {
+			return Reply{}, fmt.Errorf("%w: %w", ErrBadReply, err)
+		}
+	case wire.MsgShed:
+		if rep.Shed, err = wire.DecodeShed(rm.Body); err != nil {
+			return Reply{}, fmt.Errorf("%w: %w", ErrBadReply, err)
+		}
+	default:
+		return Reply{}, fmt.Errorf("%w: unexpected %s", ErrBadReply, wire.MsgName(rm.Type))
+	}
+	return rep, nil
+}
+
+// RetryPolicy shapes DoRetry's backoff on SHED answers: jittered exponential
+// growth from Base to Max, capped by both an attempt count and a wall-clock
+// budget. The zero value disables retries (one attempt).
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts (first try included); <= 1 means no
+	// retries.
+	MaxAttempts int
+	// Base is the first backoff; each subsequent retry doubles it up to Max.
+	Base time.Duration
+	Max  time.Duration
+	// Budget bounds the total wall-clock time spent retrying; zero means no
+	// time bound.
+	Budget time.Duration
+}
+
+// DefaultRetry is a polite client: a handful of attempts, starting near the
+// server's typical retry-after hint.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, Base: 20 * time.Millisecond,
+		Max: 500 * time.Millisecond, Budget: 3 * time.Second}
+}
+
+// DoRetry issues the request, retrying on SHED with jittered exponential
+// backoff. The server's RetryAfterMs hint, when present, floors the first
+// backoff. Returns the retry count alongside the final reply; when the
+// budget runs out the last SHED reply is returned with ErrRetryBudget.
+func (c *Client) DoRetry(body wire.DecideBody, pol RetryPolicy, rng *rand.Rand) (Reply, int, error) {
+	attempts := pol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	start := time.Now()
+	backoff := pol.Base
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	var rep Reply
+	var err error
+	for try := 0; try < attempts; try++ {
+		rep, err = c.Do(body)
+		if err != nil || rep.Kind != wire.MsgShed {
+			return rep, try, err
+		}
+		if rep.Shed.Reason == wire.ShedDraining {
+			// Retrying against a draining server wastes everyone's time.
+			return rep, try, ErrDrained
+		}
+		if try == attempts-1 {
+			break
+		}
+		wait := backoff
+		if hint := time.Duration(rep.Shed.RetryAfterMs) * time.Millisecond; wait < hint {
+			wait = hint
+		}
+		// Full jitter: uniform in (0, wait] decorrelates retry storms.
+		wait = time.Duration(1 + rng.Int63n(int64(wait)))
+		if pol.Budget > 0 && time.Since(start)+wait > pol.Budget {
+			return rep, try, ErrRetryBudget
+		}
+		time.Sleep(wait)
+		backoff *= 2
+		if pol.Max > 0 && backoff > pol.Max {
+			backoff = pol.Max
+		}
+	}
+	return rep, attempts - 1, ErrRetryBudget
+}

@@ -17,6 +17,8 @@ func FuzzDecode(f *testing.F) {
 		sampleFrame(false, 5, 16),
 		sampleFrame(true, 3, 8),
 		sampleFrame(true, 0, 0),
+		withAnchor(sampleFrame(false, 4, 4)),
+		withAnchor(sampleFrame(true, 2, 0)),
 	} {
 		data, err := Encode(fr, 0)
 		if err != nil {
@@ -43,9 +45,35 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded frame failed to decode: %v", err)
 		}
-		if back.Flags != fr.Flags || back.Hops != fr.Hops ||
-			len(back.Dests) != len(fr.Dests) || !bytes.Equal(back.Payload, fr.Payload) {
-			t.Fatal("round-trip mismatch")
+		// Field-exact equality: anything the decoder accepted must survive a
+		// re-encode bit-for-bit in every header field — scalar flags and hop
+		// count, source/next-hop/anchor coordinates, the perimeter state, and
+		// every destination location. Coordinates on the wire are float32, so
+		// a decoded frame's points are float32-exact and == is the right
+		// comparison.
+		if back.Flags != fr.Flags || back.Hops != fr.Hops {
+			t.Fatalf("flags/hops mismatch: %+v vs %+v", back, fr)
+		}
+		if back.Source != fr.Source || back.NextHop != fr.NextHop {
+			t.Fatalf("source/next-hop mismatch: %+v vs %+v", back, fr)
+		}
+		if len(back.Dests) != len(fr.Dests) {
+			t.Fatalf("dest count %d != %d", len(back.Dests), len(fr.Dests))
+		}
+		for i := range fr.Dests {
+			if back.Dests[i] != fr.Dests[i] {
+				t.Fatalf("dest %d: %v != %v", i, back.Dests[i], fr.Dests[i])
+			}
+		}
+		if fr.Perimeter() && (back.PeriTarget != fr.PeriTarget ||
+			back.PeriEntry != fr.PeriEntry || back.PeriFaceEntry != fr.PeriFaceEntry) {
+			t.Fatal("perimeter state mismatch")
+		}
+		if fr.HasAnchor() && back.Anchor != fr.Anchor {
+			t.Fatalf("anchor mismatch: %v != %v", back.Anchor, fr.Anchor)
+		}
+		if !bytes.Equal(back.Payload, fr.Payload) {
+			t.Fatal("payload mismatch")
 		}
 	})
 }
@@ -60,6 +88,8 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 	f.Add(uint8(FlagPerimeter), uint8(255), uint8(3), uint16(8), int64(3))
 	f.Add(uint8(FlagPerimeter), uint8(1), uint8(12), uint16(0), int64(4))
 	f.Add(uint8(0), uint8(100), uint8(255), uint16(512), int64(5))
+	f.Add(uint8(FlagAnchor), uint8(3), uint8(6), uint16(4), int64(6))
+	f.Add(uint8(FlagPerimeter|FlagAnchor), uint8(9), uint8(2), uint16(0), int64(7))
 
 	f.Fuzz(func(t *testing.T, flags, hops, ndests uint8, payloadLen uint16, seed int64) {
 		r := rand.New(rand.NewSource(seed))
@@ -74,6 +104,9 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 		}
 		if fr.Perimeter() {
 			fr.PeriTarget, fr.PeriEntry, fr.PeriFaceEntry = pt(), pt(), pt()
+		}
+		if fr.HasAnchor() {
+			fr.Anchor = pt()
 		}
 		if payloadLen > 0 {
 			fr.Payload = make([]byte, payloadLen%2048)
@@ -107,6 +140,9 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 			got.PeriEntry != fr.PeriEntry || got.PeriFaceEntry != fr.PeriFaceEntry) {
 			t.Fatal("perimeter state mismatch")
 		}
+		if fr.HasAnchor() && got.Anchor != fr.Anchor {
+			t.Fatalf("anchor mismatch: %v != %v", got.Anchor, fr.Anchor)
+		}
 		if !bytes.Equal(got.Payload, fr.Payload) {
 			t.Fatal("payload mismatch")
 		}
@@ -121,7 +157,9 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 		if (err == nil) != fits {
 			t.Fatalf("budgeted encode err=%v but size %d vs budget %d", err, fr.EncodedSize(), budget)
 		}
-		if HeaderSize(0, fr.Perimeter())+len(fr.Payload) <= budget {
+		// Capacity models the paper's Table 1 header (no anchor extension),
+		// so the agreement check only applies to anchor-free frames.
+		if !fr.HasAnchor() && HeaderSize(0, fr.Perimeter())+len(fr.Payload) <= budget {
 			if fits != (len(fr.Dests) <= Capacity(budget, len(fr.Payload), fr.Perimeter())) {
 				t.Fatalf("Capacity disagrees with encoder: %d dests, capacity %d, fits %v",
 					len(fr.Dests), Capacity(budget, len(fr.Payload), fr.Perimeter()), fits)

@@ -1,0 +1,365 @@
+package wire
+
+// This file defines the session envelope of the gmpd decision service: a
+// length-framed message layer carried over a byte stream (TCP), wrapping the
+// on-air Frame format above. A session is one client connection:
+//
+//	client → HELLO(protocol)            server → HELLO (echo + node count)
+//	client → DECIDE(op, Frame)          server → FORWARDS | ERROR | SHED
+//	server → DRAIN(budget)              (broadcast; no reply expected)
+//
+// Every DECIDE is answered exactly once, matched by the envelope's request
+// ID. The envelope's body-length field is attacker-controlled: readers must
+// bound it (MaxBody) before allocating, and the decoders below validate
+// every interior length the same way.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Session message types.
+const (
+	// MsgHello opens a session (client → server) and acknowledges it
+	// (server → client).
+	MsgHello = byte(iota + 1)
+	// MsgDecide asks for one routing decision; the body is a DecideBody.
+	MsgDecide
+	// MsgForwards answers a DECIDE with the decision's forward list.
+	MsgForwards
+	// MsgError answers a DECIDE (or a broken HELLO) with a typed failure.
+	MsgError
+	// MsgShed answers a DECIDE the server refused to serve — queue full,
+	// deadline blown in queue, or draining — with a retry-after hint. A
+	// SHED is an answer: the server never silently drops an admitted
+	// request.
+	MsgShed
+	// MsgDrain is the server's drain broadcast: stop sending, finish up.
+	MsgDrain
+	msgTypeEnd
+)
+
+// MsgName returns a human-readable name for a session message type.
+func MsgName(t byte) string {
+	switch t {
+	case MsgHello:
+		return "HELLO"
+	case MsgDecide:
+		return "DECIDE"
+	case MsgForwards:
+		return "FORWARDS"
+	case MsgError:
+		return "ERROR"
+	case MsgShed:
+		return "SHED"
+	case MsgDrain:
+		return "DRAIN"
+	default:
+		return fmt.Sprintf("type%d", t)
+	}
+}
+
+// MaxBody is the largest session-message body a conforming endpoint sends:
+// a full 255-destination frame with perimeter+anchor state and a maximal
+// 64 KiB payload fits with room to spare. Readers reject larger claims
+// before allocating anything.
+const MaxBody = 1 << 17
+
+const msgHeaderSize = 1 /*type*/ + 8 /*request id*/ + 4 /*body len*/
+
+// Session envelope errors.
+var (
+	ErrBodyTooLarge = errors.New("wire: session body length exceeds MaxBody")
+	ErrBadMsgType   = errors.New("wire: unknown session message type")
+	ErrShortBody    = errors.New("wire: truncated session body")
+)
+
+// Msg is one session envelope: a type, the request ID it belongs to
+// (server replies echo the request's ID; server-initiated messages use 0),
+// and the type-specific body.
+type Msg struct {
+	Type byte
+	ID   uint64
+	Body []byte
+}
+
+// AppendMsg appends the envelope encoding of m to dst.
+func AppendMsg(dst []byte, m Msg) []byte {
+	dst = append(dst, m.Type)
+	dst = binary.BigEndian.AppendUint64(dst, m.ID)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Body)))
+	return append(dst, m.Body...)
+}
+
+// ReadMsg reads one envelope from r. The body-length field is validated
+// against MaxBody before any allocation — a lying peer cannot make the
+// reader allocate from an unchecked length. io.EOF is returned unwrapped
+// when the stream ends cleanly between messages.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var hdr [msgHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Msg{}, err // io.EOF: clean close between messages
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Msg{}, err
+	}
+	m := Msg{Type: hdr[0], ID: binary.BigEndian.Uint64(hdr[1:9])}
+	if m.Type == 0 || m.Type >= msgTypeEnd {
+		return Msg{}, fmt.Errorf("%w: %d", ErrBadMsgType, m.Type)
+	}
+	n := binary.BigEndian.Uint32(hdr[9:13])
+	if n > MaxBody {
+		return Msg{}, fmt.Errorf("%w: %d", ErrBodyTooLarge, n)
+	}
+	if n > 0 {
+		m.Body = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Body); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Msg{}, err
+		}
+	}
+	return m, nil
+}
+
+// SessionVersion is the HELLO protocol version this package implements.
+const SessionVersion = 1
+
+// HelloBody is the session handshake: the client names the routing protocol
+// it wants decisions from; the server echoes it and reports the deployment
+// size it serves.
+type HelloBody struct {
+	Version  byte
+	Protocol string
+	// Nodes is filled by the server's echo: the deployment's node count.
+	Nodes uint32
+}
+
+// EncodeHello serializes a HELLO body.
+func EncodeHello(h HelloBody) []byte {
+	out := make([]byte, 0, 6+len(h.Protocol))
+	out = append(out, h.Version)
+	out = binary.BigEndian.AppendUint32(out, h.Nodes)
+	out = append(out, byte(len(h.Protocol)))
+	return append(out, h.Protocol...)
+}
+
+// DecodeHello parses a HELLO body.
+func DecodeHello(body []byte) (HelloBody, error) {
+	if len(body) < 6 {
+		return HelloBody{}, fmt.Errorf("%w: hello", ErrShortBody)
+	}
+	h := HelloBody{Version: body[0], Nodes: binary.BigEndian.Uint32(body[1:5])}
+	n := int(body[5])
+	if len(body) < 6+n {
+		return HelloBody{}, fmt.Errorf("%w: hello protocol name", ErrShortBody)
+	}
+	h.Protocol = string(body[6 : 6+n])
+	return h, nil
+}
+
+// Decision ops.
+const (
+	// OpStart asks for a source decision: the frame's NextHop locates the
+	// source node, hops must be 0.
+	OpStart = byte(iota)
+	// OpDecide asks for a relay decision: the frame's NextHop locates the
+	// deciding node.
+	OpDecide
+)
+
+// DecideBody is one decision request: the op plus the on-air frame to
+// decide on.
+type DecideBody struct {
+	Op    byte
+	Frame []byte // Encode()d Frame
+}
+
+// EncodeDecide serializes a DECIDE body.
+func EncodeDecide(d DecideBody) []byte {
+	out := make([]byte, 0, 1+len(d.Frame))
+	out = append(out, d.Op)
+	return append(out, d.Frame...)
+}
+
+// DecodeDecide parses a DECIDE body. The frame bytes are returned
+// unparsed — Frame decoding (with its own bounds checks) is the server
+// worker's job, inside its panic isolation.
+func DecodeDecide(body []byte) (DecideBody, error) {
+	if len(body) < 1 {
+		return DecideBody{}, fmt.Errorf("%w: decide", ErrShortBody)
+	}
+	if body[0] > OpDecide {
+		return DecideBody{}, fmt.Errorf("wire: unknown decide op %d", body[0])
+	}
+	return DecideBody{Op: body[0], Frame: body[1:]}, nil
+}
+
+// ForwardReply is one element of a FORWARDS answer: the next-hop node ID
+// (or a drop sentinel < 0, mirroring sim.DropCopy/DropWatchdog) and the
+// re-encoded frame for that hop.
+type ForwardReply struct {
+	To    int32
+	Frame []byte
+}
+
+// EncodeForwards serializes a FORWARDS body.
+func EncodeForwards(fwds []ForwardReply) []byte {
+	n := 2
+	for _, f := range fwds {
+		n += 4 + 4 + len(f.Frame)
+	}
+	out := make([]byte, 0, n)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(fwds)))
+	for _, f := range fwds {
+		out = binary.BigEndian.AppendUint32(out, uint32(f.To))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(f.Frame)))
+		out = append(out, f.Frame...)
+	}
+	return out
+}
+
+// DecodeForwards parses a FORWARDS body, bounds-checking every interior
+// frame length against the remaining input before slicing.
+func DecodeForwards(body []byte) ([]ForwardReply, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: forwards", ErrShortBody)
+	}
+	cnt := int(binary.BigEndian.Uint16(body))
+	off := 2
+	out := make([]ForwardReply, 0, min(cnt, 64))
+	for i := 0; i < cnt; i++ {
+		if len(body) < off+8 {
+			return nil, fmt.Errorf("%w: forward %d header", ErrShortBody, i)
+		}
+		to := int32(binary.BigEndian.Uint32(body[off:]))
+		fl := int(binary.BigEndian.Uint32(body[off+4:]))
+		off += 8
+		if fl > len(body)-off {
+			return nil, fmt.Errorf("%w: forward %d frame (%d bytes claimed, %d left)",
+				ErrShortBody, i, fl, len(body)-off)
+		}
+		out = append(out, ForwardReply{To: to, Frame: body[off : off+fl : off+fl]})
+		off += fl
+	}
+	return out, nil
+}
+
+// Error codes carried by MsgError.
+const (
+	// CodeBadRequest: the request could not be parsed or referenced
+	// locations outside the deployment.
+	CodeBadRequest = uint16(iota + 1)
+	// CodeBadProtocol: HELLO named an unknown or unservable protocol.
+	CodeBadProtocol
+	// CodePanic: the decision panicked; the session survives, the request
+	// is answered with this.
+	CodePanic
+	// CodeState: a message arrived in the wrong session state (DECIDE
+	// before HELLO, second HELLO, ...).
+	CodeState
+)
+
+// ErrorBody is a typed failure answer.
+type ErrorBody struct {
+	Code uint16
+	Msg  string
+}
+
+// EncodeError serializes an ERROR body. Messages are clamped to fit the
+// envelope comfortably.
+func EncodeError(e ErrorBody) []byte {
+	if len(e.Msg) > 512 {
+		e.Msg = e.Msg[:512]
+	}
+	out := make([]byte, 0, 4+len(e.Msg))
+	out = binary.BigEndian.AppendUint16(out, e.Code)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(e.Msg)))
+	return append(out, e.Msg...)
+}
+
+// DecodeError parses an ERROR body.
+func DecodeError(body []byte) (ErrorBody, error) {
+	if len(body) < 4 {
+		return ErrorBody{}, fmt.Errorf("%w: error", ErrShortBody)
+	}
+	e := ErrorBody{Code: binary.BigEndian.Uint16(body)}
+	n := int(binary.BigEndian.Uint16(body[2:]))
+	if len(body) < 4+n {
+		return ErrorBody{}, fmt.Errorf("%w: error message", ErrShortBody)
+	}
+	e.Msg = string(body[4 : 4+n])
+	return e, nil
+}
+
+// Shed reasons carried by MsgShed — the service-plane mirror of the sim's
+// drop-reason taxonomy: every refused request says why.
+const (
+	// ShedQueue: the admission queue was full.
+	ShedQueue = byte(iota + 1)
+	// ShedDeadline: the request's deadline expired while it waited in the
+	// admission queue.
+	ShedDeadline
+	// ShedDraining: the server is draining and no longer serves new work.
+	ShedDraining
+)
+
+// ShedName returns a human-readable shed-reason name.
+func ShedName(r byte) string {
+	switch r {
+	case ShedQueue:
+		return "queue-full"
+	case ShedDeadline:
+		return "deadline"
+	case ShedDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("reason%d", r)
+	}
+}
+
+// ShedBody is a load-shedding answer: why, and when to come back.
+type ShedBody struct {
+	Reason       byte
+	RetryAfterMs uint32
+}
+
+// EncodeShed serializes a SHED body.
+func EncodeShed(s ShedBody) []byte {
+	out := make([]byte, 0, 5)
+	out = append(out, s.Reason)
+	return binary.BigEndian.AppendUint32(out, s.RetryAfterMs)
+}
+
+// DecodeShed parses a SHED body.
+func DecodeShed(body []byte) (ShedBody, error) {
+	if len(body) < 5 {
+		return ShedBody{}, fmt.Errorf("%w: shed", ErrShortBody)
+	}
+	return ShedBody{Reason: body[0], RetryAfterMs: binary.BigEndian.Uint32(body[1:5])}, nil
+}
+
+// DrainBody is the server's drain broadcast: the budget it will spend
+// finishing in-flight work before closing.
+type DrainBody struct {
+	BudgetMs uint32
+}
+
+// EncodeDrain serializes a DRAIN body.
+func EncodeDrain(d DrainBody) []byte {
+	return binary.BigEndian.AppendUint32(nil, d.BudgetMs)
+}
+
+// DecodeDrain parses a DRAIN body.
+func DecodeDrain(body []byte) (DrainBody, error) {
+	if len(body) < 4 {
+		return DrainBody{}, fmt.Errorf("%w: drain", ErrShortBody)
+	}
+	return DrainBody{BudgetMs: binary.BigEndian.Uint32(body)}, nil
+}

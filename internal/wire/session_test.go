@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestMsgRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		{Type: MsgHello, ID: 0, Body: EncodeHello(HelloBody{Version: SessionVersion, Protocol: "GMP"})},
+		{Type: MsgDecide, ID: 7, Body: EncodeDecide(DecideBody{Op: OpStart, Frame: []byte{1, 2, 3}})},
+		{Type: MsgForwards, ID: 7, Body: EncodeForwards(nil)},
+		{Type: MsgError, ID: 9, Body: EncodeError(ErrorBody{Code: CodePanic, Msg: "boom"})},
+		{Type: MsgShed, ID: 11, Body: EncodeShed(ShedBody{Reason: ShedQueue, RetryAfterMs: 250})},
+		{Type: MsgDrain, ID: 0, Body: EncodeDrain(DrainBody{BudgetMs: 1500})},
+	}
+	var stream []byte
+	for _, m := range msgs {
+		stream = AppendMsg(stream, m)
+	}
+	r := bytes.NewReader(stream)
+	for i, want := range msgs {
+		got, err := ReadMsg(r)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.ID != want.ID || !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("msg %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := ReadMsg(r); err != io.EOF {
+		t.Fatalf("end of stream: %v", err)
+	}
+}
+
+// TestReadMsgBoundsLengthField verifies the reader rejects a lying body
+// length before allocating: a 4 GiB claim must fail with the typed error,
+// not attempt a 4 GiB make.
+func TestReadMsgBoundsLengthField(t *testing.T) {
+	hdr := []byte{MsgDecide}
+	hdr = binary.BigEndian.AppendUint64(hdr, 1)
+	hdr = binary.BigEndian.AppendUint32(hdr, 0xFFFFFFFF)
+	if _, err := ReadMsg(bytes.NewReader(hdr)); !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("err = %v, want ErrBodyTooLarge", err)
+	}
+	// One past the bound fails; the bound itself is served.
+	hdr = hdr[:9]
+	hdr = binary.BigEndian.AppendUint32(hdr, MaxBody+1)
+	if _, err := ReadMsg(bytes.NewReader(hdr)); !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("MaxBody+1: err = %v, want ErrBodyTooLarge", err)
+	}
+	hdr = hdr[:9]
+	hdr = binary.BigEndian.AppendUint32(hdr, MaxBody)
+	body := make([]byte, MaxBody)
+	m, err := ReadMsg(bytes.NewReader(append(hdr, body...)))
+	if err != nil {
+		t.Fatalf("MaxBody exactly: %v", err)
+	}
+	if len(m.Body) != MaxBody {
+		t.Fatalf("body length %d", len(m.Body))
+	}
+}
+
+func TestReadMsgErrors(t *testing.T) {
+	// Unknown type.
+	bad := AppendMsg(nil, Msg{Type: MsgDecide, ID: 1})
+	bad[0] = 0xEE
+	if _, err := ReadMsg(bytes.NewReader(bad)); !errors.Is(err, ErrBadMsgType) {
+		t.Errorf("bad type: %v", err)
+	}
+	bad[0] = 0
+	if _, err := ReadMsg(bytes.NewReader(bad)); !errors.Is(err, ErrBadMsgType) {
+		t.Errorf("zero type: %v", err)
+	}
+	// Mid-header truncation is an unexpected EOF, not a clean close.
+	good := AppendMsg(nil, Msg{Type: MsgShed, ID: 3, Body: EncodeShed(ShedBody{Reason: ShedQueue})})
+	for _, cut := range []int{1, 5, len(good) - 1} {
+		if _, err := ReadMsg(bytes.NewReader(good[:cut])); err != io.ErrUnexpectedEOF {
+			t.Errorf("cut at %d: %v", cut, err)
+		}
+	}
+	// Empty stream is a clean close.
+	if _, err := ReadMsg(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := HelloBody{Version: SessionVersion, Protocol: "MCFR", Nodes: 4096}
+	got, err := DecodeHello(EncodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("%+v != %+v", got, h)
+	}
+	if _, err := DecodeHello([]byte{1, 0, 0}); !errors.Is(err, ErrShortBody) {
+		t.Errorf("short hello: %v", err)
+	}
+	// Name length claiming more than the body carries.
+	bad := EncodeHello(HelloBody{Protocol: "GMP"})
+	bad[5] = 200
+	if _, err := DecodeHello(bad); !errors.Is(err, ErrShortBody) {
+		t.Errorf("lying name length: %v", err)
+	}
+}
+
+func TestDecideRoundTrip(t *testing.T) {
+	d := DecideBody{Op: OpDecide, Frame: []byte{9, 8, 7, 6}}
+	got, err := DecodeDecide(EncodeDecide(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != d.Op || !bytes.Equal(got.Frame, d.Frame) {
+		t.Fatalf("%+v != %+v", got, d)
+	}
+	if _, err := DecodeDecide(nil); !errors.Is(err, ErrShortBody) {
+		t.Errorf("empty decide: %v", err)
+	}
+	if _, err := DecodeDecide([]byte{99}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestForwardsRoundTrip(t *testing.T) {
+	fwds := []ForwardReply{
+		{To: 17, Frame: []byte{1, 2, 3}},
+		{To: -1, Frame: []byte{4}},
+		{To: -2, Frame: nil},
+	}
+	got, err := DecodeForwards(EncodeForwards(fwds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fwds) {
+		t.Fatalf("count %d != %d", len(got), len(fwds))
+	}
+	for i := range fwds {
+		if got[i].To != fwds[i].To || !bytes.Equal(got[i].Frame, fwds[i].Frame) {
+			t.Fatalf("fwd %d: %+v != %+v", i, got[i], fwds[i])
+		}
+	}
+	// Empty forward list (fully delivered) round-trips too.
+	if got, err := DecodeForwards(EncodeForwards(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty forwards: %v, %v", got, err)
+	}
+}
+
+// TestForwardsBounds verifies the interior length fields cannot over-read:
+// a count or frame length claiming more than the body carries fails typed.
+func TestForwardsBounds(t *testing.T) {
+	body := EncodeForwards([]ForwardReply{{To: 3, Frame: []byte{1, 2}}})
+	// Claim 500 forwards with one present.
+	bad := append([]byte(nil), body...)
+	binary.BigEndian.PutUint16(bad, 500)
+	if _, err := DecodeForwards(bad); !errors.Is(err, ErrShortBody) {
+		t.Errorf("lying count: %v", err)
+	}
+	// Claim a 4 GiB interior frame.
+	bad = append([]byte(nil), body...)
+	binary.BigEndian.PutUint32(bad[6:], 0xFFFFFF00)
+	if _, err := DecodeForwards(bad); !errors.Is(err, ErrShortBody) {
+		t.Errorf("lying frame length: %v", err)
+	}
+	if _, err := DecodeForwards(nil); !errors.Is(err, ErrShortBody) {
+		t.Errorf("empty body: %v", err)
+	}
+}
+
+func TestErrorShedDrainRoundTrip(t *testing.T) {
+	e := ErrorBody{Code: CodeBadRequest, Msg: "no such node"}
+	if got, err := DecodeError(EncodeError(e)); err != nil || got != e {
+		t.Fatalf("error: %+v, %v", got, err)
+	}
+	// Oversized messages are clamped, not rejected.
+	long := ErrorBody{Code: CodePanic, Msg: strings.Repeat("x", 2000)}
+	got, err := DecodeError(EncodeError(long))
+	if err != nil || len(got.Msg) != 512 {
+		t.Fatalf("clamp: %d, %v", len(got.Msg), err)
+	}
+	if _, err := DecodeError([]byte{0}); !errors.Is(err, ErrShortBody) {
+		t.Errorf("short error: %v", err)
+	}
+	bad := EncodeError(e)
+	binary.BigEndian.PutUint16(bad[2:], 600)
+	if _, err := DecodeError(bad); !errors.Is(err, ErrShortBody) {
+		t.Errorf("lying error message length: %v", err)
+	}
+
+	s := ShedBody{Reason: ShedDraining, RetryAfterMs: 777}
+	if got, err := DecodeShed(EncodeShed(s)); err != nil || got != s {
+		t.Fatalf("shed: %+v, %v", got, err)
+	}
+	if _, err := DecodeShed([]byte{1}); !errors.Is(err, ErrShortBody) {
+		t.Errorf("short shed: %v", err)
+	}
+
+	d := DrainBody{BudgetMs: 9000}
+	if got, err := DecodeDrain(EncodeDrain(d)); err != nil || got != d {
+		t.Fatalf("drain: %+v, %v", got, err)
+	}
+	if _, err := DecodeDrain(nil); !errors.Is(err, ErrShortBody) {
+		t.Errorf("short drain: %v", err)
+	}
+}
+
+func TestMsgNames(t *testing.T) {
+	for _, tc := range []struct {
+		t    byte
+		want string
+	}{
+		{MsgHello, "HELLO"}, {MsgDecide, "DECIDE"}, {MsgForwards, "FORWARDS"},
+		{MsgError, "ERROR"}, {MsgShed, "SHED"}, {MsgDrain, "DRAIN"}, {0xAA, "type170"},
+	} {
+		if got := MsgName(tc.t); got != tc.want {
+			t.Errorf("MsgName(%d) = %q", tc.t, got)
+		}
+	}
+	if ShedName(ShedQueue) != "queue-full" || ShedName(ShedDeadline) != "deadline" ||
+		ShedName(ShedDraining) != "draining" || ShedName(0x77) != "reason119" {
+		t.Error("shed names")
+	}
+}
+
+// FuzzReadMsg ensures the envelope reader never panics or over-allocates on
+// arbitrary streams, and accepts exactly what AppendMsg produces.
+func FuzzReadMsg(f *testing.F) {
+	f.Add(AppendMsg(nil, Msg{Type: MsgHello, ID: 1, Body: EncodeHello(HelloBody{Protocol: "GMP"})}))
+	f.Add(AppendMsg(nil, Msg{Type: MsgDecide, ID: 2, Body: []byte{0, 1, 2}}))
+	f.Add([]byte{})
+	f.Add([]byte{MsgDrain, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMsg(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		re := AppendMsg(nil, m)
+		back, err := ReadMsg(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if back.Type != m.Type || back.ID != m.ID || !bytes.Equal(back.Body, m.Body) {
+			t.Fatal("envelope round-trip mismatch")
+		}
+	})
+}

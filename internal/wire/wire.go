@@ -29,6 +29,12 @@ const (
 
 	// FlagPerimeter marks the paper's PERIMODE.
 	FlagPerimeter = 1 << 0
+	// FlagAnchor marks a frame carrying an anchor location: the point an
+	// LGT-family copy (LGS/LGK/MCFR) is steered toward between
+	// re-partitionings. The anchor is always one of the frame's destination
+	// locations, carried explicitly so a stateless decision service can
+	// reconstruct the in-flight routing state from the header alone.
+	FlagAnchor = 1 << 1
 
 	pointSize  = 8                                                                                                                             // two float32 coordinates
 	fixedSize  = 1 /*magic*/ + 1 /*version*/ + 1 /*flags*/ + 1 /*hops*/ + pointSize /*source*/ + pointSize /*next hop*/ + 1 /*dest count*/ + 2 /*payload len*/
@@ -54,6 +60,9 @@ type Frame struct {
 	PeriTarget    geom.Point
 	PeriEntry     geom.Point
 	PeriFaceEntry geom.Point
+	// Anchor is the LGT-family steering location; meaningful only when
+	// FlagAnchor is set. It always equals one of Dests.
+	Anchor geom.Point
 	// Payload is the application data.
 	Payload []byte
 }
@@ -61,11 +70,17 @@ type Frame struct {
 // Perimeter reports whether the PERIMODE flag is set.
 func (f *Frame) Perimeter() bool { return f.Flags&FlagPerimeter != 0 }
 
+// HasAnchor reports whether the anchor-location flag is set.
+func (f *Frame) HasAnchor() bool { return f.Flags&FlagAnchor != 0 }
+
 // EncodedSize returns the exact on-air size of the frame in bytes.
 func (f *Frame) EncodedSize() int {
 	n := fixedSize + len(f.Dests)*pointSize + len(f.Payload)
 	if f.Perimeter() {
 		n += periSize
+	}
+	if f.HasAnchor() {
+		n += pointSize
 	}
 	return n
 }
@@ -74,6 +89,9 @@ func (f *Frame) EncodedSize() int {
 // ndests destination locations (and the perimeter state when perimeter is
 // set), excluding the application payload. The simulator's dynamic-frame
 // mode adds this to the payload size when computing airtime and energy.
+// The optional anchor extension (FlagAnchor) is not counted: it exists for
+// the decision service, and the sim's accounting predates it (frozen for
+// byte-identity).
 func HeaderSize(ndests int, perimeter bool) int {
 	n := fixedSize + ndests*pointSize
 	if perimeter {
@@ -101,13 +119,21 @@ func Capacity(budget, payloadLen int, perimeter bool) int {
 	return c
 }
 
-// Encoding and decoding errors.
+// Encoding and decoding errors. The truncation errors are typed per header
+// field so a server can report exactly which attacker-controlled length lied;
+// both match errors.Is(err, ErrShortFrame).
 var (
 	ErrTooManyDests = errors.New("wire: too many destinations")
 	ErrBudget       = errors.New("wire: frame exceeds message budget")
 	ErrShortFrame   = errors.New("wire: truncated frame")
 	ErrBadMagic     = errors.New("wire: bad magic")
 	ErrBadVersion   = errors.New("wire: unsupported version")
+	// ErrTruncatedDests: the destination count (plus any perimeter/anchor
+	// state the flags promise) claims more bytes than the frame carries.
+	ErrTruncatedDests = fmt.Errorf("%w: destination list", ErrShortFrame)
+	// ErrTruncatedPayload: the payload length field claims more bytes than
+	// the frame carries.
+	ErrTruncatedPayload = fmt.Errorf("%w: payload", ErrShortFrame)
 )
 
 // Encode serializes the frame. budget, when positive, enforces a maximum
@@ -134,6 +160,9 @@ func Encode(f *Frame, budget int) ([]byte, error) {
 		out = appendPoint(out, f.PeriEntry)
 		out = appendPoint(out, f.PeriFaceEntry)
 	}
+	if f.HasAnchor() {
+		out = appendPoint(out, f.Anchor)
+	}
 	out = append(out, f.Payload...)
 	return out, nil
 }
@@ -158,12 +187,22 @@ func Decode(data []byte) (*Frame, error) {
 	payloadLen := int(binary.BigEndian.Uint16(data[off : off+2]))
 	off += 2
 
+	// Both length fields are attacker-controlled; every bound is checked
+	// against the actual input before any allocation is sized from them.
 	need := destCnt * pointSize
 	if f.Flags&FlagPerimeter != 0 {
 		need += periSize
 	}
+	if f.Flags&FlagAnchor != 0 {
+		need += pointSize
+	}
+	if len(data) < off+need {
+		return nil, fmt.Errorf("%w: %d dests (flags %#x) need %d bytes, have %d",
+			ErrTruncatedDests, destCnt, f.Flags, need, len(data)-off)
+	}
 	if len(data) < off+need+payloadLen {
-		return nil, ErrShortFrame
+		return nil, fmt.Errorf("%w: %d bytes claimed, %d available",
+			ErrTruncatedPayload, payloadLen, len(data)-off-need)
 	}
 	f.Dests = make([]geom.Point, destCnt)
 	for i := range f.Dests {
@@ -173,6 +212,9 @@ func Decode(data []byte) (*Frame, error) {
 		f.PeriTarget, off = readPoint(data, off)
 		f.PeriEntry, off = readPoint(data, off)
 		f.PeriFaceEntry, off = readPoint(data, off)
+	}
+	if f.HasAnchor() {
+		f.Anchor, off = readPoint(data, off)
 	}
 	f.Payload = append([]byte(nil), data[off:off+payloadLen]...)
 	return f, nil

@@ -31,6 +31,18 @@ func sampleFrame(perimeter bool, ndests, payload int) *Frame {
 	return f
 }
 
+// withAnchor sets the anchor extension on f, pointing at its first
+// destination when it has one.
+func withAnchor(f *Frame) *Frame {
+	f.Flags |= FlagAnchor
+	if len(f.Dests) > 0 {
+		f.Anchor = f.Dests[0]
+	} else {
+		f.Anchor = geom.Pt(42.5, 17.25)
+	}
+	return f
+}
+
 func framesEqual(t *testing.T, a, b *Frame) {
 	t.Helper()
 	if a.Flags != b.Flags || a.Hops != b.Hops {
@@ -55,6 +67,9 @@ func framesEqual(t *testing.T, a, b *Frame) {
 		pts(a.PeriTarget, b.PeriTarget)
 		pts(a.PeriEntry, b.PeriEntry)
 		pts(a.PeriFaceEntry, b.PeriFaceEntry)
+	}
+	if a.HasAnchor() {
+		pts(a.Anchor, b.Anchor)
 	}
 	if len(a.Payload) != len(b.Payload) {
 		t.Fatalf("payload length %d vs %d", len(a.Payload), len(b.Payload))
@@ -198,6 +213,81 @@ func TestDecodeErrors(t *testing.T) {
 	}
 	if _, err := Decode(data[:len(data)-3]); !errors.Is(err, ErrShortFrame) {
 		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestRoundTripAnchor(t *testing.T) {
+	for _, perimeter := range []bool{false, true} {
+		f := withAnchor(sampleFrame(perimeter, 4, 8))
+		data, err := Encode(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != f.EncodedSize() {
+			t.Fatalf("size %d != EncodedSize %d", len(data), f.EncodedSize())
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.HasAnchor() {
+			t.Fatal("anchor flag lost")
+		}
+		framesEqual(t, f, got)
+	}
+}
+
+// TestDecodeBoundsOversizedDestCount crafts frames whose destination-count
+// byte (and flag bits) claim more header state than the frame carries. The
+// decoder must reject them with the typed truncation error before sizing any
+// allocation from the lying field.
+func TestDecodeBoundsOversizedDestCount(t *testing.T) {
+	base := sampleFrame(false, 2, 0)
+	data, err := Encode(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	destCntOff := 4 + 2*8 // magic, version, flags, hops, source, next hop
+	for _, claim := range []byte{3, 40, 255} {
+		bad := append([]byte(nil), data...)
+		bad[destCntOff] = claim
+		if _, err := Decode(bad); !errors.Is(err, ErrTruncatedDests) {
+			t.Errorf("claim %d dests: err = %v, want ErrTruncatedDests", claim, err)
+		}
+	}
+	// Flag bits promising perimeter/anchor state that is not there must
+	// trip the same bound.
+	for _, flags := range []byte{FlagPerimeter, FlagAnchor, FlagPerimeter | FlagAnchor} {
+		bad := append([]byte(nil), data...)
+		bad[2] |= flags
+		if _, err := Decode(bad); !errors.Is(err, ErrTruncatedDests) {
+			t.Errorf("flags %#x: err = %v, want ErrTruncatedDests", flags, err)
+		}
+	}
+}
+
+// TestDecodeBoundsTruncatedPayload crafts frames whose payload-length field
+// claims more bytes than remain after the (valid) header.
+func TestDecodeBoundsTruncatedPayload(t *testing.T) {
+	base := sampleFrame(true, 3, 8)
+	data, err := Encode(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadLenOff := 4 + 2*8 + 1 // ... dest count
+	for _, claim := range []uint16{9, 1024, 65535} {
+		bad := append([]byte(nil), data...)
+		bad[payloadLenOff] = byte(claim >> 8)
+		bad[payloadLenOff+1] = byte(claim)
+		if _, err := Decode(bad); !errors.Is(err, ErrTruncatedPayload) {
+			t.Errorf("claim %d payload bytes: err = %v, want ErrTruncatedPayload", claim, err)
+		}
+	}
+	// Both typed errors remain matchable as generic truncation.
+	bad := append([]byte(nil), data...)
+	bad[payloadLenOff+1] = 0xFF
+	if _, err := Decode(bad); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("typed payload truncation must still match ErrShortFrame: %v", err)
 	}
 }
 
