@@ -10,8 +10,8 @@
 //     make it flaky.
 //   - Speedup gates (the baseline's "speedups" list): the ratio of two
 //     benchmarks' custom throughput metrics (hops/s from the sim kernel,
-//     decisions/s from the serve daemon — both land in the same
-//     hops_per_sec baseline slot) must reach min_ratio. A throughput
+//     decisions/s and routes/s from the serve daemon — all land in the
+//     same hops_per_sec baseline slot) must reach min_ratio. A throughput
 //     *ratio* measured in one process is robust to machine speed, so it can
 //     be gated where absolute ns/op cannot. The gate arms only when the
 //     benchmarks ran on more than one CPU (a GOMAXPROCS suffix ≥ 2, e.g.
@@ -70,7 +70,7 @@ type speedupGate struct {
 // its value is kept as the run's CPU count (no suffix = GOMAXPROCS 1).
 var benchRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(.*)$`)
 
-var metricRe = regexp.MustCompile(`(\S+) (B/op|allocs/op|hops/s|decisions/s)`)
+var metricRe = regexp.MustCompile(`(\S+) (B/op|allocs/op|hops/s|decisions/s|routes/s)`)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -216,9 +216,9 @@ func parseBench(r io.Reader) (map[string][]benchLine, error) {
 				line.BytesPerOp = v
 			case "allocs/op":
 				line.AllocsPerOp = v
-			case "hops/s", "decisions/s":
-				// Both are "useful work per second" metrics; they share the
-				// baseline's hops_per_sec slot (no benchmark reports both).
+			case "hops/s", "decisions/s", "routes/s":
+				// All are "useful work per second" metrics; they share the
+				// baseline's hops_per_sec slot (no benchmark reports two).
 				line.HopsPerSec = v
 			}
 		}

@@ -19,8 +19,16 @@
 //	gmpd -nodes 2000 -width 2000 -height 2000 # a bigger deployment
 //	gmpd -workers 8 -queue 1024               # a beefier service envelope
 //
-// Drive it with gmpload, or any client speaking internal/wire's session
-// protocol (HELLO, then DECIDEs; answers are FORWARDS, ERROR, or SHED).
+// Beyond single decisions, a session can stream a whole multicast walk:
+// one ROUTE request drives the server-side continuation (HOP per
+// transmission, ROUTE_DONE summary), and a shared memo cache (-cache)
+// recalls repeated decisions byte-identically. Profiling mirrors gmpsim:
+// -cpuprofile/-memprofile write pprof artifacts, -pprof serves live
+// net/http/pprof.
+//
+// Drive it with gmpload (-route for streamed walks), or any client
+// speaking internal/wire's session protocol (HELLO, then DECIDEs/ROUTEs;
+// answers are FORWARDS, HOP+ROUTE_DONE, ERROR, or SHED).
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"gmp/internal/planar"
+	"gmp/internal/profiling"
 	"gmp/internal/serve"
 )
 
@@ -70,11 +79,26 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, ready func(addr st
 		retryAft = fs.Duration("retry-after", 0, "retry hint carried in SHED answers (0 = 50ms)")
 		lambda   = fs.Float64("lambda", 0.5, "PBM λ for FlagLambda protocols")
 		k        = fs.Int("k", 0, "LGK group-size bound (0 = protocol default)")
+
+		cacheSize = fs.Int("cache", 0, "decision memo cache entries (0 = default 4096, negative disables)")
+		routeBud  = fs.Int("route-budget", 0, "default per-copy hop budget for ROUTE walks (0 = 256)")
+
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofSrv = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live inspection")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := profiling.Start(profiling.Config{
+		CPUProfile: *cpuProf, MemProfile: *memProf, PprofAddr: *pprofSrv,
+		Name: "gmpd"})
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	dc := serve.DefaultDeploy()
 	dc.Seed = *dseed
@@ -112,6 +136,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, ready func(addr st
 		RequestTimeout: *reqTO, IdleTimeout: *idleTO, WriteTimeout: *writeTO,
 		SendBuffer: *sendBuf, DrainBudget: *drainBud, RetryAfter: *retryAft,
 		Lambda: *lambda, K: *k,
+		CacheSize: *cacheSize, RouteBudget: *routeBud,
 	})
 
 	fmt.Fprintf(out, "gmpd: serving %d nodes (%.0fx%.0f m, range %.0f, %s) on %s\n",
@@ -148,9 +173,13 @@ func printDrain(out io.Writer, rep serve.DrainReport) {
 		state = fmt.Sprintf("budget hit, %d flushed", rep.Flushed)
 	}
 	fmt.Fprintf(out, "gmpd: drained in %v (%s)\n", rep.Elapsed.Round(time.Millisecond), state)
-	fmt.Fprintf(out, "gmpd: sessions %d  admitted %d  forwards %d  errors %d  shed %d (queue %d, deadline %d, draining %d)  evicted %d\n",
-		st.Sessions, st.Admitted, st.AnsweredForwards, st.AnsweredErrors,
-		st.Shed(), st.ShedQueue, st.ShedDeadline, st.ShedDraining, st.Evicted)
+	fmt.Fprintf(out, "gmpd: sessions %d  admitted %d  forwards %d  routes %d (%d hops)  errors %d  shed %d (queue %d, deadline %d, draining %d)  evicted %d\n",
+		st.Sessions, st.Admitted, st.AnsweredForwards, st.AnsweredRoutes, st.RouteHops,
+		st.AnsweredErrors, st.Shed(), st.ShedQueue, st.ShedDeadline, st.ShedDraining, st.Evicted)
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Fprintf(out, "gmpd: cache hits %d  misses %d  evictions %d\n",
+			st.CacheHits, st.CacheMisses, st.CacheEvictions)
+	}
 	if err := st.CheckConservation(); err != nil {
 		fmt.Fprintf(out, "gmpd: CONSERVATION VIOLATION: %v\n", err)
 	}

@@ -45,6 +45,53 @@ func TestLoadAgainstDaemon(t *testing.T) {
 	}
 }
 
+// TestRouteAgainstDaemon drives both whole-route modes against one daemon
+// and checks the route ledger renders: completed routes, hops, per-route
+// latency. The same seed walks the same routes, so perhop must report the
+// same transmissions the stream summaries did.
+func TestRouteAgainstDaemon(t *testing.T) {
+	dep, err := serve.NewDeployment(serve.DeployConfig{
+		Nodes: 150, Width: 500, Height: 500, RadioRange: 100,
+		Planarizer: planar.Gabriel, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(dep, serve.Config{})
+	go srv.Serve(ln)
+	defer srv.Drain()
+
+	for _, mode := range []string{"stream", "perhop"} {
+		var out strings.Builder
+		err = run([]string{
+			"-addr", ln.Addr().String(),
+			"-route", mode,
+			"-conns", "2", "-n", "3", "-k", "4",
+			"-width", "500", "-height", "500",
+			"-timeout", "10s",
+		}, &out)
+		if err != nil {
+			t.Fatalf("run -route %s: %v\n%s", mode, err, out.String())
+		}
+		got := out.String()
+		for _, want := range []string{"6 routes", "transport-errors 0", "route latency p50"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("-route %s output missing %q:\n%s", mode, want, got)
+			}
+		}
+	}
+}
+
+func TestBadRouteMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-route", "sideways"}, &out); err == nil {
+		t.Fatal("want error for unknown -route mode")
+	}
+}
+
 func TestNoDaemon(t *testing.T) {
 	// A port nothing listens on: every dial fails, and that must be an error,
 	// not a silent zero-row report.

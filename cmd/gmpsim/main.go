@@ -14,6 +14,7 @@
 //	gmpsim -experiment scale -shards 4      # E-X10: 10⁴ → 10⁶ nodes, sharded kernel
 //	gmpsim -experiment delivery             # E-X12: delivery guarantee on adversarial topologies
 //	gmpsim -experiment serve                # E-X13: gmpd under overload and transport chaos
+//	gmpsim -experiment stream               # E-X14: streamed routes vs per-hop, memo cache on/off
 //	gmpsim -experiment all                  # everything
 //
 // The -quick flag runs a scaled-down campaign (seconds instead of minutes);
@@ -41,19 +42,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
-	"runtime/trace"
 	"strconv"
 	"strings"
 	"syscall"
 
 	"gmp/internal/experiment"
+	"gmp/internal/profiling"
 	"gmp/internal/sim"
 	"gmp/internal/stats"
 )
@@ -68,7 +65,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|churn|scale|delivery|serve|all")
+		exp      = fs.String("experiment", "all", "setup|totalhops|perdest|energy|failures|loss|lambda|compare|robustness|localization|staleness|lifetime|load|beaconing|clustering|chaos|churn|scale|delivery|serve|stream|all")
 		quick    = fs.Bool("quick", false, "scaled-down campaign for smoke runs")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut  = fs.Bool("json", false, "emit JSON instead of aligned tables")
@@ -100,7 +97,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	stopProf, err := startProfiling(*cpuProf, *memProf, *traceOut, *pprofSrv)
+	stopProf, err := profiling.Start(profiling.Config{
+		CPUProfile: *cpuProf, MemProfile: *memProf,
+		Trace: *traceOut, PprofAddr: *pprofSrv, Name: "gmpsim"})
 	if err != nil {
 		return err
 	}
@@ -447,6 +446,24 @@ func run(args []string, out io.Writer) error {
 		if v := rep.Violations(); len(v) > 0 {
 			return fmt.Errorf("serve: %d invariant violations", len(v))
 		}
+	case "stream":
+		tc := experiment.DefaultStreamConfig()
+		if *quick {
+			tc = experiment.QuickStreamConfig()
+		}
+		if *seed != 0 {
+			tc.Seed = *seed
+		}
+		tc.Progress = cfg.Progress
+		tc.Ctx = ctx
+		rep, err := experiment.RunStream(tc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep.Render())
+		if v := rep.Violations(); len(v) > 0 {
+			return fmt.Errorf("stream: %d invariant violations", len(v))
+		}
 	case "compare":
 		parts := strings.Split(*pair, ",")
 		if len(parts) != 2 {
@@ -494,71 +511,6 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	return nil
-}
-
-// startProfiling wires up the requested profiling outputs and returns a stop
-// function that flushes them. CPU profiling and tracing start immediately;
-// the heap profile is captured by the stop function after a final GC, so it
-// reflects live memory at the end of the run. The pprof HTTP listener (if
-// any) runs for the life of the process; ListenAndServe errors surface on
-// stderr rather than aborting the campaign.
-func startProfiling(cpuProf, memProf, traceOut, pprofAddr string) (stop func(), err error) {
-	var stops []func()
-	stop = func() {
-		for i := len(stops) - 1; i >= 0; i-- {
-			stops[i]()
-		}
-	}
-	if pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "gmpsim: -pprof:", err)
-			}
-		}()
-	}
-	if cpuProf != "" {
-		f, err := os.Create(cpuProf)
-		if err != nil {
-			return stop, fmt.Errorf("-cpuprofile: %w", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return stop, fmt.Errorf("-cpuprofile: %w", err)
-		}
-		stops = append(stops, func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		})
-	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return stop, fmt.Errorf("-trace: %w", err)
-		}
-		if err := trace.Start(f); err != nil {
-			f.Close()
-			return stop, fmt.Errorf("-trace: %w", err)
-		}
-		stops = append(stops, func() {
-			trace.Stop()
-			f.Close()
-		})
-	}
-	if memProf != "" {
-		stops = append(stops, func() {
-			f, err := os.Create(memProf)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "gmpsim: -memprofile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "gmpsim: -memprofile:", err)
-			}
-		})
-	}
-	return stop, nil
 }
 
 // inheritRun copies the run-level knobs — seed, worker cap and progress

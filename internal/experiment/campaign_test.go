@@ -121,6 +121,8 @@ func TestSeedStreams(t *testing.T) {
 		{"faultPlan", s.faultPlan(2), 100 + 2*7919 + 271829},
 		{"density", s.density(4), 100 + 4*1_000_003},
 		{"lossFault", s.lossFault(1, 2), 100 + 1*7919 + 2*999983 + 1},
+		{"streamLoad", s.streamLoad(), 100 + 4256233},
+		{"streamReplay", s.streamReplay(2), 100 + 4256233 + 3*1398269},
 	}
 	for _, c := range cases {
 		if c.got != c.want {

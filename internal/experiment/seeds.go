@@ -67,6 +67,10 @@ const (
 	serveOffset = 3001039
 	// serveStride separates the service campaign's per-arm streams.
 	serveStride = 2097593
+	// streamOffset marks the E-X14 streaming-route campaign's stream family.
+	streamOffset = 4256233
+	// streamStride separates the streaming campaign's replay-route picks.
+	streamStride = 1398269
 )
 
 // seeds derives every RNG stream of one campaign from its base seed.
@@ -210,3 +214,13 @@ func (s seeds) serveLoad(ai int) int64 { return s.serveSeed(ai) }
 
 // serveProbe is arm ai's clean-probe workload seed.
 func (s seeds) serveProbe(ai int) int64 { return s.serveSeed(ai) + 1 }
+
+// streamLoad is the E-X14 campaign's shared workload seed. Every arm uses
+// the same seed on purpose: identical PRNG streams walk identical routes,
+// which is what makes the cross-arm identity oracles meaningful.
+func (s seeds) streamLoad() int64 { return s.base + streamOffset }
+
+// streamReplay is the root of replay-audit route ri's pick stream.
+func (s seeds) streamReplay(ri int) int64 {
+	return s.base + streamOffset + int64(ri+1)*streamStride
+}

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunStreamQuick runs the CI-sized E-X14 campaign end to end: all four
+// arms must complete every route with zero oracle violations — conservation
+// on each daemon, cache on/off walks identical, per-hop transmissions equal
+// streamed summaries, and the wire replays matching the engine exactly.
+func TestRunStreamQuick(t *testing.T) {
+	cfg := QuickStreamConfig()
+	rep, err := RunStream(cfg)
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("oracle violations:\n%s", strings.Join(v, "\n"))
+	}
+	if len(rep.Arms) != len(StreamArms()) {
+		t.Fatalf("got %d arms, want %d", len(rep.Arms), len(StreamArms()))
+	}
+	for _, a := range rep.Arms {
+		if a.Load.Routes == 0 || a.Load.RouteHops == 0 {
+			t.Errorf("arm %s: no routes walked", a.Name)
+		}
+	}
+	if rep.ReplayRoutes != cfg.ReplayRoutes {
+		t.Errorf("replayed %d routes, want %d", rep.ReplayRoutes, cfg.ReplayRoutes)
+	}
+	if rep.ReplayCacheHits == 0 {
+		t.Error("memoized replay passes never hit the cache")
+	}
+	out := rep.Render()
+	for _, want := range []string{"E-X14", "stream", "perhop-nocache", "speedup", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*StreamConfig)
+	}{
+		{"centralized protocol", func(c *StreamConfig) { c.Protocol = "SMT" }},
+		{"redundant protocol", func(c *StreamConfig) { c.Protocol = "MCFR" }},
+		{"zero conns", func(c *StreamConfig) { c.Conns = 0 }},
+		{"zero routes", func(c *StreamConfig) { c.Routes = 0 }},
+		{"zero k", func(c *StreamConfig) { c.K = 0 }},
+		{"no replay routes", func(c *StreamConfig) { c.ReplayRoutes = 0 }},
+		{"no hop budget", func(c *StreamConfig) { c.HopBudget = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultStreamConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate passed, want error", tc.name)
+		}
+	}
+	if err := DefaultStreamConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := QuickStreamConfig().Validate(); err != nil {
+		t.Errorf("quick config invalid: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package profiling is the one profiling bootstrap shared by the repo's
+// long-running commands (gmpsim campaigns, the gmpd daemon): CPU profile,
+// exit-time heap profile, runtime execution trace, and a live
+// net/http/pprof endpoint, all switched on by the same flag spellings.
+//
+// Usage:
+//
+//	stop, err := profiling.Start(profiling.Config{CPUProfile: *cpuProf, ...})
+//	if err != nil { return err }
+//	defer stop()
+//
+// Start returns a stop function in every case (possibly a no-op), so the
+// caller can defer it unconditionally; on error the partial setup has
+// already been unwound.
+package profiling
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+
+	// Registers the /debug/pprof handlers on the default mux the PprofAddr
+	// server uses.
+	_ "net/http/pprof"
+)
+
+// Config selects which profiling artifacts to produce. Zero values disable
+// each one.
+type Config struct {
+	// CPUProfile is a file path for a whole-run CPU profile.
+	CPUProfile string
+	// MemProfile is a file path for a heap profile written at stop time
+	// (after a forced GC, so it shows live objects, not garbage).
+	MemProfile string
+	// Trace is a file path for a runtime execution trace.
+	Trace string
+	// PprofAddr, when non-empty, serves net/http/pprof on this address
+	// (e.g. "localhost:6060") for live inspection. The server runs until
+	// process exit; a bind failure is reported on stderr, not fatal — a
+	// busy port should not kill a campaign or daemon.
+	PprofAddr string
+	// Name prefixes stderr diagnostics (defaults to "profiling").
+	Name string
+}
+
+// Start switches on the configured profiling. The returned stop function
+// flushes and closes everything in reverse order; it is never nil.
+func Start(cfg Config) (stop func(), err error) {
+	if cfg.Name == "" {
+		cfg.Name = "profiling"
+	}
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if cfg.PprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(cfg.PprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -pprof: %v\n", cfg.Name, err)
+			}
+		}()
+	}
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return stop, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if cfg.Trace != "" {
+		f, err := os.Create(cfg.Trace)
+		if err != nil {
+			return stop, fmt.Errorf("-trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("-trace: %w", err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if cfg.MemProfile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(cfg.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", cfg.Name, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", cfg.Name, err)
+			}
+		})
+	}
+	return stop, nil
+}

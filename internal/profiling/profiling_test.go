@@ -1,0 +1,58 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesArtifacts switches everything file-backed on, does a bit
+// of work, stops, and checks both artifacts exist and are non-empty.
+func TestStartWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(Config{CPUProfile: cpu, MemProfile: mem, Name: "test"})
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	sink := 0
+	for i := 0; i < 1000; i++ {
+		sink += i * i
+	}
+	_ = sink
+	stop()
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+}
+
+// TestStartUnwindsOnError points the trace at an unwritable path; Start
+// must fail but still return a usable stop that unwinds the CPU profile it
+// had already begun.
+func TestStartUnwindsOnError(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(Config{
+		CPUProfile: filepath.Join(dir, "cpu.prof"),
+		Trace:      filepath.Join(dir, "missing", "trace.out"),
+	})
+	if err == nil {
+		t.Fatal("want error for unwritable trace path")
+	}
+	stop() // must not panic, and must stop the started CPU profile
+
+	// A second Start must succeed: the failed one cannot leave the
+	// process-global CPU profiler running.
+	stop2, err := Start(Config{CPUProfile: filepath.Join(dir, "cpu2.prof")})
+	if err != nil {
+		t.Fatalf("second Start after unwind: %v", err)
+	}
+	stop2()
+}

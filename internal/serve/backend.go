@@ -19,8 +19,10 @@
 package serve
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -79,24 +81,173 @@ var (
 )
 
 // decider is one worker's private decision backend: its own view provider
-// (NodeView scratch is not safe for concurrent use) and its own protocol
-// instances. The deployment itself is shared and read-only.
+// (NodeView scratch is not safe for concurrent use), its own protocol
+// instances, and its own request scratch. The deployment and the memo
+// cache are shared and safe for concurrent use.
+//
+// The scratch fields are reused across this worker's sequential requests.
+// That is safe under the same contract the whole stateless service stands
+// on: decisions are pure, so nothing retains request state past the call,
+// and every reply is fully serialized before the next request touches the
+// scratch. It is what takes the per-request allocation count down from the
+// build-everything-per-frame PR 9 path.
 type decider struct {
 	dep    *Deployment
 	views  view.Provider
 	protos map[string]routing.Protocol
 	lambda float64
 	k      int
+
+	// cache, when non-nil, memoizes normalized decisions across all
+	// workers (see cache.go).
+	cache *decisionCache
+	// routeBudget / routeMaxSteps are the walk limits applied to ROUTE
+	// requests (see walk.go); stamped from the server config.
+	routeBudget   int
+	routeMaxSteps int
+
+	frame    wire.Frame          // request frame decode target
+	reqPkt   sim.Packet          // reconstructed request packet
+	ids      []int               // reqPkt.Dests backing
+	locs     []geom.Point        // reqPkt.Locs backing
+	seen     map[int]bool        // co-location merge set
+	recs     []fwdRec            // normalized decision (aliases decision output)
+	replies  []wire.ForwardReply // DECIDE answer buffer
+	arena    []byte              // encoded outgoing frames
+	outFrame wire.Frame          // per-forward encode scratch
+	keyBuf   []byte              // cache key build buffer
 }
 
 func newDecider(dep *Deployment, lambda float64, k int) *decider {
-	return &decider{
-		dep:    dep,
-		views:  view.NewOracle(dep.NW, dep.PG),
-		protos: make(map[string]routing.Protocol),
-		lambda: lambda,
-		k:      k,
+	// Scratch is pre-sized for a generously large request (hundreds of
+	// destinations) so the first requests a worker serves pay no growth
+	// allocations: the steady state the alloc gate measures starts at
+	// request one instead of after several doublings.
+	const sizeHint = 256
+	d := &decider{
+		dep:     dep,
+		views:   view.NewOracle(dep.NW, dep.PG),
+		protos:  make(map[string]routing.Protocol),
+		lambda:  lambda,
+		k:       k,
+		ids:     make([]int, 0, sizeHint),
+		locs:    make([]geom.Point, 0, sizeHint),
+		seen:    make(map[int]bool, sizeHint),
+		recs:    make([]fwdRec, 0, 64),
+		replies: make([]wire.ForwardReply, 0, 64),
+		arena:   make([]byte, 0, 64<<10),
+		keyBuf:  make([]byte, 0, 8<<10),
 	}
+	d.frame.Dests = make([]geom.Point, 0, sizeHint)
+	d.outFrame.Dests = make([]geom.Point, 0, sizeHint)
+	return d
+}
+
+// fwdRec is one forward of a normalized decision: exactly the
+// request-independent fields that reply encoding and walk continuation
+// read. Everything else in an outgoing frame — source, payload, hop
+// count — comes from the request, so one record serves every request that
+// hits the same decision. Records held by the cache own their slices;
+// records returned on a cache miss alias the decision's output packets and
+// the decider's scratch, valid only until the decider's next decision.
+type fwdRec struct {
+	To        int
+	Dests     []int
+	Locs      []geom.Point
+	Perimeter bool
+	Peri      planar.State
+	Anchor    int
+}
+
+// run computes — or recalls from the memo cache — the normalized decision
+// for op at node on pkt. It reports whether the result came from the
+// cache. The returned records are read-only for the caller.
+func (d *decider) run(p routing.Protocol, protoName string, op byte, node int, pkt *sim.Packet) ([]fwdRec, bool) {
+	var key []byte
+	if d.cache != nil {
+		key = d.appendCacheKey(d.keyBuf[:0], protoName, op, node, pkt)
+		d.keyBuf = key
+		if recs := d.cache.get(key); recs != nil {
+			return recs, true
+		}
+	}
+	var fwds []sim.Forward
+	if op == wire.OpStart {
+		fwds = p.Start(d.views.At(node), pkt)
+	} else {
+		fwds = p.Decide(d.views.At(node), pkt)
+	}
+	recs := d.recs[:0]
+	for _, f := range fwds {
+		fp := f.Pkt
+		r := fwdRec{To: f.To, Dests: fp.Dests, Locs: fp.Locs,
+			Perimeter: fp.Perimeter, Anchor: fp.Anchor}
+		if fp.Perimeter {
+			r.Peri = fp.Peri
+		}
+		recs = append(recs, r)
+	}
+	d.recs = recs
+	if d.cache != nil {
+		d.cache.put(key, deepCopyRecs(recs))
+	}
+	return recs, false
+}
+
+// deepCopyRecs clones records for cache ownership: no slice may alias a
+// decision output or decider scratch. The result is non-nil even when
+// empty, so a memoized stranded decision is distinguishable from a miss.
+func deepCopyRecs(recs []fwdRec) []fwdRec {
+	out := make([]fwdRec, len(recs))
+	for i, r := range recs {
+		out[i] = r
+		out[i].Dests = append([]int(nil), r.Dests...)
+		out[i].Locs = append([]geom.Point(nil), r.Locs...)
+	}
+	return out
+}
+
+// appendCacheKey canonicalizes every input the decision reads into dst:
+// protocol, op, deciding node, the ordered (id, location-bits) destination
+// pairs, the anchor, and — when PERIMODE is set — the full perimeter
+// state. Hop count, source, session and payload are deliberately absent:
+// no decision core reads them (the routing purity tests pin decisions as
+// functions of exactly the keyed state), so requests differing only there
+// share a memo. λ and k are per-Server constants and the cache is
+// per-Server, so they need no bytes here.
+func (d *decider) appendCacheKey(dst []byte, protoName string, op byte, node int, pkt *sim.Packet) []byte {
+	dst = append(dst, protoName...)
+	dst = append(dst, 0, op)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(node))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(pkt.Anchor)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(pkt.Dests)))
+	for i, id := range pkt.Dests {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(id))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(pkt.Locs[i].X))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(pkt.Locs[i].Y))
+	}
+	if !pkt.Perimeter {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	st := &pkt.Peri
+	for _, pt := range [...]geom.Point{st.Target, st.Entry, st.FaceEntry} {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(pt.X))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(pt.Y))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(st.Prev)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(st.FirstFrom)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(st.FirstTo)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(st.WalkHops)))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(st.WalkDist))
+	var b byte
+	if st.Restarted {
+		b |= 1
+	}
+	if st.AltPlanar {
+		b |= 2
+	}
+	return append(dst, b)
 }
 
 // CheckServable validates that the named protocol exists and is servable by
@@ -132,19 +283,23 @@ func (d *decider) protocol(name string) (routing.Protocol, error) {
 }
 
 // decide answers one DECIDE request: decode the frame, reconstruct the
-// routing state, run the protocol's pure decision core at the deciding
-// node, and re-encode the forward set. It is called inside the worker's
-// panic isolation — a panicking protocol (or a frame crafted to trip one)
-// costs an ERROR answer, never the daemon.
+// routing state, run (or recall) the protocol's pure decision core at the
+// deciding node, and re-encode the forward set. It is called inside the
+// worker's panic isolation — a panicking protocol (or a frame crafted to
+// trip one) costs an ERROR answer, never the daemon.
+//
+// The returned replies alias the decider's scratch: they are valid until
+// this decider's next request and must be fully serialized before then
+// (the worker loop does exactly that).
 func (d *decider) decide(protoName string, req wire.DecideBody) ([]wire.ForwardReply, error) {
 	p, err := d.protocol(protoName)
 	if err != nil {
 		return nil, err
 	}
-	f, err := wire.Decode(req.Frame)
-	if err != nil {
+	if err := wire.DecodeInto(&d.frame, req.Frame); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadFrame, err)
 	}
+	f := &d.frame
 	node, pkt, err := d.frameToPacket(req.Op, f)
 	if err != nil {
 		return nil, err
@@ -152,13 +307,8 @@ func (d *decider) decide(protoName string, req wire.DecideBody) ([]wire.ForwardR
 	if pkt == nil { // every destination resolved to the deciding node
 		return []wire.ForwardReply{}, nil
 	}
-	var fwds []sim.Forward
-	if req.Op == wire.OpStart {
-		fwds = p.Start(d.views.At(node), pkt)
-	} else {
-		fwds = p.Decide(d.views.At(node), pkt)
-	}
-	return d.forwardsToReplies(f, node, fwds)
+	recs, _ := d.run(p, protoName, req.Op, node, pkt)
+	return d.recsToReplies(f, node, recs)
 }
 
 // frameToPacket reconstructs the deciding node and the in-flight packet from
@@ -188,7 +338,12 @@ func (d *decider) decide(protoName string, req wire.DecideBody) ([]wire.ForwardR
 func (d *decider) frameToPacket(op byte, f *wire.Frame) (int, *sim.Packet, error) {
 	nw := d.dep.NW
 	node := nw.ClosestNode(f.NextHop)
-	pkt := &sim.Packet{Hops: int(f.Hops), Anchor: -1}
+	pkt := &d.reqPkt
+	*pkt = sim.Packet{Hops: int(f.Hops), Anchor: -1}
+	if d.seen == nil {
+		d.seen = make(map[int]bool, 64)
+	}
+	clear(d.seen)
 
 	switch op {
 	case wire.OpStart:
@@ -198,8 +353,8 @@ func (d *decider) frameToPacket(op byte, f *wire.Frame) (int, *sim.Packet, error
 		if f.Perimeter() {
 			return 0, nil, fmt.Errorf("%w: PERIMODE on a start request", ErrBadOp)
 		}
-		ids := make([]int, 0, len(f.Dests))
-		seen := make(map[int]bool, len(f.Dests))
+		ids := d.ids[:0]
+		seen := d.seen
 		for _, loc := range f.Dests {
 			id := nw.ClosestNode(loc)
 			if seen[id] {
@@ -212,19 +367,21 @@ func (d *decider) frameToPacket(op byte, f *wire.Frame) (int, *sim.Packet, error
 			ids = append(ids, id)
 		}
 		if len(ids) == 0 {
+			d.ids = ids
 			return node, nil, nil
 		}
 		sort.Ints(ids)
-		locs := make([]geom.Point, len(ids))
-		for i, id := range ids {
-			locs[i] = nw.Pos(id)
+		locs := d.locs[:0]
+		for _, id := range ids {
+			locs = append(locs, nw.Pos(id))
 		}
+		d.ids, d.locs = ids, locs
 		pkt.Dests, pkt.Locs = ids, locs
 
 	case wire.OpDecide:
-		ids := make([]int, 0, len(f.Dests))
-		locs := make([]geom.Point, 0, len(f.Dests))
-		seen := make(map[int]bool, len(f.Dests))
+		ids := d.ids[:0]
+		locs := d.locs[:0]
+		seen := d.seen
 		anchor := -1
 		for _, loc := range f.Dests {
 			id := nw.ClosestNode(loc)
@@ -241,16 +398,15 @@ func (d *decider) frameToPacket(op byte, f *wire.Frame) (int, *sim.Packet, error
 			ids = append(ids, id)
 			locs = append(locs, loc)
 		}
-		if f.HasAnchor() {
-			if anchor < 0 {
-				return 0, nil, ErrBadAnchor
-			}
-			if anchor == node {
-				// The anchor was delivered here; the protocol re-partitions
-				// from the remaining set, which is what Anchor = -1 means.
-				anchor = -1
-			}
+		if f.HasAnchor() && anchor < 0 {
+			return 0, nil, ErrBadAnchor
 		}
+		// An anchor that resolved to the deciding node stays set even though
+		// the destination itself was just stripped: that is exactly the
+		// engine's state at a subtree root, and the anchor protocols detect
+		// re-partitioning by Anchor == Self (LGS/LGK/MCFR). Mapping it to -1
+		// would send them down the relay path with no anchor to aim at.
+		d.ids, d.locs = ids, locs
 		if len(ids) == 0 {
 			return node, nil, nil
 		}
@@ -273,62 +429,85 @@ func (d *decider) frameToPacket(op byte, f *wire.Frame) (int, *sim.Packet, error
 	return node, pkt, nil
 }
 
-// forwardsToReplies re-encodes a decision's forward list as wire replies,
-// each frame ready to transmit: hop count bumped (saturating, as the engine
-// does per transmission), next hop marked with the receiver's advertised
+// recsToReplies re-encodes a normalized decision as wire replies, each
+// frame ready to transmit: hop count bumped (saturating, as the engine does
+// per transmission), next hop marked with the receiver's advertised
 // position, routing state (PERIMODE, anchor) carried per copy, and the
-// request's source and payload preserved.
-func (d *decider) forwardsToReplies(req *wire.Frame, node int, fwds []sim.Forward) ([]wire.ForwardReply, error) {
-	nw := d.dep.NW
-	out := make([]wire.ForwardReply, 0, len(fwds))
+// request's source and payload preserved. The replies alias the decider's
+// reply buffer and encode arena.
+func (d *decider) recsToReplies(req *wire.Frame, node int, recs []fwdRec) ([]wire.ForwardReply, error) {
+	out := d.replies[:0]
+	arena := d.arena[:0]
 	hops := req.Hops
 	if hops < 255 {
 		hops++
 	}
-	for _, fwd := range fwds {
-		pkt := fwd.Pkt
-		of := &wire.Frame{
-			Hops:    hops,
-			Source:  req.Source,
-			Payload: req.Payload,
-		}
-		if fwd.To >= 0 {
-			of.NextHop = nw.Pos(fwd.To)
-		} else {
-			of.NextHop = nw.Pos(node) // dropped copy dies where it stands
-		}
-		of.Dests = make([]geom.Point, len(pkt.Locs))
-		copy(of.Dests, pkt.Locs)
-		if pkt.Perimeter {
-			of.Flags |= wire.FlagPerimeter
-			of.PeriTarget = pkt.Peri.Target
-			of.PeriEntry = pkt.Peri.Entry
-			of.PeriFaceEntry = pkt.Peri.FaceEntry
-		}
-		if pkt.Anchor >= 0 {
-			loc, ok := locOf(pkt, pkt.Anchor)
-			if !ok {
-				return nil, fmt.Errorf("%w: anchor %d not in forward's header", ErrFrameEncode, pkt.Anchor)
-			}
-			of.Flags |= wire.FlagAnchor
-			of.Anchor = loc
-		}
-		data, err := wire.Encode(of, 0)
+	var err error
+	for i := range recs {
+		start := len(arena)
+		arena, err = d.appendForwardFrame(arena, req.Source, req.Payload, hops, node, &recs[i])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %w", ErrFrameEncode, err)
+			return nil, err
 		}
-		out = append(out, wire.ForwardReply{To: int32(fwd.To), Frame: data})
+		// A mid-loop arena regrow leaves earlier replies pointing at the old
+		// backing array — still valid, never mutated again.
+		out = append(out, wire.ForwardReply{
+			To:    int32(recs[i].To),
+			Frame: arena[start:len(arena):len(arena)],
+		})
 	}
+	d.replies, d.arena = out, arena
 	return out, nil
 }
 
-// locOf is Packet.LocOf without the panic: the service reports a missing
+// appendForwardFrame encodes the outgoing frame for one forward record
+// into arena and returns the extended arena. It is the single encode path
+// for per-hop FORWARDS replies and streamed HOP frames, so the two modes
+// are byte-identical by construction. node is where the copy currently
+// sits (a dropped copy's frame dies there).
+func (d *decider) appendForwardFrame(arena []byte, source geom.Point, payload []byte, hops byte, node int, r *fwdRec) ([]byte, error) {
+	nw := d.dep.NW
+	of := &d.outFrame
+	dests := append(of.Dests[:0], r.Locs...)
+	*of = wire.Frame{
+		Hops:    hops,
+		Source:  source,
+		Payload: payload,
+		Dests:   dests,
+	}
+	if r.To >= 0 {
+		of.NextHop = nw.Pos(r.To)
+	} else {
+		of.NextHop = nw.Pos(node) // dropped copy dies where it stands
+	}
+	if r.Perimeter {
+		of.Flags |= wire.FlagPerimeter
+		of.PeriTarget = r.Peri.Target
+		of.PeriEntry = r.Peri.Entry
+		of.PeriFaceEntry = r.Peri.FaceEntry
+	}
+	if r.Anchor >= 0 {
+		loc, ok := recLocOf(r, r.Anchor)
+		if !ok {
+			return arena, fmt.Errorf("%w: anchor %d not in forward's header", ErrFrameEncode, r.Anchor)
+		}
+		of.Flags |= wire.FlagAnchor
+		of.Anchor = loc
+	}
+	arena, err := wire.AppendFrame(arena, of, 0)
+	if err != nil {
+		return arena, fmt.Errorf("%w: %w", ErrFrameEncode, err)
+	}
+	return arena, nil
+}
+
+// recLocOf is Packet.LocOf without the panic: the service reports a missing
 // anchor as a typed error instead of trusting protocol invariants with the
 // daemon's life.
-func locOf(p *sim.Packet, id int) (geom.Point, bool) {
-	for i, d := range p.Dests {
+func recLocOf(r *fwdRec, id int) (geom.Point, bool) {
+	for i, d := range r.Dests {
 		if d == id {
-			return p.Locs[i], true
+			return r.Locs[i], true
 		}
 	}
 	return geom.Point{}, false

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
@@ -75,6 +76,76 @@ func benchServeWorkers(b *testing.B, workers int) {
 func BenchmarkServeWorkers1(b *testing.B) { benchServeWorkers(b, 1) }
 func BenchmarkServeWorkers4(b *testing.B) { benchServeWorkers(b, 4) }
 
+// The route benchmarks share one daemon — and therefore one decision
+// cache — across iterations and -count repeats, and walk the same fixed
+// seed every iteration, so both modes run against a warm cache and the
+// BENCH_PR10.json speedup gate measures exactly the protocol difference:
+// one ROUTE with a server-side walk and a one-way HOP stream, versus one
+// DECIDE round trip (frame decode, K ClosestNode resolutions, re-encode)
+// per decision. The cache is pre-warmed in setup so the first measured
+// iteration is not charged the one-time cold walk either.
+var (
+	routeBenchOnce sync.Once
+	routeBenchLn   net.Listener
+	routeBenchErr  error
+)
+
+func routeBenchCfg(addr, mode string) LoadConfig {
+	return LoadConfig{
+		Addr: addr, Protocol: "GMP", RouteMode: mode,
+		Conns: 2, Requests: 2, K: 120,
+		Width: benchDep.NW.Width(), Height: benchDep.NW.Height(), Seed: 7,
+		Timeout: 120 * time.Second,
+	}
+}
+
+func routeBenchAddr(b *testing.B) string {
+	dep := benchDeployment(b)
+	routeBenchOnce.Do(func() {
+		routeBenchLn, routeBenchErr = net.Listen("tcp", "127.0.0.1:0")
+		if routeBenchErr != nil {
+			return
+		}
+		srv := New(dep, Config{Workers: 4, QueueDepth: 4096,
+			RequestTimeout: 120 * time.Second, IdleTimeout: 120 * time.Second})
+		go srv.Serve(routeBenchLn)
+		// Warm the shared cache with the exact walks the benchmarks repeat.
+		rep := RunLoad(routeBenchCfg(routeBenchLn.Addr().String(), "stream"))
+		if rep.TransportErrors > 0 || rep.Routes == 0 {
+			routeBenchErr = fmt.Errorf("route bench warmup degraded: %+v", rep)
+		}
+	})
+	if routeBenchErr != nil {
+		b.Fatal(routeBenchErr)
+	}
+	return routeBenchLn.Addr().String()
+}
+
+func benchRoutes(b *testing.B, mode string) {
+	addr := routeBenchAddr(b)
+	cfg := routeBenchCfg(addr, mode)
+	want := int64(cfg.Conns * cfg.Requests)
+	b.ResetTimer()
+	var routes int64
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		rep := RunLoad(cfg)
+		if rep.TransportErrors > 0 || rep.Routes != want {
+			b.Fatalf("route run degraded: %+v", rep)
+		}
+		routes += rep.Routes
+		sec += rep.Elapsed.Seconds()
+	}
+	b.ReportMetric(float64(routes)/sec, "routes/s")
+}
+
+// BenchmarkRouteK120 streams whole 120-destination multicast walks (one
+// ROUTE, server-side continuation, HOP stream); BenchmarkPerHopRouteK120
+// walks the identical routes paying one DECIDE round trip per decision.
+// cmd/benchgate gates their routes/s ratio (BENCH_PR10.json).
+func BenchmarkRouteK120(b *testing.B)       { benchRoutes(b, "stream") }
+func BenchmarkPerHopRouteK120(b *testing.B) { benchRoutes(b, "perhop") }
+
 // BenchmarkDecideK120 is the allocation-gated microbenchmark of the service
 // backend alone — frame decode, packet reconstruction, GMP decision,
 // forward re-encode — without transport. BENCH_PR9.json gates its
@@ -85,6 +156,12 @@ func BenchmarkDecideK120(b *testing.B) {
 	d := newDecider(dep, 0.5, 0)
 	rng := rand.New(rand.NewSource(1))
 	body := randomRequest(LoadConfig{K: 120, Width: dep.NW.Width(), Height: dep.NW.Height()}, rng)
+	// One untimed decision warms the node-view scratch (Steiner tree, memo
+	// matrix) so the loop measures the steady-state request path, which is
+	// what the allocation gate is about.
+	if _, err := d.decide("GMP", body); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

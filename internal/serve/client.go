@@ -7,6 +7,7 @@ package serve
 // load-shedding contract.
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,11 +26,13 @@ var (
 	ErrBadReply    = errors.New("serve: malformed reply")
 )
 
-// Reply is one server answer to a DECIDE.
+// Reply is one server answer to a DECIDE or ROUTE.
 type Reply struct {
-	// Kind is wire.MsgForwards, wire.MsgError, or wire.MsgShed.
+	// Kind is wire.MsgForwards, wire.MsgRouteDone, wire.MsgError, or
+	// wire.MsgShed.
 	Kind     byte
 	Forwards []wire.ForwardReply
+	Done     wire.RouteDoneBody
 	Err      wire.ErrorBody
 	Shed     wire.ShedBody
 }
@@ -38,7 +41,11 @@ type Reply struct {
 // time, matched by request ID. Not safe for concurrent use; open one per
 // goroutine.
 type Client struct {
-	conn     net.Conn
+	conn net.Conn
+	// br buffers reads: a streamed route delivers hundreds of HOP messages
+	// per burst, and per-message read syscalls would dominate the client's
+	// half of the stream. Deadlines still live on conn.
+	br       *bufio.Reader
 	nextID   uint64
 	protocol string
 	nodes    uint32
@@ -59,7 +66,7 @@ func Dial(addr, protocol string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, protocol: protocol, Timeout: timeout}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), protocol: protocol, Timeout: timeout}
 	if err := c.hello(); err != nil {
 		conn.Close()
 		return nil, err
@@ -105,7 +112,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 // server-initiated DRAIN broadcasts (ID 0) along the way.
 func (c *Client) readMatching(id uint64) (wire.Msg, error) {
 	for {
-		m, err := wire.ReadMsg(c.conn)
+		m, err := wire.ReadMsg(c.br)
 		if err != nil {
 			return wire.Msg{}, err
 		}
@@ -135,6 +142,50 @@ func (c *Client) Do(body wire.DecideBody) (Reply, error) {
 	return parseReply(rm)
 }
 
+// Route issues one ROUTE and reads the streamed walk: every HOP message is
+// handed to hopFn (when non-nil) as it arrives, and the terminal answer —
+// ROUTE_DONE, ERROR, or SHED — is returned as the Reply. One request, one
+// round of framing, the whole multicast walk; the per-RTT alternative is a
+// Do loop over every FORWARDS frame. Pass wire.RouteQuiet in rb.Flags to
+// suppress the HOP stream server-side when only the summary matters.
+//
+// The read deadline is re-armed per message, so a long walk streams as many
+// HOPs as it needs — Timeout bounds inter-message gaps, not the walk.
+func (c *Client) Route(rb wire.RouteBody, hopFn func(wire.HopBody)) (Reply, error) {
+	c.nextID++
+	id := c.nextID
+	m := wire.Msg{Type: wire.MsgRoute, ID: id, Body: wire.EncodeRoute(rb)}
+	c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	if _, err := c.conn.Write(wire.AppendMsg(nil, m)); err != nil {
+		return Reply{}, err
+	}
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
+		rm, err := wire.ReadMsg(c.br)
+		if err != nil {
+			return Reply{}, err
+		}
+		if rm.Type == wire.MsgDrain {
+			c.Drained = true
+			continue
+		}
+		if rm.ID != id {
+			return Reply{}, fmt.Errorf("%w: reply ID %d for request %d", ErrBadReply, rm.ID, id)
+		}
+		if rm.Type == wire.MsgHop {
+			hb, err := wire.DecodeHop(rm.Body)
+			if err != nil {
+				return Reply{}, fmt.Errorf("%w: %w", ErrBadReply, err)
+			}
+			if hopFn != nil {
+				hopFn(hb)
+			}
+			continue
+		}
+		return parseReply(rm)
+	}
+}
+
 // Send issues a DECIDE without waiting for its answer — the pipelined half
 // of the protocol, which carries request IDs precisely so a client can keep
 // several requests in flight. Collect answers with Recv; request IDs
@@ -155,7 +206,7 @@ func (c *Client) Send(body wire.DecideBody) (uint64, error) {
 func (c *Client) Recv() (uint64, Reply, error) {
 	c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
 	for {
-		m, err := wire.ReadMsg(c.conn)
+		m, err := wire.ReadMsg(c.br)
 		if err != nil {
 			return 0, Reply{}, err
 		}
@@ -175,6 +226,10 @@ func parseReply(rm wire.Msg) (Reply, error) {
 	switch rm.Type {
 	case wire.MsgForwards:
 		if rep.Forwards, err = wire.DecodeForwards(rm.Body); err != nil {
+			return Reply{}, fmt.Errorf("%w: %w", ErrBadReply, err)
+		}
+	case wire.MsgRouteDone:
+		if rep.Done, err = wire.DecodeRouteDone(rm.Body); err != nil {
 			return Reply{}, fmt.Errorf("%w: %w", ErrBadReply, err)
 		}
 	case wire.MsgError:

@@ -53,6 +53,22 @@ type LoadConfig struct {
 	Retry RetryPolicy
 	// Payload is the application payload size carried per request.
 	Payload int
+	// RouteMode selects whole-route workloads instead of single decisions:
+	// "stream" issues one ROUTE per route and reads the HOP stream;
+	// "perhop" walks the same route client-side, one DECIDE round trip per
+	// decision — the baseline the streamed mode is measured against.
+	// Empty keeps the classic single-DECIDE workload. Requests then counts
+	// routes per connection, and LatencyMs records per-route latency.
+	RouteMode string
+	// HopBudget is the per-copy hop budget for route workloads; zero defers
+	// to the server's default (stream) or DefaultRouteBudget (perhop).
+	HopBudget int
+	// Quiet asks the server to suppress the HOP stream in "stream" mode
+	// (wire.RouteQuiet): only the ROUTE_DONE summary crosses the wire.
+	Quiet bool
+	// RecordRoutes keeps every ROUTE_DONE summary in the report, for
+	// campaigns that audit per-destination conservation (E-X14).
+	RecordRoutes bool
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -98,9 +114,17 @@ type LoadReport struct {
 	DialErrors int64
 	// Drains counts DRAIN broadcasts observed.
 	Drains int64
+	// Routes counts completed whole-route walks (ROUTE_DONE answers in
+	// "stream" mode, exhausted client-side walks in "perhop" mode);
+	// RouteHops the transmissions they performed.
+	Routes    int64
+	RouteHops int64
+	// RouteDones holds every ROUTE_DONE summary when RecordRoutes is set.
+	RouteDones []wire.RouteDoneBody
 	// Elapsed is the wall-clock span of the run.
 	Elapsed time.Duration
-	// LatencyMs are per-answered-request round-trip latencies.
+	// LatencyMs are per-answered-request round-trip latencies (per-route in
+	// the route modes).
 	LatencyMs []float64
 }
 
@@ -113,6 +137,22 @@ func (r *LoadReport) DecisionsPerSec() float64 {
 		return 0
 	}
 	return float64(r.Forwards) / r.Elapsed.Seconds()
+}
+
+// RoutesPerSec is the sustained whole-route completion rate.
+func (r *LoadReport) RoutesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Routes) / r.Elapsed.Seconds()
+}
+
+// RouteHopsPerSec is the sustained transmission rate across completed routes.
+func (r *LoadReport) RouteHopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.RouteHops) / r.Elapsed.Seconds()
 }
 
 // Percentile returns the latency percentile in milliseconds for p in [0, 1]
@@ -145,6 +185,9 @@ func RunLoad(cfg LoadConfig) *LoadReport {
 			rep.TransportErrors += local.TransportErrors
 			rep.DialErrors += local.DialErrors
 			rep.Drains += local.Drains
+			rep.Routes += local.Routes
+			rep.RouteHops += local.RouteHops
+			rep.RouteDones = append(rep.RouteDones, local.RouteDones...)
 			rep.LatencyMs = append(rep.LatencyMs, local.LatencyMs...)
 			mu.Unlock()
 		}(ci)
@@ -169,6 +212,10 @@ func runConn(cfg LoadConfig, ci int) *LoadReport {
 	}
 	defer c.Close()
 
+	if cfg.RouteMode != "" {
+		runRoutes(cfg, c, rng, local)
+		return local
+	}
 	if cfg.Burst > 1 {
 		runBurst(cfg, c, rng, local)
 		return local
@@ -251,6 +298,106 @@ func runBurst(cfg LoadConfig, c *Client, rng *rand.Rand, local *LoadReport) {
 		}
 		done += issued
 	}
+}
+
+// runRoutes is the whole-route schedule: Requests routes per connection,
+// each either one streamed ROUTE ("stream") or a client-driven walk paying
+// one DECIDE round trip per decision ("perhop"). Both walk the same routes
+// from the same PRNG stream, so a stream-vs-perhop pair measures exactly
+// the protocol difference (cmd/gmpload -route; E-X14 end to end).
+func runRoutes(cfg LoadConfig, c *Client, rng *rand.Rand, local *LoadReport) {
+	for i := 0; i < cfg.Requests; i++ {
+		frame := randomRequest(cfg, rng).Frame
+		t0 := time.Now()
+		if cfg.RouteMode == "perhop" {
+			sent, hops, err := walkPerHop(cfg, c, frame)
+			if c.Drained {
+				local.Drains++
+				c.Drained = false
+			}
+			local.Sent += sent
+			local.RouteHops += hops
+			if err != nil {
+				local.TransportErrors++
+				return
+			}
+			local.Routes++
+			local.LatencyMs = append(local.LatencyMs,
+				float64(time.Since(t0))/float64(time.Millisecond))
+			continue
+		}
+		rb := wire.RouteBody{Budget: uint16(cfg.HopBudget), Frame: frame}
+		if cfg.Quiet {
+			rb.Flags |= wire.RouteQuiet
+		}
+		local.Sent++
+		rep, err := c.Route(rb, nil)
+		if c.Drained {
+			local.Drains++
+			c.Drained = false
+		}
+		if err != nil {
+			local.TransportErrors++
+			return
+		}
+		switch rep.Kind {
+		case wire.MsgRouteDone:
+			local.Routes++
+			local.RouteHops += int64(rep.Done.Hops)
+			if cfg.RecordRoutes {
+				local.RouteDones = append(local.RouteDones, rep.Done)
+			}
+			local.LatencyMs = append(local.LatencyMs,
+				float64(time.Since(t0))/float64(time.Millisecond))
+		case wire.MsgError:
+			local.Errors++
+		case wire.MsgShed:
+			local.Sheds++
+		}
+	}
+}
+
+// walkPerHop drives one full multicast walk over the per-hop protocol: the
+// client holds the frontier of in-flight frames, pays one DECIDE round trip
+// per decision, and tracks each copy's hop count itself (child = parent+1,
+// the engine's rule) to enforce the budget the streamed server enforces
+// server-side. Returns the DECIDEs issued and the transmissions performed.
+func walkPerHop(cfg LoadConfig, c *Client, frame []byte) (int64, int64, error) {
+	budget := cfg.HopBudget
+	if budget <= 0 {
+		budget = DefaultRouteBudget
+	}
+	type inflight struct {
+		frame []byte
+		hops  int
+	}
+	queue := []inflight{{frame: frame}}
+	var sent, hops int64
+	op := wire.OpStart
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		queue[head] = inflight{}
+		sent++
+		rep, err := c.Do(wire.DecideBody{Op: op, Frame: cur.frame})
+		op = wire.OpDecide
+		if err != nil {
+			return sent, hops, err
+		}
+		if rep.Kind != wire.MsgForwards {
+			// ERROR or SHED kills the walk's copy; the route is abandoned
+			// (the streamed mode's whole-route answer has no analogue here —
+			// another per-hop weakness, not worth simulating retries for).
+			continue
+		}
+		for _, fwd := range rep.Forwards {
+			if fwd.To < 0 || cur.hops+1 > budget {
+				continue // dropped copy, or killed by the client's budget
+			}
+			hops++
+			queue = append(queue, inflight{frame: fwd.Frame, hops: cur.hops + 1})
+		}
+	}
+	return sent, hops, nil
 }
 
 // randomRequest builds one OpStart decision request: a random source and K

@@ -14,6 +14,7 @@ package serve
 // of the answer, and the counter that proves it, always happens.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -53,6 +54,16 @@ type Config struct {
 	Lambda float64
 	// K is LGK's group-size bound; zero selects the protocol default.
 	K int
+	// CacheSize bounds the decision memo cache shared by the workers: zero
+	// selects DefaultCacheSize, negative disables the cache entirely (every
+	// decision recomputes cold — the PR 9 behavior, byte-identical answers).
+	CacheSize int
+	// RouteBudget is the per-copy hop budget applied to ROUTE requests whose
+	// body carries budget 0; zero selects DefaultRouteBudget.
+	RouteBudget int
+	// RouteMaxSteps caps decisions per route walk; a walk exceeding it is
+	// answered ERROR CodeOverrun. Zero selects DefaultRouteMaxSteps.
+	RouteMaxSteps int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +94,12 @@ func (c Config) withDefaults() Config {
 	if c.Lambda == 0 {
 		c.Lambda = 0.5
 	}
+	if c.RouteBudget <= 0 {
+		c.RouteBudget = DefaultRouteBudget
+	}
+	if c.RouteMaxSteps <= 0 {
+		c.RouteMaxSteps = DefaultRouteMaxSteps
+	}
 	return c
 }
 
@@ -92,11 +109,21 @@ type Stats struct {
 	Accepted int64
 	// Sessions is the number of sessions that completed a HELLO.
 	Sessions int64
-	// Admitted counts every well-formed DECIDE read off a session.
+	// Admitted counts every well-formed DECIDE or ROUTE read off a session.
 	Admitted int64
 	// AnsweredForwards / AnsweredErrors count produced answers by type.
 	AnsweredForwards int64
 	AnsweredErrors   int64
+	// AnsweredRoutes counts ROUTE requests answered with ROUTE_DONE; each
+	// also walked RouteHops total transmissions (HOP stream length when the
+	// client did not ask for quiet mode).
+	AnsweredRoutes int64
+	RouteHops      int64
+	// CacheHits / CacheMisses / CacheEvictions snapshot the decision memo
+	// cache (all zero when Config.CacheSize is negative).
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 	// Panics counts decisions that panicked (each also counts one
 	// AnsweredErrors — the request is answered with CodePanic).
 	Panics int64
@@ -114,7 +141,9 @@ type Stats struct {
 }
 
 // Answered returns the produced non-shed answers.
-func (s Stats) Answered() int64 { return s.AnsweredForwards + s.AnsweredErrors }
+func (s Stats) Answered() int64 {
+	return s.AnsweredForwards + s.AnsweredErrors + s.AnsweredRoutes
+}
 
 // Shed returns the total shed answers.
 func (s Stats) Shed() int64 { return s.ShedQueue + s.ShedDeadline + s.ShedDraining }
@@ -146,6 +175,8 @@ type DrainReport struct {
 type Server struct {
 	cfg Config
 	dep *Deployment
+	// cache is the decision memo shared by all workers; nil when disabled.
+	cache *decisionCache
 
 	queue    chan *request
 	draining atomic.Bool
@@ -165,6 +196,8 @@ type Server struct {
 	admitted         atomic.Int64
 	answeredForwards atomic.Int64
 	answeredErrors   atomic.Int64
+	answeredRoutes   atomic.Int64
+	routeHops        atomic.Int64
 	panics           atomic.Int64
 	shed             [3]atomic.Int64 // index = reason - 1
 	evicted          atomic.Int64
@@ -172,11 +205,12 @@ type Server struct {
 	inflight         atomic.Int64 // requests popped by a worker, not yet answered
 }
 
-// request is one admitted DECIDE.
+// request is one admitted DECIDE or ROUTE. route is non-nil for ROUTE.
 type request struct {
 	sess     *session
 	id       uint64
 	body     wire.DecideBody
+	route    *wire.RouteBody
 	deadline time.Time
 }
 
@@ -188,6 +222,9 @@ func New(dep *Deployment, cfg Config) *Server {
 		dep:      dep,
 		queue:    make(chan *request, cfg.QueueDepth),
 		sessions: make(map[*session]struct{}),
+	}
+	if cfg.CacheSize >= 0 {
+		s.cache = newDecisionCache(cfg.CacheSize)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -228,12 +265,14 @@ func (s *Server) Serve(ln net.Listener) error {
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Accepted:         s.accepted.Load(),
 		Sessions:         s.helloed.Load(),
 		Admitted:         s.admitted.Load(),
 		AnsweredForwards: s.answeredForwards.Load(),
 		AnsweredErrors:   s.answeredErrors.Load(),
+		AnsweredRoutes:   s.answeredRoutes.Load(),
+		RouteHops:        s.routeHops.Load(),
 		Panics:           s.panics.Load(),
 		ShedQueue:        s.shed[wire.ShedQueue-1].Load(),
 		ShedDeadline:     s.shed[wire.ShedDeadline-1].Load(),
@@ -241,6 +280,10 @@ func (s *Server) Stats() Stats {
 		Evicted:          s.evicted.Load(),
 		Undelivered:      s.undelivered.Load(),
 	}
+	if s.cache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = s.cache.counters()
+	}
+	return st
 }
 
 // Drain gracefully shuts the daemon down: stop accepting, broadcast DRAIN,
@@ -318,6 +361,9 @@ func (s *Server) Drain() DrainReport {
 func (s *Server) worker() {
 	defer s.workers.Done()
 	d := newDecider(s.dep, s.cfg.Lambda, s.cfg.K)
+	d.cache = s.cache
+	d.routeBudget = s.cfg.RouteBudget
+	d.routeMaxSteps = s.cfg.RouteMaxSteps
 	for req := range s.queue {
 		s.inflight.Add(1)
 		if !req.deadline.IsZero() && time.Now().After(req.deadline) {
@@ -333,12 +379,13 @@ func (s *Server) worker() {
 // processResult is a produced answer before delivery.
 type processResult struct {
 	fwds []wire.ForwardReply
+	done *wire.RouteDoneBody
 	err  *wire.ErrorBody
 }
 
-// process runs one decision inside panic isolation. A panic — whether from
-// a hostile frame or a protocol bug — is converted into a CodePanic answer;
-// the daemon and its worker survive.
+// process runs one decision — or one full route walk — inside panic
+// isolation. A panic, whether from a hostile frame or a protocol bug, is
+// converted into a CodePanic answer; the daemon and its worker survive.
 func (s *Server) process(d *decider, req *request) (res processResult) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -347,6 +394,37 @@ func (s *Server) process(d *decider, req *request) (res processResult) {
 				Code: wire.CodePanic, Msg: fmt.Sprint(r)}}
 		}
 	}()
+	if req.route != nil {
+		var emit func(wire.HopBody) bool
+		if req.route.Flags&wire.RouteQuiet == 0 {
+			sess, id := req.sess, req.id
+			// HOPs are progress, not answers: delivery is best-effort (a
+			// refused send stops the stream), conservation counts only the
+			// terminal ROUTE_DONE/ERROR. The stream rides sendStream's
+			// backpressure — one timer at the request deadline bounds the
+			// whole walk's blocking. AppendMsg copies the frame bytes out
+			// of the walker's arena before emit returns.
+			var timeout <-chan time.Time
+			if !req.deadline.IsZero() {
+				t := time.NewTimer(time.Until(req.deadline))
+				defer t.Stop()
+				timeout = t.C
+			}
+			emit = func(hb wire.HopBody) bool {
+				return sess.sendStream(wire.Msg{Type: wire.MsgHop, ID: id,
+					Body: wire.EncodeHop(hb)}, timeout)
+			}
+		}
+		done, err := d.walkRoute(req.sess.protocol, *req.route, emit)
+		if err != nil {
+			code := wire.CodeBadRequest
+			if errors.Is(err, ErrWalkOverrun) {
+				code = wire.CodeOverrun
+			}
+			return processResult{err: &wire.ErrorBody{Code: code, Msg: err.Error()}}
+		}
+		return processResult{done: done}
+	}
 	fwds, err := d.decide(req.sess.protocol, req.body)
 	if err != nil {
 		code := wire.CodeBadRequest
@@ -359,10 +437,26 @@ func (s *Server) process(d *decider, req *request) (res processResult) {
 // unconditionally and delivery best-effort.
 func (s *Server) answer(req *request, res processResult) {
 	var m wire.Msg
-	if res.err != nil {
+	switch {
+	case res.err != nil:
 		s.answeredErrors.Add(1)
 		m = wire.Msg{Type: wire.MsgError, ID: req.id, Body: wire.EncodeError(*res.err)}
-	} else {
+	case res.done != nil:
+		s.answeredRoutes.Add(1)
+		s.routeHops.Add(int64(res.done.Hops))
+		m = wire.Msg{Type: wire.MsgRouteDone, ID: req.id, Body: wire.EncodeRouteDone(*res.done)}
+		if !req.deadline.IsZero() {
+			// The walk's HOP burst keeps the outbound queue near-full by
+			// design; the terminal answer waits for space (bounded by the
+			// request deadline) instead of reading fullness as a slow client.
+			t := time.NewTimer(time.Until(req.deadline))
+			defer t.Stop()
+			if !req.sess.sendStream(m, t.C) {
+				s.undelivered.Add(1)
+			}
+			return
+		}
+	default:
 		s.answeredForwards.Add(1)
 		m = wire.Msg{Type: wire.MsgForwards, ID: req.id, Body: wire.EncodeForwards(res.fwds)}
 	}
@@ -382,6 +476,10 @@ func (s *Server) shedReq(req *request, reason byte) {
 		s.undelivered.Add(1)
 	}
 }
+
+// writerBatchBytes caps how much queued output the writer coalesces into
+// one syscall.
+const writerBatchBytes = 64 << 10
 
 // session is one client connection: a reader goroutine (the session state
 // machine) plus a writer goroutine draining the bounded outbound queue.
@@ -430,6 +528,33 @@ func (s *session) send(m wire.Msg) bool {
 	}
 }
 
+// sendStream enqueues m, blocking for backpressure instead of evicting:
+// a route walk produces HOP frames at memory speed while the client
+// drains at wire speed, so a full outbound queue during a stream means
+// "wait", not "slow client". The timeout channel (a timer at the request
+// deadline) bounds the wait; on timeout or session death the message is
+// forfeited without killing the session, so the walk — and conservation —
+// continue. nil timeout falls back to the non-blocking send.
+func (s *session) sendStream(m wire.Msg, timeout <-chan time.Time) bool {
+	if timeout == nil {
+		return s.send(m)
+	}
+	data := wire.AppendMsg(nil, m)
+	select {
+	case <-s.dead:
+		return false
+	default:
+	}
+	select {
+	case s.out <- data:
+		return true
+	case <-s.dead:
+		return false
+	case <-timeout:
+		return false
+	}
+}
+
 // evict terminates the session: the connection closes (unblocking the
 // reader) and the writer stops. Idempotent.
 func (s *session) evict(why string) {
@@ -468,26 +593,31 @@ func (s *session) run() {
 			}
 			return
 		}
-		if m.Type != wire.MsgDecide {
+		req := &request{sess: s, id: m.ID,
+			deadline: time.Now().Add(cfg.RequestTimeout)}
+		var err2 error
+		switch m.Type {
+		case wire.MsgDecide:
+			req.body, err2 = wire.DecodeDecide(m.Body)
+		case wire.MsgRoute:
+			var rb wire.RouteBody
+			if rb, err2 = wire.DecodeRoute(m.Body); err2 == nil {
+				req.route = &rb
+			}
+		default:
 			s.send(wire.Msg{Type: wire.MsgError, ID: m.ID, Body: wire.EncodeError(
 				wire.ErrorBody{Code: wire.CodeState,
 					Msg: fmt.Sprintf("unexpected %s in session", wire.MsgName(m.Type))})})
 			return
 		}
-		body, err := wire.DecodeDecide(m.Body)
-		if err != nil {
-			// Malformed DECIDE body: answered (as an error), not admitted —
+		if err2 != nil {
+			// Malformed request body: answered (as an error), not admitted —
 			// admission means a well-formed request entered the service.
 			s.send(wire.Msg{Type: wire.MsgError, ID: m.ID, Body: wire.EncodeError(
-				wire.ErrorBody{Code: wire.CodeBadRequest, Msg: err.Error()})})
+				wire.ErrorBody{Code: wire.CodeBadRequest, Msg: err2.Error()})})
 			continue
 		}
-		s.admit(&request{
-			sess:     s,
-			id:       m.ID,
-			body:     body,
-			deadline: time.Now().Add(cfg.RequestTimeout),
-		})
+		s.admit(req)
 	}
 }
 
@@ -548,11 +678,27 @@ func (s *session) hello() bool {
 // per reply. A write that stalls past WriteTimeout evicts the session: a
 // client that cannot absorb answers must not pin server memory.
 func (s *session) writer() {
+	// Coalesce whatever has accumulated in the queue into one write: a
+	// route walk's HOP stream arrives hundreds of messages at a burst, and
+	// one syscall per message — not encoding, not the walk — would dominate
+	// streaming cost. The batch cap bounds the latency a trailing message
+	// can hide behind a burst.
+	var buf []byte
 	for {
 		select {
 		case data := <-s.out:
+			buf = append(buf[:0], data...)
+		coalesce:
+			for len(buf) < writerBatchBytes {
+				select {
+				case more := <-s.out:
+					buf = append(buf, more...)
+				default:
+					break coalesce
+				}
+			}
 			s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
-			if _, err := s.conn.Write(data); err != nil {
+			if _, err := s.conn.Write(buf); err != nil {
 				if ne, ok := err.(net.Error); ok && ne.Timeout() {
 					s.srv.evicted.Add(1)
 				}

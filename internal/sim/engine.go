@@ -71,6 +71,24 @@ func freePacket(p *Packet) {
 	packetPool.Put(p)
 }
 
+// GetPacket hands a pooled packet to callers outside the engine (the
+// decision service's route walker shares the pool so streamed walks reuse
+// storage across hops). All fields are zero; Dests and Locs are length 0
+// with whatever capacity a previous life left them.
+func GetPacket() *Packet {
+	p := getPacket()
+	p.Dests = p.Dests[:0]
+	p.Locs = p.Locs[:0]
+	return p
+}
+
+// PutPacket recycles a packet obtained from GetPacket (or built by Clone/
+// CloneFor). The caller must hold the only live reference to p and to its
+// Dests/Locs backing arrays — the same contract the engine's own release
+// points obey; packets that were shown to a protocol handler must be left
+// to the garbage collector instead.
+func PutPacket(p *Packet) { freePacket(p) }
+
 // Clone deep-copies the packet, so every transmitted copy owns its state.
 // The copy comes from the packet pool; its Dests/Locs never alias p's.
 func (p *Packet) Clone() *Packet {

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"gmp/internal/geom"
 )
 
 // Session message types.
@@ -38,6 +40,18 @@ const (
 	MsgShed
 	// MsgDrain is the server's drain broadcast: stop sending, finish up.
 	MsgDrain
+	// MsgRoute asks the server to walk an entire multicast route
+	// server-side; the body is a RouteBody. Answered by a stream of HOP
+	// messages (unless RouteQuiet) terminated by exactly one ROUTE_DONE,
+	// ERROR, or SHED.
+	MsgRoute
+	// MsgHop is one streamed transmission of a ROUTE walk; the body is a
+	// HopBody. HOPs are progress, not answers: the walk's single answer is
+	// the terminating ROUTE_DONE.
+	MsgHop
+	// MsgRouteDone terminates a ROUTE stream with the walk's per-destination
+	// outcome summary; the body is a RouteDoneBody.
+	MsgRouteDone
 	msgTypeEnd
 )
 
@@ -56,6 +70,12 @@ func MsgName(t byte) string {
 		return "SHED"
 	case MsgDrain:
 		return "DRAIN"
+	case MsgRoute:
+		return "ROUTE"
+	case MsgHop:
+		return "HOP"
+	case MsgRouteDone:
+		return "ROUTE_DONE"
 	default:
 		return fmt.Sprintf("type%d", t)
 	}
@@ -264,6 +284,9 @@ const (
 	// CodeState: a message arrived in the wrong session state (DECIDE
 	// before HELLO, second HELLO, ...).
 	CodeState
+	// CodeOverrun: a ROUTE walk exceeded the server's total-step ceiling
+	// (a livelocking protocol or an absurd budget); the walk was aborted.
+	CodeOverrun
 )
 
 // ErrorBody is a typed failure answer.
@@ -362,4 +385,190 @@ func DecodeDrain(body []byte) (DrainBody, error) {
 		return DrainBody{}, fmt.Errorf("%w: drain", ErrShortBody)
 	}
 	return DrainBody{BudgetMs: binary.BigEndian.Uint32(body)}, nil
+}
+
+// Route flags carried by RouteBody.
+const (
+	// RouteQuiet suppresses the per-hop HOP stream; the client gets only
+	// the terminating ROUTE_DONE. Load generators use it to measure pure
+	// walk throughput without paying per-hop reads.
+	RouteQuiet = byte(1 << 0)
+)
+
+// RouteBody is one streaming-route request: walk the whole multicast route
+// server-side. The frame must be OpStart-shaped — NextHop locates the
+// source, hops 0, no perimeter or anchor state.
+type RouteBody struct {
+	// Budget is the per-copy hop budget, mirroring the engine's max-hops
+	// watchdog; 0 asks for the server's default.
+	Budget uint16
+	Flags  byte
+	Frame  []byte // Encode()d Frame
+}
+
+// EncodeRoute serializes a ROUTE body.
+func EncodeRoute(r RouteBody) []byte {
+	out := make([]byte, 0, 3+len(r.Frame))
+	out = binary.BigEndian.AppendUint16(out, r.Budget)
+	out = append(out, r.Flags)
+	return append(out, r.Frame...)
+}
+
+// DecodeRoute parses a ROUTE body. As with DECIDE, the frame bytes are
+// returned unparsed — Frame decoding (with its own bounds checks) happens
+// inside the server worker's panic isolation.
+func DecodeRoute(body []byte) (RouteBody, error) {
+	if len(body) < 3 {
+		return RouteBody{}, fmt.Errorf("%w: route", ErrShortBody)
+	}
+	return RouteBody{
+		Budget: binary.BigEndian.Uint16(body),
+		Flags:  body[2],
+		Frame:  body[3:],
+	}, nil
+}
+
+// HopBody is one streamed transmission of a ROUTE walk: the sending and
+// receiving node IDs (To < 0 mirrors the sim's drop sentinels) and the
+// frame exactly as it would go on the air.
+type HopBody struct {
+	// Seq numbers the walk's transmissions in application order, from 0.
+	Seq   uint32
+	From  int32
+	To    int32
+	Frame []byte
+}
+
+// EncodeHop serializes a HOP body.
+func EncodeHop(h HopBody) []byte {
+	out := make([]byte, 0, 12+len(h.Frame))
+	return AppendHop(out, h)
+}
+
+// AppendHop appends the HOP body encoding of h to dst.
+func AppendHop(dst []byte, h HopBody) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, h.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(h.From))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(h.To))
+	return append(dst, h.Frame...)
+}
+
+// DecodeHop parses a HOP body.
+func DecodeHop(body []byte) (HopBody, error) {
+	if len(body) < 12 {
+		return HopBody{}, fmt.Errorf("%w: hop", ErrShortBody)
+	}
+	return HopBody{
+		Seq:   binary.BigEndian.Uint32(body),
+		From:  int32(binary.BigEndian.Uint32(body[4:])),
+		To:    int32(binary.BigEndian.Uint32(body[8:])),
+		Frame: body[12:],
+	}, nil
+}
+
+// Per-destination route outcomes carried by ROUTE_DONE. RouteDelivered is 0;
+// every other value is a drop, mirroring the sim's drop-reason taxonomy.
+const (
+	RouteDelivered = byte(iota)
+	// RouteDropProtocol: a decision explicitly dropped the copy.
+	RouteDropProtocol
+	// RouteDropWatchdog: the perimeter watchdog gave up on the copy.
+	RouteDropWatchdog
+	// RouteDropHopBudget: the copy exceeded the walk's hop budget.
+	RouteDropHopBudget
+	// RouteDropStranded: a decision returned no forwards for a live copy.
+	RouteDropStranded
+	// RouteDropInvalid: a decision forwarded out of range or to itself.
+	RouteDropInvalid
+)
+
+// RouteStatusName returns a human-readable per-destination outcome name.
+func RouteStatusName(s byte) string {
+	switch s {
+	case RouteDelivered:
+		return "delivered"
+	case RouteDropProtocol:
+		return "drop-protocol"
+	case RouteDropWatchdog:
+		return "drop-watchdog"
+	case RouteDropHopBudget:
+		return "drop-hop-budget"
+	case RouteDropStranded:
+		return "drop-stranded"
+	case RouteDropInvalid:
+		return "drop-invalid-send"
+	default:
+		return fmt.Sprintf("status%d", s)
+	}
+}
+
+// DestOutcome is one destination's fate in a ROUTE walk: the resolved node,
+// its advertised location, delivered-or-why-not, and the hop count at
+// delivery (0 unless delivered).
+type DestOutcome struct {
+	Node   int32
+	Loc    geom.Point
+	Status byte
+	Hops   uint16
+}
+
+const destOutcomeSize = 4 + pointSize + 1 + 2
+
+// RouteDoneBody is the walk summary terminating a ROUTE stream.
+type RouteDoneBody struct {
+	// Hops counts the walk's transmissions (equals the number of HOP
+	// messages a non-quiet stream carried).
+	Hops uint32
+	// Decisions counts routing decisions applied, including memo-cache hits.
+	Decisions uint32
+	// CacheHits counts decisions answered from the server's memo cache.
+	CacheHits uint32
+	// Outcomes has one entry per distinct resolved destination node.
+	Outcomes []DestOutcome
+}
+
+// EncodeRouteDone serializes a ROUTE_DONE body.
+func EncodeRouteDone(d RouteDoneBody) []byte {
+	out := make([]byte, 0, 14+len(d.Outcomes)*destOutcomeSize)
+	out = binary.BigEndian.AppendUint32(out, d.Hops)
+	out = binary.BigEndian.AppendUint32(out, d.Decisions)
+	out = binary.BigEndian.AppendUint32(out, d.CacheHits)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(d.Outcomes)))
+	for _, o := range d.Outcomes {
+		out = binary.BigEndian.AppendUint32(out, uint32(o.Node))
+		out = appendPoint(out, o.Loc)
+		out = append(out, o.Status)
+		out = binary.BigEndian.AppendUint16(out, o.Hops)
+	}
+	return out
+}
+
+// DecodeRouteDone parses a ROUTE_DONE body, bounds-checking the
+// attacker-controlled outcome count against the remaining input before
+// sizing any allocation from it.
+func DecodeRouteDone(body []byte) (RouteDoneBody, error) {
+	if len(body) < 14 {
+		return RouteDoneBody{}, fmt.Errorf("%w: route-done", ErrShortBody)
+	}
+	d := RouteDoneBody{
+		Hops:      binary.BigEndian.Uint32(body),
+		Decisions: binary.BigEndian.Uint32(body[4:]),
+		CacheHits: binary.BigEndian.Uint32(body[8:]),
+	}
+	cnt := int(binary.BigEndian.Uint16(body[12:]))
+	if len(body)-14 < cnt*destOutcomeSize {
+		return RouteDoneBody{}, fmt.Errorf("%w: %d outcomes need %d bytes, have %d",
+			ErrShortBody, cnt, cnt*destOutcomeSize, len(body)-14)
+	}
+	d.Outcomes = make([]DestOutcome, cnt)
+	off := 14
+	for i := range d.Outcomes {
+		o := &d.Outcomes[i]
+		o.Node = int32(binary.BigEndian.Uint32(body[off:]))
+		o.Loc, off = readPoint(body, off+4)
+		o.Status = body[off]
+		o.Hops = binary.BigEndian.Uint16(body[off+1:])
+		off += 3
+	}
+	return d, nil
 }

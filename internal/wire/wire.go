@@ -139,14 +139,24 @@ var (
 // Encode serializes the frame. budget, when positive, enforces a maximum
 // on-air size (the paper's Table 1 uses 128 bytes).
 func Encode(f *Frame, budget int) ([]byte, error) {
+	return AppendFrame(nil, f, budget)
+}
+
+// AppendFrame appends the frame's encoding to dst and returns the extended
+// slice, so hot paths can reuse one arena across many frames. budget, when
+// positive, enforces a maximum on-air size.
+func AppendFrame(dst []byte, f *Frame, budget int) ([]byte, error) {
 	if len(f.Dests) > maxDestCnt {
-		return nil, fmt.Errorf("%w: %d", ErrTooManyDests, len(f.Dests))
+		return dst, fmt.Errorf("%w: %d", ErrTooManyDests, len(f.Dests))
 	}
 	size := f.EncodedSize()
 	if budget > 0 && size > budget {
-		return nil, fmt.Errorf("%w: %d > %d bytes", ErrBudget, size, budget)
+		return dst, fmt.Errorf("%w: %d > %d bytes", ErrBudget, size, budget)
 	}
-	out := make([]byte, 0, size)
+	out := dst
+	if out == nil {
+		out = make([]byte, 0, size)
+	}
 	out = append(out, Magic, Version, f.Flags, f.Hops)
 	out = appendPoint(out, f.Source)
 	out = appendPoint(out, f.NextHop)
@@ -169,16 +179,29 @@ func Encode(f *Frame, budget int) ([]byte, error) {
 
 // Decode parses a frame produced by Encode.
 func Decode(data []byte) (*Frame, error) {
+	f := new(Frame)
+	if err := DecodeInto(f, data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeInto parses a frame produced by Encode into f, reusing f's Dests
+// and Payload storage when it has capacity. Every field of f is
+// overwritten (stale perimeter/anchor state from a previous decode cannot
+// leak through), so a decoder loop can hold one Frame and call DecodeInto
+// per message without per-frame allocations in steady state.
+func DecodeInto(f *Frame, data []byte) error {
 	if len(data) < fixedSize {
-		return nil, ErrShortFrame
+		return ErrShortFrame
 	}
 	if data[0] != Magic {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if data[1] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, data[1])
+		return fmt.Errorf("%w: %d", ErrBadVersion, data[1])
 	}
-	f := &Frame{Flags: data[2], Hops: data[3]}
+	f.Flags, f.Hops = data[2], data[3]
 	off := 4
 	f.Source, off = readPoint(data, off)
 	f.NextHop, off = readPoint(data, off)
@@ -197,17 +220,23 @@ func Decode(data []byte) (*Frame, error) {
 		need += pointSize
 	}
 	if len(data) < off+need {
-		return nil, fmt.Errorf("%w: %d dests (flags %#x) need %d bytes, have %d",
+		return fmt.Errorf("%w: %d dests (flags %#x) need %d bytes, have %d",
 			ErrTruncatedDests, destCnt, f.Flags, need, len(data)-off)
 	}
 	if len(data) < off+need+payloadLen {
-		return nil, fmt.Errorf("%w: %d bytes claimed, %d available",
+		return fmt.Errorf("%w: %d bytes claimed, %d available",
 			ErrTruncatedPayload, payloadLen, len(data)-off-need)
 	}
-	f.Dests = make([]geom.Point, destCnt)
+	if f.Dests != nil && cap(f.Dests) >= destCnt {
+		f.Dests = f.Dests[:destCnt]
+	} else {
+		f.Dests = make([]geom.Point, destCnt)
+	}
 	for i := range f.Dests {
 		f.Dests[i], off = readPoint(data, off)
 	}
+	f.PeriTarget, f.PeriEntry, f.PeriFaceEntry = geom.Point{}, geom.Point{}, geom.Point{}
+	f.Anchor = geom.Point{}
 	if f.Perimeter() {
 		f.PeriTarget, off = readPoint(data, off)
 		f.PeriEntry, off = readPoint(data, off)
@@ -216,8 +245,8 @@ func Decode(data []byte) (*Frame, error) {
 	if f.HasAnchor() {
 		f.Anchor, off = readPoint(data, off)
 	}
-	f.Payload = append([]byte(nil), data[off:off+payloadLen]...)
-	return f, nil
+	f.Payload = append(f.Payload[:0], data[off:off+payloadLen]...)
+	return nil
 }
 
 func appendPoint(b []byte, p geom.Point) []byte {
